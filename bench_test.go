@@ -1,0 +1,301 @@
+package paxoscp
+
+// Module-root benchmarks: one testing.B benchmark per figure of the paper's
+// evaluation (§6) plus microbenchmarks of the protocol building blocks.
+// Figure benchmarks run a compressed experiment per iteration and report
+// commit counts as custom metrics; the full-scale reproduction is
+// cmd/paxosbench.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"paxoscp/internal/bench"
+	"paxoscp/internal/cluster"
+	"paxoscp/internal/core"
+	"paxoscp/internal/kvstore"
+	"paxoscp/internal/network"
+	"paxoscp/internal/paxos"
+	"paxoscp/internal/stats"
+	"paxoscp/internal/wal"
+	"paxoscp/internal/ycsb"
+)
+
+// benchOpts compresses an experiment so one iteration stays ~100ms.
+func benchOpts(seed int64) bench.Options {
+	return bench.Options{Scale: 0.001, Txns: 24, Threads: 4, Seed: seed}
+}
+
+// runFigure benchmarks one experiment configuration and reports commits and
+// aborts per run as metrics.
+func runFigure(b *testing.B, e bench.Experiment) {
+	b.Helper()
+	var commits, total int
+	for i := 0; i < b.N; i++ {
+		sum, err := bench.RunExperiment(benchOpts(int64(i+1)), e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		commits += sum.Commits
+		total += sum.Total
+	}
+	b.ReportMetric(float64(commits)/float64(b.N), "commits/run")
+	b.ReportMetric(100*float64(commits)/float64(total), "%commit")
+}
+
+// --- Figure 4: replica-count sweep -------------------------------------
+
+func BenchmarkFig4Replicas2Paxos(b *testing.B) {
+	runFigure(b, bench.Experiment{Topology: "VV", Protocol: core.Basic})
+}
+
+func BenchmarkFig4Replicas2PaxosCP(b *testing.B) {
+	runFigure(b, bench.Experiment{Topology: "VV", Protocol: core.CP})
+}
+
+func BenchmarkFig4Replicas3Paxos(b *testing.B) {
+	runFigure(b, bench.Experiment{Topology: "VVV", Protocol: core.Basic})
+}
+
+func BenchmarkFig4Replicas3PaxosCP(b *testing.B) {
+	runFigure(b, bench.Experiment{Topology: "VVV", Protocol: core.CP})
+}
+
+func BenchmarkFig4Replicas5Paxos(b *testing.B) {
+	runFigure(b, bench.Experiment{Topology: "VVVOC", Protocol: core.Basic})
+}
+
+func BenchmarkFig4Replicas5PaxosCP(b *testing.B) {
+	runFigure(b, bench.Experiment{Topology: "VVVOC", Protocol: core.CP})
+}
+
+// --- Figure 5: cluster-composition sweep --------------------------------
+
+func BenchmarkFig5ClusterOVPaxos(b *testing.B) {
+	runFigure(b, bench.Experiment{Topology: "OV", Protocol: core.Basic})
+}
+
+func BenchmarkFig5ClusterOVPaxosCP(b *testing.B) {
+	runFigure(b, bench.Experiment{Topology: "OV", Protocol: core.CP})
+}
+
+func BenchmarkFig5ClusterCOVPaxos(b *testing.B) {
+	runFigure(b, bench.Experiment{Topology: "COV", Protocol: core.Basic})
+}
+
+func BenchmarkFig5ClusterCOVPaxosCP(b *testing.B) {
+	runFigure(b, bench.Experiment{Topology: "COV", Protocol: core.CP})
+}
+
+// --- Figure 6: contention sweep ------------------------------------------
+
+func BenchmarkFig6Contention20Paxos(b *testing.B) {
+	runFigure(b, bench.Experiment{Topology: "VVV", Protocol: core.Basic, Attributes: 20})
+}
+
+func BenchmarkFig6Contention20PaxosCP(b *testing.B) {
+	runFigure(b, bench.Experiment{Topology: "VVV", Protocol: core.CP, Attributes: 20})
+}
+
+func BenchmarkFig6Contention500Paxos(b *testing.B) {
+	runFigure(b, bench.Experiment{Topology: "VVV", Protocol: core.Basic, Attributes: 500})
+}
+
+func BenchmarkFig6Contention500PaxosCP(b *testing.B) {
+	runFigure(b, bench.Experiment{Topology: "VVV", Protocol: core.CP, Attributes: 500})
+}
+
+// --- Figure 7: offered-load sweep ----------------------------------------
+
+func BenchmarkFig7Load4xPaxos(b *testing.B) {
+	runFigure(b, bench.Experiment{Topology: "VVV", Protocol: core.Basic, LoadFactor: 4})
+}
+
+func BenchmarkFig7Load4xPaxosCP(b *testing.B) {
+	runFigure(b, bench.Experiment{Topology: "VVV", Protocol: core.CP, LoadFactor: 4})
+}
+
+func BenchmarkFig7Load16xPaxos(b *testing.B) {
+	runFigure(b, bench.Experiment{Topology: "VVV", Protocol: core.Basic, LoadFactor: 16})
+}
+
+func BenchmarkFig7Load16xPaxosCP(b *testing.B) {
+	runFigure(b, bench.Experiment{Topology: "VVV", Protocol: core.CP, LoadFactor: 16})
+}
+
+// --- Figure 8: per-datacenter instances (VOC) ----------------------------
+
+func BenchmarkFig8VOCPaxos(b *testing.B) {
+	runFigure(b, bench.Experiment{Topology: "VOC", Protocol: core.Basic})
+}
+
+func BenchmarkFig8VOCPaxosCP(b *testing.B) {
+	runFigure(b, bench.Experiment{Topology: "VOC", Protocol: core.CP})
+}
+
+// --- Protocol microbenchmarks --------------------------------------------
+
+// newBenchCluster builds a minimal-latency 3-DC cluster for microbenchmarks.
+func newBenchCluster(b *testing.B) *cluster.Cluster {
+	b.Helper()
+	c := cluster.New(cluster.Config{
+		Topology:  cluster.MustPaperTopology("VVV"),
+		NetConfig: network.SimConfig{Seed: 9, Scale: 0.0005},
+		Timeout:   100 * time.Millisecond,
+	})
+	b.Cleanup(c.Close)
+	return c
+}
+
+// BenchmarkCommitSequential measures a full uncontended commit round trip
+// (begin, one write, commit) per protocol.
+func BenchmarkCommitSequentialPaxos(b *testing.B)   { benchCommit(b, core.Basic) }
+func BenchmarkCommitSequentialPaxosCP(b *testing.B) { benchCommit(b, core.CP) }
+
+func benchCommit(b *testing.B, proto core.Protocol) {
+	c := newBenchCluster(b)
+	cl := c.NewClient("V1", core.Config{Protocol: proto, Seed: 1})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := cl.Begin(ctx, "g")
+		if err != nil {
+			b.Fatal(err)
+		}
+		tx.Write(fmt.Sprintf("k%d", i%32), "v")
+		res, err := tx.Commit(ctx)
+		if err != nil || res.Status != stats.Committed {
+			b.Fatalf("commit %d: %+v %v", i, res, err)
+		}
+	}
+}
+
+// BenchmarkRead measures a served read at the read position.
+func BenchmarkRead(b *testing.B) {
+	c := newBenchCluster(b)
+	cl := c.NewClient("V1", core.Config{Seed: 1})
+	ctx := context.Background()
+	tx, _ := cl.Begin(ctx, "g")
+	tx.Write("k", "v")
+	if res, err := tx.Commit(ctx); err != nil || res.Status != stats.Committed {
+		b.Fatalf("seed: %+v %v", res, err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := cl.Begin(ctx, "g")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := tx.Read(ctx, "k"); err != nil {
+			b.Fatal(err)
+		}
+		tx.Abort()
+	}
+}
+
+// BenchmarkKVStore measures the storage substrate's three operations.
+func BenchmarkKVStoreWrite(b *testing.B) {
+	s := kvstore.New()
+	v := kvstore.Value{"v": "value"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Write(fmt.Sprintf("k%d", i%1024), v, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKVStoreRead(b *testing.B) {
+	s := kvstore.New()
+	for i := 0; i < 1024; i++ {
+		s.Write(fmt.Sprintf("k%d", i), kvstore.Value{"v": "value"}, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Read(fmt.Sprintf("k%d", i%1024), kvstore.Latest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKVStoreCheckAndWrite(b *testing.B) {
+	s := kvstore.New()
+	prev := ""
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next := fmt.Sprint(i)
+		if err := s.CheckAndWrite("k", "seq", prev, kvstore.Value{"seq": next}); err != nil {
+			b.Fatal(err)
+		}
+		prev = next
+	}
+}
+
+// BenchmarkWALCodec measures log entry encode/decode.
+func BenchmarkWALEncode(b *testing.B) {
+	e := benchEntry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wal.Encode(e)
+	}
+}
+
+func BenchmarkWALDecode(b *testing.B) {
+	data := wal.Encode(benchEntry())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wal.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEntry() wal.Entry {
+	return wal.NewEntry(
+		wal.Txn{ID: "txn-1", Origin: "V1", ReadPos: 42,
+			ReadSet: []string{"attr1", "attr2", "attr3", "attr4", "attr5"},
+			Writes:  map[string]string{"attr6": "v6", "attr7": "v7", "attr8": "v8"}},
+		wal.Txn{ID: "txn-2", Origin: "O", ReadPos: 42,
+			ReadSet: []string{"attr9"},
+			Writes:  map[string]string{"attr10": "v10"}},
+	)
+}
+
+// BenchmarkAcceptor measures the Paxos acceptor's state transitions through
+// the kvstore.
+func BenchmarkAcceptorPrepare(b *testing.B) {
+	a := paxos.NewAcceptor(kvstore.New())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Prepare("g", int64(i), paxos.Ballot(1, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAcceptorAccept(b *testing.B) {
+	a := paxos.NewAcceptor(kvstore.New())
+	val := wal.Encode(benchEntry())
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Prepare("g", int64(i), paxos.Ballot(1, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Accept("g", int64(i), paxos.Ballot(1, 1), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkYCSBGenerator measures workload generation.
+func BenchmarkYCSBGenerator(b *testing.B) {
+	g := ycsb.NewGenerator(ycsb.Workload{Attributes: 100, OpsPerTxn: 10}, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.NextTxn()
+	}
+}

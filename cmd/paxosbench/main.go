@@ -1,0 +1,94 @@
+// Command paxosbench regenerates the figures of the paper's evaluation
+// (§6): it runs the chosen experiment against the simulated multi-datacenter
+// cluster and prints the same rows/series the paper plots.
+//
+// Usage:
+//
+//	paxosbench -fig 4a            # Figure 4 (commit counts and latency)
+//	paxosbench -fig 6 -txns 500   # Figure 6 at full paper scale
+//	paxosbench -fig all -scale 0.02
+//
+// Figures: 4a, 4b, 5a, 5b, 6, 7, 8, ablation, promo, msgs, all.
+// (4a/4b and 5a/5b run the same experiment; both tables print.)
+//
+// Latencies are simulated at -scale times real time and reported scaled
+// back to paper-equivalent milliseconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"paxoscp/internal/bench"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 4a 4b 5a 5b 6 7 8 ablation promo msgs leader all")
+		scale   = flag.Float64("scale", 1.0/15, "latency scale factor (1.0 = paper wall-clock)")
+		txns    = flag.Int("txns", 500, "transactions per experiment (paper: 500)")
+		threads = flag.Int("threads", 4, "concurrent workload threads (paper: 4)")
+		seed    = flag.Int64("seed", 42, "random seed")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	opts := bench.Options{Scale: *scale, Txns: *txns, Threads: *threads, Seed: *seed}
+	if !*quiet {
+		opts.Verbose = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	type experiment struct {
+		names []string
+		run   func(bench.Options) ([]bench.Table, error)
+	}
+	experiments := []experiment{
+		{[]string{"4", "4a", "4b"}, bench.Fig4},
+		{[]string{"5", "5a", "5b"}, bench.Fig5},
+		{[]string{"6"}, bench.Fig6},
+		{[]string{"7"}, bench.Fig7},
+		{[]string{"8"}, bench.Fig8},
+		{[]string{"ablation"}, bench.Ablation},
+		{[]string{"promo"}, bench.PromotionCap},
+		{[]string{"msgs"}, bench.MessageComplexity},
+		{[]string{"leader"}, bench.LeaderComparison},
+		{[]string{"avail"}, bench.Availability},
+	}
+
+	want := strings.ToLower(*fig)
+	matched := false
+	start := time.Now()
+	for _, e := range experiments {
+		selected := want == "all"
+		for _, n := range e.names {
+			if n == want {
+				selected = true
+			}
+		}
+		if !selected {
+			continue
+		}
+		matched = true
+		tables, err := e.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paxosbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Render(os.Stdout)
+		}
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "paxosbench: unknown figure %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "\ntotal wall time: %.1fs\n", time.Since(start).Seconds())
+	}
+}

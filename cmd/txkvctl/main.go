@@ -1,0 +1,170 @@
+// Command txkvctl is a client for a txkvd cluster: it executes transactions
+// over UDP against the multi-datacenter datastore.
+//
+// Usage (against the txkvd example deployment):
+//
+//	txkvctl -local V1 -peers V1=127.0.0.1:7001,V2=127.0.0.1:7002,V3=127.0.0.1:7003 get mykey
+//	txkvctl -local V1 -peers ... set mykey hello
+//	txkvctl -local V1 -peers ... -protocol cp txn "get a" "set b 1" "get c"
+//	txkvctl -local V1 -peers ... status
+//
+// Subcommands:
+//
+//	get KEY            read one key (read-only transaction)
+//	set KEY VALUE      write one key (read/write transaction)
+//	txn OP...          run a multi-operation transaction; each OP is
+//	                   "get KEY" or "set KEY VALUE"
+//	status             print every replica's view of the group (applied and
+//	                   compaction horizons, log/data sizes, computed leader)
+//	compact HORIZON    scavenge log state below HORIZON on every replica
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"paxoscp/internal/core"
+	"paxoscp/internal/network"
+	"paxoscp/internal/stats"
+)
+
+func main() {
+	var (
+		local    = flag.String("local", "", "local datacenter name (required)")
+		peers    = flag.String("peers", "", "comma-separated name=addr peer list (required)")
+		group    = flag.String("group", "default", "transaction group key")
+		protocol = flag.String("protocol", "cp", "commit protocol: basic | cp")
+		clientID = flag.Int("id", os.Getpid()%10000, "unique client id")
+		timeout  = flag.Duration("timeout", network.DefaultTimeout, "message timeout")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if *local == "" || *peers == "" || len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	peerMap := map[string]string{}
+	for _, part := range strings.Split(*peers, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			log.Fatalf("txkvctl: bad peer entry %q", part)
+		}
+		peerMap[kv[0]] = kv[1]
+	}
+
+	transport, err := network.NewUDP(fmt.Sprintf("%s-client-%d", *local, *clientID),
+		"127.0.0.1:0", peerMap, func(string, network.Message) network.Message {
+			return network.Status(false, "client endpoint")
+		})
+	if err != nil {
+		log.Fatalf("txkvctl: %v", err)
+	}
+	defer transport.Close()
+
+	cfg := core.Config{Timeout: *timeout}
+	if strings.EqualFold(*protocol, "cp") {
+		cfg.Protocol = core.CP
+	}
+	client := core.NewClient(*clientID, *local, transport, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	switch args[0] {
+	case "get":
+		if len(args) != 2 {
+			log.Fatal("txkvctl: get KEY")
+		}
+		runTxn(ctx, client, *group, []string{"get " + args[1]})
+	case "set":
+		if len(args) != 3 {
+			log.Fatal("txkvctl: set KEY VALUE")
+		}
+		runTxn(ctx, client, *group, []string{"set " + args[1] + " " + args[2]})
+	case "txn":
+		runTxn(ctx, client, *group, args[1:])
+	case "status":
+		for name := range peerMap {
+			cctx, cancel := context.WithTimeout(ctx, *timeout)
+			resp, err := transport.Send(cctx, name, network.Message{Kind: network.KindStats, Group: *group})
+			cancel()
+			if err != nil || !resp.OK {
+				fmt.Printf("%-6s unreachable (%v%s)\n", name, err, resp.Err)
+				continue
+			}
+			st, err := core.ParseGroupStatus(resp.Payload)
+			if err != nil {
+				log.Fatalf("txkvctl: bad status payload: %v", err)
+			}
+			fmt.Printf("%-6s applied=%-6d compacted=%-6d logEntries=%-6d dataKeys=%-6d leader=%s\n",
+				st.DC, st.LastApplied, st.CompactedTo, st.LogEntries, st.DataKeys, st.Leader)
+		}
+	case "compact":
+		if len(args) != 2 {
+			log.Fatal("txkvctl: compact HORIZON")
+		}
+		horizon, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			log.Fatalf("txkvctl: bad horizon %q", args[1])
+		}
+		for name := range peerMap {
+			cctx, cancel := context.WithTimeout(ctx, *timeout)
+			resp, err := transport.Send(cctx, name, network.Message{
+				Kind: network.KindCompact, Group: *group, TS: horizon,
+			})
+			cancel()
+			if err != nil || !resp.OK {
+				fmt.Printf("%-6s compact failed (%v%s)\n", name, err, resp.Err)
+				continue
+			}
+			fmt.Printf("%-6s compacted to %d\n", name, resp.TS)
+		}
+	default:
+		log.Fatalf("txkvctl: unknown subcommand %q", args[0])
+	}
+}
+
+func runTxn(ctx context.Context, client *core.Client, group string, ops []string) {
+	tx, err := client.Begin(ctx, group)
+	if err != nil {
+		log.Fatalf("txkvctl: begin: %v", err)
+	}
+	for _, op := range ops {
+		fields := strings.Fields(op)
+		switch {
+		case len(fields) == 2 && fields[0] == "get":
+			v, found, err := tx.Read(ctx, fields[1])
+			if err != nil {
+				log.Fatalf("txkvctl: read %q: %v", fields[1], err)
+			}
+			if found {
+				fmt.Printf("%s = %q\n", fields[1], v)
+			} else {
+				fmt.Printf("%s = (unset)\n", fields[1])
+			}
+		case len(fields) >= 3 && fields[0] == "set":
+			tx.Write(fields[1], strings.Join(fields[2:], " "))
+		default:
+			log.Fatalf("txkvctl: bad operation %q (want \"get KEY\" or \"set KEY VALUE\")", op)
+		}
+	}
+	res, err := tx.Commit(ctx)
+	if err != nil {
+		log.Fatalf("txkvctl: commit: %v", err)
+	}
+	switch res.Status {
+	case stats.Committed:
+		fmt.Printf("committed at position %d (round %d, %.0fms)\n",
+			res.Pos, res.Round, float64(res.Latency)/float64(time.Millisecond))
+	default:
+		fmt.Printf("%s after %.0fms (round %d)\n",
+			res.Status, float64(res.Latency)/float64(time.Millisecond), res.Round)
+		os.Exit(1)
+	}
+}

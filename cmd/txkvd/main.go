@@ -1,0 +1,136 @@
+// Command txkvd runs one datacenter's transaction tier over real UDP: the
+// multi-version key-value store, the Paxos acceptor, and the Transaction
+// Service, serving the full protocol (prepare/accept/apply, reads, leader
+// claims, catch-up) on a UDP socket — the same transport the paper's
+// prototype used.
+//
+// A three-datacenter deployment on one machine:
+//
+//	txkvd -dc V1 -bind 127.0.0.1:7001 -peers V1=127.0.0.1:7001,V2=127.0.0.1:7002,V3=127.0.0.1:7003
+//	txkvd -dc V2 -bind 127.0.0.1:7002 -peers V1=127.0.0.1:7001,V2=127.0.0.1:7002,V3=127.0.0.1:7003
+//	txkvd -dc V3 -bind 127.0.0.1:7003 -peers V1=127.0.0.1:7001,V2=127.0.0.1:7002,V3=127.0.0.1:7003
+//
+// Then run transactions with txkvctl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"paxoscp/internal/core"
+	"paxoscp/internal/kvstore"
+	"paxoscp/internal/network"
+)
+
+func main() {
+	var (
+		dc       = flag.String("dc", "", "this datacenter's name (required)")
+		bind     = flag.String("bind", "127.0.0.1:0", "UDP address to listen on")
+		peers    = flag.String("peers", "", "comma-separated name=addr peer list, including self (required)")
+		timeout  = flag.Duration("timeout", network.DefaultTimeout, "message-loss detection timeout")
+		dataPath = flag.String("data", "", "snapshot file for persistence (empty = in-memory only)")
+		saveIvl  = flag.Duration("save-interval", 30*time.Second, "periodic snapshot interval when -data is set")
+	)
+	flag.Parse()
+	if *dc == "" || *peers == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	peerMap, err := parsePeers(*peers)
+	if err != nil {
+		log.Fatalf("txkvd: %v", err)
+	}
+	if _, ok := peerMap[*dc]; !ok {
+		log.Fatalf("txkvd: peer list must include this datacenter %q", *dc)
+	}
+
+	store := kvstore.New()
+	if *dataPath != "" {
+		store, err = kvstore.LoadFile(*dataPath)
+		if err != nil {
+			log.Fatalf("txkvd: %v", err)
+		}
+		log.Printf("txkvd: loaded %d rows from %s", store.Len(), *dataPath)
+	}
+	// Two-phase wiring: the UDP transport needs the handler, and the
+	// service needs the transport (for catch-up).
+	var service *core.Service
+	transport, err := network.NewUDP(*dc, *bind, peerMap, func(from string, req network.Message) network.Message {
+		return service.Handler()(from, req)
+	})
+	if err != nil {
+		log.Fatalf("txkvd: %v", err)
+	}
+	service = core.NewService(*dc, store, transport, core.WithServiceTimeout(*timeout))
+
+	log.Printf("txkvd: datacenter %s serving on %s (%d peers, timeout %v)",
+		*dc, transport.LocalAddr(), len(peerMap), *timeout)
+
+	stopSaver := make(chan struct{})
+	if *dataPath != "" {
+		go func() {
+			t := time.NewTicker(*saveIvl)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := store.SaveFile(*dataPath); err != nil {
+						log.Printf("txkvd: periodic snapshot: %v", err)
+					}
+				case <-stopSaver:
+					return
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("txkvd: shutting down")
+	close(stopSaver)
+	transport.Close()
+	if *dataPath != "" {
+		if err := store.SaveFile(*dataPath); err != nil {
+			log.Printf("txkvd: final snapshot: %v", err)
+		} else {
+			log.Printf("txkvd: state saved to %s", *dataPath)
+		}
+	}
+	store.Close()
+	time.Sleep(50 * time.Millisecond)
+}
+
+func parsePeers(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, part := range splitNonEmpty(s, ',') {
+		kv := splitNonEmpty(part, '=')
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad peer entry %q (want name=addr)", part)
+		}
+		out[kv[0]] = kv[1]
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty peer list")
+	}
+	return out, nil
+}
+
+func splitNonEmpty(s string, sep byte) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == sep {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

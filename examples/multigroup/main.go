@@ -1,0 +1,119 @@
+// Multigroup: the paper's data model (§2.1) — data items are partitioned
+// into transaction groups; transactions within one group are serializable,
+// groups are independent of each other, and there is no global
+// serializability across groups.
+//
+// This example runs a user-profile group and an analytics group side by
+// side: writers hammer both concurrently, group-local invariants hold, and
+// the logs advance independently (no cross-group contention even under
+// basic Paxos).
+//
+//	go run ./examples/multigroup
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strconv"
+	"sync"
+	"time"
+
+	"paxoscp/internal/cluster"
+	"paxoscp/internal/core"
+	"paxoscp/internal/network"
+	"paxoscp/internal/stats"
+)
+
+func main() {
+	c := cluster.New(cluster.Config{
+		Topology:  cluster.MustPaperTopology("VVV"),
+		NetConfig: network.SimConfig{Seed: 4, Scale: 0.01},
+		Timeout:   300 * time.Millisecond,
+	})
+	defer c.Close()
+	ctx := context.Background()
+
+	groups := []string{"profiles", "analytics"}
+	const increments = 30
+
+	// One counter per group, incremented by clients in all datacenters.
+	// Within a group these transactions conflict (read-modify-write of the
+	// same key), so they serialize; across groups they never interact.
+	var wg sync.WaitGroup
+	commits := make(map[string]*int)
+	var mu sync.Mutex
+	for _, group := range groups {
+		n := 0
+		commits[group] = &n
+		for w := 0; w < 3; w++ {
+			cl := c.NewClient(c.DCs()[w], core.Config{Protocol: core.CP, Seed: int64(w + 1)})
+			wg.Add(1)
+			go func(group string, cl *core.Client) {
+				defer wg.Done()
+				for i := 0; i < increments/3; i++ {
+					if incrementCounter(ctx, cl, group) {
+						mu.Lock()
+						*commits[group]++
+						mu.Unlock()
+					}
+				}
+			}(group, cl)
+		}
+	}
+	wg.Wait()
+
+	// Audit each group independently.
+	for _, group := range groups {
+		cl := c.NewClient("V1", core.Config{})
+		tx, err := cl.Begin(ctx, group)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, _, err := tx.Read(ctx, "counter")
+		if err != nil {
+			log.Fatal(err)
+		}
+		tx.Abort()
+		got, _ := strconv.Atoi(v)
+		want := *commits[group]
+		status := "counter matches commits"
+		if got != want {
+			status = "MISMATCH"
+		}
+		fmt.Printf("group %-10s log height %d, counter = %2d, committed increments = %2d  -> %s\n",
+			group, c.Service("V1").LastApplied(group), got, want, status)
+		if got != want {
+			log.Fatal("group-local serializability violated")
+		}
+	}
+	fmt.Println("groups progressed independently; no cross-group coordination happened")
+}
+
+// incrementCounter does a read-modify-write of the group's counter,
+// retrying on abort until it commits (a conflicting increment by another
+// client forces a fresh read).
+func incrementCounter(ctx context.Context, cl *core.Client, group string) bool {
+	for attempt := 0; attempt < 20; attempt++ {
+		tx, err := cl.Begin(ctx, group)
+		if err != nil {
+			return false
+		}
+		v, _, err := tx.Read(ctx, "counter")
+		if err != nil {
+			tx.Abort()
+			continue
+		}
+		n, _ := strconv.Atoi(v)
+		tx.Write("counter", strconv.Itoa(n+1))
+		res, err := tx.Commit(ctx)
+		if err != nil {
+			return false
+		}
+		if res.Status == stats.Committed {
+			return true
+		}
+		// Aborted: somebody else incremented first; reread and retry.
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+// Outage: the availability story that motivates the paper (§1). A
+// datacenter goes dark mid-workload; commits continue against the surviving
+// majority, and when the datacenter comes back it recovers every log entry
+// it missed by running Paxos instances (§4.1, "Fault Tolerance and
+// Recovery") — ending with identical logs everywhere.
+//
+//	go run ./examples/outage
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"paxoscp/internal/cluster"
+	"paxoscp/internal/core"
+	"paxoscp/internal/network"
+	"paxoscp/internal/stats"
+)
+
+const group = "orders"
+
+func main() {
+	c := cluster.New(cluster.Config{
+		Topology:  cluster.MustPaperTopology("VVV"),
+		NetConfig: network.SimConfig{Seed: 8, Scale: 0.02},
+		Timeout:   300 * time.Millisecond,
+	})
+	defer c.Close()
+	ctx := context.Background()
+	client := c.NewClient("V1", core.Config{Protocol: core.CP})
+
+	commit := func(key, value string) {
+		tx, err := client.Begin(ctx, group)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tx.Write(key, value)
+		res, err := tx.Commit(ctx)
+		if err != nil || res.Status != stats.Committed {
+			log.Fatalf("commit %s: %+v %v", key, res, err)
+		}
+		fmt.Printf("  committed %s at position %d\n", key, res.Pos)
+	}
+
+	fmt.Println("phase 1: all three datacenters up")
+	commit("order-1", "laptop")
+	commit("order-2", "keyboard")
+
+	fmt.Println("phase 2: datacenter V3 goes dark (lightning, §1)")
+	c.SetDown("V3", true)
+	commit("order-3", "monitor")
+	commit("order-4", "dock")
+	fmt.Printf("  V3 horizon while down: %d (missed entries)\n", c.Service("V3").LastApplied(group))
+
+	fmt.Println("phase 3: V3 back online, running recovery")
+	c.SetDown("V3", false)
+	if err := c.Recover(ctx, "V3", group); err != nil {
+		log.Fatalf("recovery failed: %v", err)
+	}
+
+	fmt.Println("phase 4: verify all logs agree")
+	reference := c.Service("V1").LogSnapshot(group)
+	for _, dc := range c.DCs() {
+		snap := c.Service(dc).LogSnapshot(group)
+		if len(snap) != len(reference) {
+			log.Fatalf("%s has %d entries, want %d", dc, len(snap), len(reference))
+		}
+		fmt.Printf("  %s: %d log entries, horizon %d\n", dc, len(snap), c.Service(dc).LastApplied(group))
+	}
+
+	// And V3 can serve reads of everything committed during its outage.
+	reader := c.NewClient("V3", core.Config{})
+	tx, err := reader.Begin(ctx, group)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, key := range []string{"order-1", "order-2", "order-3", "order-4"} {
+		v, found, err := tx.Read(ctx, key)
+		if err != nil || !found {
+			log.Fatalf("read %s from recovered V3: found=%v err=%v", key, found, err)
+		}
+		fmt.Printf("  V3 serves %s = %s\n", key, v)
+	}
+	tx.Abort()
+	fmt.Println("recovery complete: one-copy serializability preserved through the outage")
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"paxoscp/internal/core"
+	"paxoscp/internal/stats"
+)
+
+// Experiment is one workload configuration, exported for the module-root
+// testing.B benchmarks (bench_test.go) and for programmatic use.
+type Experiment struct {
+	// Topology in paper notation ("VV", "VVV", "VOC", ...).
+	Topology string
+	// Protocol selects basic Paxos or Paxos-CP.
+	Protocol core.Protocol
+	// Attributes in the entity group (default 100).
+	Attributes int
+	// OpsPerTxn per transaction (default 10).
+	OpsPerTxn int
+	// LoadFactor divides the paper's 1 s pacing interval (1 = paper rate,
+	// 4 = 4x the offered load). 0 means 1.
+	LoadFactor int
+	// Unpaced issues transactions back to back with no pacing (for
+	// throughput-style microbenchmarks).
+	Unpaced bool
+}
+
+// RunExperiment executes one experiment and returns its summary. It fails
+// if the execution violates one-copy serializability.
+func RunExperiment(o Options, e Experiment) (stats.Summary, error) {
+	if e.Attributes == 0 {
+		e.Attributes = 100
+	}
+	if e.OpsPerTxn == 0 {
+		e.OpsPerTxn = 10
+	}
+	interval := paperInterval
+	if e.LoadFactor > 1 {
+		interval = paperInterval / time.Duration(e.LoadFactor)
+	}
+	if e.Unpaced {
+		interval = time.Nanosecond // effectively unpaced
+	}
+	res, err := run(o, runSpec{
+		name:       fmt.Sprintf("experiment %s %s", e.Topology, e.Protocol),
+		topology:   e.Topology,
+		protocol:   e.Protocol,
+		attributes: e.Attributes,
+		opsPerTxn:  e.OpsPerTxn,
+		interval:   interval,
+	})
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	if len(res.violations) > 0 {
+		return res.summary, fmt.Errorf("bench: %d serializability violations, first: %s",
+			len(res.violations), res.violations[0])
+	}
+	return res.summary, nil
+}

@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"paxoscp/internal/core"
+	"paxoscp/internal/stats"
+)
+
+// protocols are the two competitors every figure compares.
+var protocols = []core.Protocol{core.Basic, core.CP}
+
+// Fig4 reproduces Figure 4: transaction commits (a) and latency (b) for
+// different numbers of replicas. The replica counts map to the paper's
+// clusters: 2=VV, 3=VVV, 4=VVVO, 5=VVVOC. Workload: 500 transactions of 10
+// operations over 100 attributes.
+func Fig4(o Options) ([]Table, error) {
+	o = o.withDefaults()
+	specs := []struct {
+		replicas int
+		topo     string
+	}{
+		{2, "VV"}, {3, "VVV"}, {4, "VVVO"}, {5, "VVVOC"},
+	}
+	commits := Table{
+		Title:   "Figure 4(a): successful commits out of " + fmt.Sprint(o.Txns) + ", by replica count",
+		Columns: []string{"replicas", "protocol", "commits", "by-round", "aborts", "check"},
+	}
+	latency := Table{
+		Title: "Figure 4(b): commit latency by replica count (paper-equivalent ms)",
+		Note:  "mean over committed transactions; per promotion round for Paxos-CP",
+		Columns: []string{"replicas", "protocol", "mean", "p95", "round0", "round1", "round2+",
+			"all-rounds-n"},
+	}
+	for _, s := range specs {
+		for _, proto := range protocols {
+			res, err := run(o, runSpec{
+				name:       fmt.Sprintf("fig4 %dx %s", s.replicas, proto),
+				topology:   s.topo,
+				protocol:   proto,
+				attributes: 100,
+				opsPerTxn:  10,
+			})
+			if err != nil {
+				return nil, err
+			}
+			sum := res.summary
+			commits.AddRow(fmt.Sprint(s.replicas), proto.String(),
+				fmt.Sprint(sum.Commits), roundCommits(sum),
+				fmt.Sprint(sum.Aborts+sum.Failures), violationsCell(res.violations))
+
+			r0, r1, r2 := "-", "-", "-"
+			if len(sum.ByRound) > 0 {
+				r0 = fmtMS(sum.ByRound[0].Latency.Mean, o.Scale)
+			}
+			if len(sum.ByRound) > 1 {
+				r1 = fmtMS(sum.ByRound[1].Latency.Mean, o.Scale)
+			}
+			if len(sum.ByRound) > 2 {
+				var total time.Duration
+				n := 0
+				for _, rs := range sum.ByRound[2:] {
+					total += rs.Latency.Mean * time.Duration(rs.Commits)
+					n += rs.Commits
+				}
+				if n > 0 {
+					r2 = fmtMS(total/time.Duration(n), o.Scale)
+				}
+			}
+			latency.AddRow(fmt.Sprint(s.replicas), proto.String(),
+				fmtMS(sum.AllCommit.Mean, o.Scale), fmtMS(sum.AllCommit.P95, o.Scale),
+				r0, r1, r2, fmt.Sprint(sum.Commits))
+		}
+	}
+	return []Table{commits, latency}, nil
+}
+
+// Fig5 reproduces Figure 5: commits (a) and average latency (b) for
+// different cluster compositions — the paper compares region mixes (VV vs
+// OV, VVV vs COV, and the 4- and 5-node clusters).
+func Fig5(o Options) ([]Table, error) {
+	o = o.withDefaults()
+	clusters := []string{"VV", "OV", "VVV", "COV", "VVVO", "VVVOC"}
+	commits := Table{
+		Title:   "Figure 5(a): successful commits by cluster composition",
+		Columns: []string{"cluster", "protocol", "commits", "by-round", "check"},
+	}
+	latency := Table{
+		Title:   "Figure 5(b): average transaction latency by cluster composition (paper-equivalent ms)",
+		Note:    "all transactions (commits and aborts); round0 = no-promotion commits",
+		Columns: []string{"cluster", "protocol", "mean-all", "mean-commit", "round0"},
+	}
+	for _, topoSpec := range clusters {
+		for _, proto := range protocols {
+			res, err := run(o, runSpec{
+				name:       fmt.Sprintf("fig5 %s %s", topoSpec, proto),
+				topology:   topoSpec,
+				protocol:   proto,
+				attributes: 100,
+				opsPerTxn:  10,
+			})
+			if err != nil {
+				return nil, err
+			}
+			sum := res.summary
+			commits.AddRow(topoSpec, proto.String(), fmt.Sprint(sum.Commits),
+				roundCommits(sum), violationsCell(res.violations))
+			r0 := "-"
+			if len(sum.ByRound) > 0 {
+				r0 = fmtMS(sum.ByRound[0].Latency.Mean, o.Scale)
+			}
+			latency.AddRow(topoSpec, proto.String(),
+				fmtMS(sum.AllTxn.Mean, o.Scale), fmtMS(sum.AllCommit.Mean, o.Scale), r0)
+		}
+	}
+	return []Table{commits, latency}, nil
+}
+
+// Fig6 reproduces Figure 6: the data-contention sweep. Three Virginia
+// replicas, four threads at one transaction per second, varying the total
+// number of attributes in the entity group (20 = high contention, 500 =
+// minimal contention).
+func Fig6(o Options) ([]Table, error) {
+	o = o.withDefaults()
+	t := Table{
+		Title: "Figure 6: commits vs data contention (VVV, 4 threads @1 txn/s, " +
+			fmt.Sprint(o.Txns) + " txns)",
+		Note:    "contention = 10 ops per txn over N total attributes",
+		Columns: []string{"attributes", "protocol", "commits", "by-round", "combined", "check"},
+	}
+	for _, attrs := range []int{20, 50, 100, 200, 500} {
+		for _, proto := range protocols {
+			res, err := run(o, runSpec{
+				name:       fmt.Sprintf("fig6 %d-attrs %s", attrs, proto),
+				topology:   "VVV",
+				protocol:   proto,
+				attributes: attrs,
+				opsPerTxn:  10,
+			})
+			if err != nil {
+				return nil, err
+			}
+			sum := res.summary
+			t.AddRow(fmt.Sprint(attrs), proto.String(), fmt.Sprint(sum.Commits),
+				roundCommits(sum), fmt.Sprint(sum.Combined), violationsCell(res.violations))
+		}
+	}
+	return []Table{t}, nil
+}
+
+// Fig7 reproduces Figure 7: the concurrency sweep. A single YCSB instance
+// on VVV over 100 attributes with increasing target throughput.
+func Fig7(o Options) ([]Table, error) {
+	o = o.withDefaults()
+	t := Table{
+		Title:   "Figure 7: commits vs offered load (VVV, 100 attributes)",
+		Columns: []string{"txn/s", "protocol", "commits", "by-round", "check"},
+	}
+	for _, tps := range []int{1, 2, 4, 8, 16} {
+		interval := time.Duration(float64(paperInterval) / float64(tps))
+		for _, proto := range protocols {
+			res, err := run(o, runSpec{
+				name:       fmt.Sprintf("fig7 %dtps %s", tps, proto),
+				topology:   "VVV",
+				protocol:   proto,
+				attributes: 100,
+				opsPerTxn:  10,
+				interval:   interval,
+			})
+			if err != nil {
+				return nil, err
+			}
+			sum := res.summary
+			t.AddRow(fmt.Sprint(tps), proto.String(), fmt.Sprint(sum.Commits),
+				roundCommits(sum), violationsCell(res.violations))
+		}
+	}
+	return []Table{t}, nil
+}
+
+// Fig8 reproduces Figure 8: datacenter concurrency. Three replicas (V, O,
+// C); every replica runs its own YCSB instance against the shared entity
+// group; results are reported per datacenter.
+func Fig8(o Options) ([]Table, error) {
+	o = o.withDefaults()
+	t := Table{
+		Title: "Figure 8: per-datacenter commits and latency (VOC, one YCSB instance per DC)",
+		Note:  "latency in paper-equivalent ms; r0 = first-round commits",
+		Columns: []string{"dc", "protocol", "commits", "by-round", "mean-all", "mean-r0",
+			"check"},
+	}
+	// One YCSB instance (thread) per datacenter, each attempting the full
+	// transaction count ("Each YCSB instance attempts 500 transactions").
+	perDCOpts := o
+	perDCOpts.Threads = 3
+	perDCOpts.Txns = 3 * o.Txns
+	for _, proto := range protocols {
+		res, err := run(perDCOpts, runSpec{
+			name:       fmt.Sprintf("fig8 %s", proto),
+			topology:   "VOC",
+			protocol:   proto,
+			attributes: 100,
+			opsPerTxn:  10,
+			threadDCs:  []string{"V", "O", "C"},
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, dc := range []string{"V", "O", "C"} {
+			sum := stats.Summarize(stats.FilterOrigin(res.samples, dc))
+			r0 := "-"
+			if len(sum.ByRound) > 0 {
+				r0 = fmtMS(sum.ByRound[0].Latency.Mean, o.Scale)
+			}
+			t.AddRow(dc, proto.String(), fmt.Sprint(sum.Commits), roundCommits(sum),
+				fmtMS(sum.AllTxn.Mean, o.Scale), r0, violationsCell(res.violations))
+		}
+	}
+	return []Table{t}, nil
+}

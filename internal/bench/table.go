@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: the rows/series a paper figure
+// plots, printed as text.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table in aligned plain text.
+func (t Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "  (%s)\n", t.Note)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		return "  " + strings.Join(parts, "  ")
+	}
+	fmt.Fprintln(w, line(t.Columns))
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	fmt.Fprintln(w, line(sep))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, line(row))
+	}
+}
+
+// String renders the table to a string.
+func (t Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}

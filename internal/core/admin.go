@@ -1,0 +1,72 @@
+package core
+
+import (
+	"encoding/json"
+
+	"paxoscp/internal/network"
+)
+
+// Operator-facing administration: replica status inspection and remotely
+// triggered log compaction. These handlers are trusted-network operations —
+// a production deployment would gate them behind authentication, which is
+// out of scope for the reproduction (the paper's prototype has no admin
+// plane at all).
+
+// GroupStatus describes one replica's view of a transaction group.
+type GroupStatus struct {
+	// DC is the reporting datacenter.
+	DC string `json:"dc"`
+	// Group is the transaction group key.
+	Group string `json:"group"`
+	// LastApplied is the highest contiguously applied log position.
+	LastApplied int64 `json:"lastApplied"`
+	// CompactedTo is the local compaction horizon (0 = never compacted).
+	CompactedTo int64 `json:"compactedTo"`
+	// LogEntries is the number of decided entries held locally.
+	LogEntries int `json:"logEntries"`
+	// DataKeys is the number of data items with at least one version.
+	DataKeys int `json:"dataKeys"`
+	// Leader is the computed leader for the next log position ("" if
+	// unknown).
+	Leader string `json:"leader"`
+}
+
+// Status reports this replica's view of a group.
+func (s *Service) Status(group string) GroupStatus {
+	last := s.lastApplied(group)
+	return GroupStatus{
+		DC:          s.dc,
+		Group:       group,
+		LastApplied: last,
+		CompactedTo: s.CompactedTo(group),
+		LogEntries:  len(s.LogSnapshot(group)),
+		DataKeys:    len(s.store.KeysWithPrefix("data/" + group + "/")),
+		Leader:      s.Leader(group, last+1),
+	}
+}
+
+// handleStats serves a status request; the reply payload is JSON.
+func (s *Service) handleStats(req network.Message) network.Message {
+	blob, err := json.Marshal(s.Status(req.Group))
+	if err != nil {
+		return network.Status(false, err.Error())
+	}
+	return network.Message{Kind: network.KindValue, OK: true, Payload: blob}
+}
+
+// handleCompact triggers local compaction below req.TS and reports the
+// effective horizon.
+func (s *Service) handleCompact(req network.Message) network.Message {
+	horizon, err := s.Compact(req.Group, req.TS)
+	if err != nil {
+		return network.Status(false, err.Error())
+	}
+	return network.Message{Kind: network.KindValue, OK: true, TS: horizon}
+}
+
+// ParseGroupStatus decodes a stats reply payload.
+func ParseGroupStatus(payload []byte) (GroupStatus, error) {
+	var st GroupStatus
+	err := json.Unmarshal(payload, &st)
+	return st, err
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"paxoscp/internal/network"
+	"paxoscp/internal/paxos"
+	"paxoscp/internal/stats"
+)
+
+// Client is the Transaction Client: the library an application instance
+// links to run transactions (§2.2). It speaks to the Transaction Service in
+// every datacenter over the transport and runs the commit protocol itself
+// (Algorithm 2). A Client is safe for concurrent use; each transaction is
+// independent state ("each application instance has at most one active
+// transaction per transaction group" — we allow one Tx value per goroutine).
+type Client struct {
+	id        int
+	dc        string
+	transport network.Transport
+	cfg       Config
+
+	proposer *paxos.Proposer
+	rng      *lockedRand
+	txnSeq   atomic.Int64
+
+	// Collector, when set, receives one sample per finished read/write
+	// transaction (commit or abort), as the paper's evaluation measures.
+	Collector *stats.Collector
+	// OnCommit, when set, is invoked for every committed read/write
+	// transaction with its commit position, transaction record, and the
+	// values its reads observed. The history checker subscribes here.
+	OnCommit func(pos int64, txn CommittedTxn)
+}
+
+// CommittedTxn describes one committed transaction for observers.
+type CommittedTxn struct {
+	ID       string
+	Origin   string
+	ReadPos  int64
+	Pos      int64
+	Reads    map[string]string // key -> value observed
+	Writes   map[string]string
+	Round    int
+	Combined bool
+}
+
+// NewClient creates a Transaction Client local to datacenter dc. id must be
+// unique among all concurrently running clients (it keys proposal numbers;
+// see paxos.Ballot) and below paxos.MaxClients-1.
+func NewClient(id int, dc string, transport network.Transport, cfg Config) *Client {
+	if id < 0 || id >= paxos.MaxClients-1 {
+		panic(fmt.Sprintf("core: client id %d out of range", id))
+	}
+	c := &Client{
+		id:        id,
+		dc:        dc,
+		transport: transport,
+		cfg:       cfg,
+		rng:       newLockedRand(cfg.Seed),
+	}
+	c.proposer = &paxos.Proposer{Transport: transport, Timeout: cfg.Timeout}
+	return c
+}
+
+// ID returns the client's unique identity.
+func (c *Client) ID() int { return c.id }
+
+// DC returns the client's local datacenter.
+func (c *Client) DC() string { return c.dc }
+
+// Protocol returns the configured commit protocol.
+func (c *Client) Protocol() Protocol { return c.cfg.Protocol }
+
+// errAllServicesUnavailable reports that no datacenter answered a
+// transaction API request.
+var errAllServicesUnavailable = errors.New("core: no transaction service reachable")
+
+// sendPreferLocal sends req to the local service first and falls back to the
+// other datacenters in order ("If the local Transaction Service is not
+// available, the library contacts Transaction Services in other datacenters
+// until a response is received", §4).
+func (c *Client) sendPreferLocal(ctx context.Context, req network.Message) (network.Message, error) {
+	order := []string{c.dc}
+	for _, dc := range c.transport.Peers() {
+		if dc != c.dc {
+			order = append(order, dc)
+		}
+	}
+	timeout := c.cfg.Timeout
+	if timeout <= 0 {
+		timeout = network.DefaultTimeout
+	}
+	var lastErr error = errAllServicesUnavailable
+	for _, dc := range order {
+		cctx, cancel := context.WithTimeout(ctx, timeout)
+		resp, err := c.transport.Send(cctx, dc, req)
+		cancel()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !resp.OK {
+			lastErr = fmt.Errorf("core: service %s: %s", dc, resp.Err)
+			continue
+		}
+		return resp, nil
+	}
+	return network.Message{}, lastErr
+}
+
+// Tx is one active transaction. It buffers writes locally and tracks the
+// read set; nothing reaches the datastore until Commit (optimistic
+// concurrency control, §2.2). A Tx is not safe for concurrent use.
+type Tx struct {
+	client  *Client
+	group   string
+	id      string
+	readPos int64
+
+	reads  map[string]string // key -> value observed (read set + values)
+	writes map[string]string // key -> pending value
+	done   bool
+}
+
+// Begin starts a transaction on the given transaction group: it obtains the
+// read position from the local (or any reachable) Transaction Service
+// (transaction protocol step 1).
+func (c *Client) Begin(ctx context.Context, group string) (*Tx, error) {
+	resp, err := c.sendPreferLocal(ctx, network.Message{Kind: network.KindReadPos, Group: group})
+	if err != nil {
+		return nil, fmt.Errorf("core: begin: %w", err)
+	}
+	return c.newTx(group, resp.TS), nil
+}
+
+// BeginAt starts a transaction that reads at an explicit log position — a
+// snapshot read of the state as of pos. The transaction behaves exactly
+// like one that began when pos was current: read-only use always succeeds
+// (if the versions have not been compacted away); committing writes makes
+// the transaction compete from position pos+1, so under basic Paxos it
+// loses to anything committed since, while Paxos-CP promotes it past
+// non-conflicting successors.
+func (c *Client) BeginAt(ctx context.Context, group string, pos int64) (*Tx, error) {
+	if pos < 0 {
+		return nil, fmt.Errorf("core: begin at negative position %d", pos)
+	}
+	return c.newTx(group, pos), nil
+}
+
+func (c *Client) newTx(group string, readPos int64) *Tx {
+	seq := c.txnSeq.Add(1)
+	return &Tx{
+		client:  c,
+		group:   group,
+		id:      fmt.Sprintf("%s-%d-%d", c.dc, c.id, seq),
+		readPos: readPos,
+		reads:   make(map[string]string),
+		writes:  make(map[string]string),
+	}
+}
+
+// ID returns the transaction's unique identifier.
+func (t *Tx) ID() string { return t.id }
+
+// ReadPos returns the log position the transaction reads at.
+func (t *Tx) ReadPos() int64 { return t.readPos }
+
+// errTxDone reports use of a finished transaction.
+var errTxDone = errors.New("core: transaction already finished")
+
+// Read returns the value of key. A key written earlier in this transaction
+// returns the written value (property A1); otherwise the read is served at
+// the transaction's read position (property A2). A key that has never been
+// written reads as the empty string with found=false.
+func (t *Tx) Read(ctx context.Context, key string) (string, bool, error) {
+	if t.done {
+		return "", false, errTxDone
+	}
+	if v, ok := t.writes[key]; ok {
+		return v, true, nil
+	}
+	if v, ok := t.reads[key]; ok {
+		// Repeated read within the transaction: same position, same value.
+		return v, true, nil
+	}
+	resp, err := t.client.sendPreferLocal(ctx, network.Message{
+		Kind: network.KindRead, Group: t.group, Key: key, TS: t.readPos,
+	})
+	if err != nil {
+		return "", false, fmt.Errorf("core: read %q: %w", key, err)
+	}
+	val := ""
+	if resp.Found {
+		val = resp.Value
+	}
+	t.reads[key] = val
+	return val, resp.Found, nil
+}
+
+// Write buffers (key, value); it is applied only if the transaction commits.
+func (t *Tx) Write(key, value string) error {
+	if t.done {
+		return errTxDone
+	}
+	t.writes[key] = value
+	return nil
+}
+
+// Abort abandons the transaction. Volatile state is dropped; nothing was
+// ever sent to the datastore.
+func (t *Tx) Abort() {
+	t.done = true
+}
+
+// CommitResult reports the outcome of Commit.
+type CommitResult struct {
+	// Status is Committed, Aborted (lost to a conflicting transaction), or
+	// Failed (could not complete the protocol — e.g. no majority reachable).
+	Status stats.Outcome
+	// Pos is the log position the transaction committed at (Committed only).
+	Pos int64
+	// Round is the promotion round the transaction resolved in (always 0
+	// under the basic protocol).
+	Round int
+	// Combined reports whether the transaction shared its log position with
+	// others (Paxos-CP combination).
+	Combined bool
+	// Latency is the wall-clock duration of the commit call.
+	Latency time.Duration
+}
+
+// Commit tries to commit the transaction (transaction protocol step 4).
+// Read-only transactions commit immediately with no messaging (§2.2). The
+// outcome is recorded with the client's Collector when one is attached.
+func (t *Tx) Commit(ctx context.Context) (CommitResult, error) {
+	if t.done {
+		return CommitResult{}, errTxDone
+	}
+	t.done = true
+	start := time.Now()
+
+	var res CommitResult
+	var err error
+	if len(t.writes) == 0 {
+		// Read-only transactions commit with no messaging (§2.2); they
+		// serialize immediately after their read position.
+		res = CommitResult{Status: stats.Committed, Pos: t.readPos}
+	} else {
+		switch t.client.cfg.Protocol {
+		case CP:
+			res, err = t.client.commitCP(ctx, t)
+		case Master:
+			res, err = t.client.commitMaster(ctx, t)
+		default:
+			res, err = t.client.commitBasic(ctx, t)
+		}
+	}
+	res.Latency = time.Since(start)
+
+	if c := t.client.Collector; c != nil {
+		c.Record(stats.Sample{
+			Outcome:  res.Status,
+			Round:    res.Round,
+			Latency:  res.Latency,
+			Origin:   t.client.dc,
+			Combined: res.Combined,
+		})
+	}
+	if res.Status == stats.Committed && t.client.OnCommit != nil {
+		t.client.OnCommit(res.Pos, CommittedTxn{
+			ID:       t.id,
+			Origin:   t.client.dc,
+			ReadPos:  t.readPos,
+			Pos:      res.Pos,
+			Reads:    cloneMap(t.reads),
+			Writes:   cloneMap(t.writes),
+			Round:    res.Round,
+			Combined: res.Combined,
+		})
+	}
+	return res, err
+}
+
+// readSetKeys returns the transaction's read set: keys read that were not
+// first written inside the transaction (property A1 keeps those out).
+func (t *Tx) readSetKeys() []string {
+	keys := make([]string, 0, len(t.reads))
+	for k := range t.reads {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func cloneMap(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"strconv"
+
+	"paxoscp/internal/kvstore"
+	"paxoscp/internal/network"
+)
+
+// Log compaction and snapshot transfer. The write-ahead log and the
+// per-position Paxos instance state grow without bound; a deployment
+// periodically scavenges everything below a compaction horizon (Megastore
+// does the same with its catch-up/scavenging machinery). A replica that
+// falls behind the horizon can no longer catch up entry by entry — its
+// peers answer fetch requests with a "compacted" marker carrying the
+// horizon, and the laggard installs a state snapshot instead, then resumes
+// normal per-entry catch-up above the horizon.
+//
+// Compaction trades history for space: multi-version reads below the
+// horizon return kvstore.ErrNotFound afterwards, so the horizon must stay
+// comfortably behind any read position still in use.
+
+// errCompacted is the wire marker a service returns for a fetch of a
+// compacted log position.
+const errCompacted = "compacted"
+
+// Compact scavenges everything strictly below the given horizon: old data
+// item versions, decided log entries, Paxos acceptor state, and leader
+// claims. The horizon is clamped to the locally applied position. It
+// returns the effective horizon.
+func (s *Service) Compact(group string, horizon int64) (int64, error) {
+	mu := s.groupMu(group)
+	mu.Lock()
+	defer mu.Unlock()
+
+	if last := s.lastApplied(group); horizon > last {
+		horizon = last
+	}
+	if horizon <= s.CompactedTo(group) {
+		return s.CompactedTo(group), nil
+	}
+	// Data rows: drop versions below the horizon (reads at >= horizon are
+	// unaffected, see kvstore.GC).
+	for _, key := range s.store.KeysWithPrefix(fmt.Sprintf("data/%s/", group)) {
+		s.store.GC(key, horizon)
+	}
+	// Log, acceptor, and claim rows strictly below the horizon disappear.
+	for pos := s.CompactedTo(group) + 1; pos < horizon; pos++ {
+		s.store.Delete(logKey(group, pos))
+		s.store.Delete(fmt.Sprintf("paxos/%s/%d", group, pos))
+		s.store.Delete(claimKey(group, pos))
+	}
+	err := s.store.Update(metaKey(group), func(cur kvstore.Value) (kvstore.Value, error) {
+		if cur == nil {
+			cur = kvstore.Value{}
+		}
+		cur["compacted"] = strconv.FormatInt(horizon, 10)
+		return cur, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return horizon, nil
+}
+
+// CompactedTo returns the group's compaction horizon: log entries strictly
+// below it have been scavenged locally. Zero means never compacted.
+func (s *Service) CompactedTo(group string) int64 {
+	v, _, err := s.store.Read(metaKey(group), kvstore.Latest)
+	if err != nil {
+		return 0
+	}
+	n, _ := strconv.ParseInt(v["compacted"], 10, 64)
+	return n
+}
+
+// snapshot is the gob-encoded state transferred to a laggard replica: the
+// newest surviving version of every data item at or below the horizon.
+type snapshot struct {
+	Group   string
+	Horizon int64
+	Rows    []snapshotRow
+}
+
+type snapshotRow struct {
+	Key string // data item key (without the data/<group>/ prefix)
+	TS  int64  // version timestamp = log position of the writing entry
+	Val string
+}
+
+// buildSnapshot captures the group's data state at the applied horizon.
+func (s *Service) buildSnapshot(group string) ([]byte, error) {
+	mu := s.groupMu(group)
+	mu.Lock()
+	defer mu.Unlock()
+	horizon := s.lastApplied(group)
+	prefix := fmt.Sprintf("data/%s/", group)
+	snap := snapshot{Group: group, Horizon: horizon}
+	for _, key := range s.store.KeysWithPrefix(prefix) {
+		v, ts, err := s.store.Read(key, horizon)
+		if err != nil {
+			continue // no version at or below the horizon
+		}
+		snap.Rows = append(snap.Rows, snapshotRow{Key: key[len(prefix):], TS: ts, Val: v["v"]})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("core: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// installSnapshot applies a peer's snapshot: data rows land idempotently at
+// their original version timestamps and the applied horizon jumps to the
+// snapshot's. Entries above the horizon continue through normal catch-up.
+func (s *Service) installSnapshot(blob []byte) error {
+	var snap snapshot
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&snap); err != nil {
+		return fmt.Errorf("core: decode snapshot: %w", err)
+	}
+	mu := s.groupMu(snap.Group)
+	mu.Lock()
+	defer mu.Unlock()
+	if s.lastApplied(snap.Group) >= snap.Horizon {
+		return nil // already ahead
+	}
+	for _, row := range snap.Rows {
+		key := dataKey(snap.Group, row.Key)
+		if err := s.store.WriteIdempotent(key, kvstore.Value{"v": row.Val}, row.TS); err != nil {
+			return fmt.Errorf("core: install %s@%d: %w", row.Key, row.TS, err)
+		}
+	}
+	return s.store.Update(metaKey(snap.Group), func(cur kvstore.Value) (kvstore.Value, error) {
+		if cur == nil {
+			cur = kvstore.Value{}
+		}
+		cur["last"] = strconv.FormatInt(snap.Horizon, 10)
+		cur["compacted"] = strconv.FormatInt(snap.Horizon, 10)
+		return cur, nil
+	})
+}
+
+// handleSnapshot serves a snapshot request.
+func (s *Service) handleSnapshot(req network.Message) network.Message {
+	blob, err := s.buildSnapshot(req.Group)
+	if err != nil {
+		return network.Status(false, err.Error())
+	}
+	return network.Message{Kind: network.KindValue, OK: true, Payload: blob, TS: s.lastApplied(req.Group)}
+}
+
+// fetchSnapshot pulls and installs a snapshot from any peer that has one.
+func (s *Service) fetchSnapshot(ctx context.Context, group string) error {
+	if s.transport == nil {
+		return fmt.Errorf("core: no peers for snapshot transfer")
+	}
+	var lastErr error = fmt.Errorf("core: no peer served a snapshot for %q", group)
+	for _, dc := range s.transport.Peers() {
+		if dc == s.dc {
+			continue
+		}
+		cctx, cancel := context.WithTimeout(ctx, s.timeout)
+		resp, err := s.transport.Send(cctx, dc, network.Message{Kind: network.KindSnapshot, Group: group})
+		cancel()
+		if err != nil || !resp.OK {
+			if err != nil {
+				lastErr = err
+			}
+			continue
+		}
+		if err := s.installSnapshot(resp.Payload); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return lastErr
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"paxoscp/internal/kvstore"
+	"paxoscp/internal/network"
+)
+
+// seedLog applies n sequential single-write entries to the given services.
+func seedLog(t *testing.T, services map[string]*Service, dcs []string, group string, n int64) {
+	t.Helper()
+	for pos := int64(1); pos <= n; pos++ {
+		b := entryBytes(fmt.Sprintf("t%d", pos), pos-1, map[string]string{
+			"k":                     fmt.Sprintf("v%d", pos),
+			fmt.Sprintf("u%d", pos): "once",
+		})
+		for _, dc := range dcs {
+			if err := services[dc].ApplyDecided(group, pos, b); err != nil {
+				t.Fatalf("apply %s/%d at %s: %v", group, pos, dc, err)
+			}
+		}
+	}
+}
+
+func TestCompactScavengesBelowHorizon(t *testing.T) {
+	services, _ := newServiceRing(t, "A")
+	s := services["A"]
+	seedLog(t, services, []string{"A"}, "g", 10)
+
+	horizon, err := s.Compact("g", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if horizon != 7 {
+		t.Fatalf("horizon = %d, want 7", horizon)
+	}
+	if got := s.CompactedTo("g"); got != 7 {
+		t.Fatalf("CompactedTo = %d, want 7", got)
+	}
+	// Entries below the horizon are gone; horizon and above survive.
+	if _, ok := s.DecidedEntry("g", 6); ok {
+		t.Fatal("entry 6 survived compaction")
+	}
+	for pos := int64(7); pos <= 10; pos++ {
+		if _, ok := s.DecidedEntry("g", pos); !ok {
+			t.Fatalf("entry %d lost by compaction", pos)
+		}
+	}
+	// Reads at or above the horizon still work.
+	resp := s.Handler()("A", network.Message{Kind: network.KindRead, Group: "g", Key: "k", TS: 8})
+	if !resp.OK || resp.Value != "v8" {
+		t.Fatalf("read@8 after compact = %+v", resp)
+	}
+	// Multi-version history below the horizon is gone.
+	if _, _, err := s.store.Read(dataKey("g", "k"), 3); !errors.Is(err, kvstore.ErrNotFound) {
+		t.Fatalf("old version survived GC: %v", err)
+	}
+	// The applied horizon is untouched.
+	if got := s.LastApplied("g"); got != 10 {
+		t.Fatalf("LastApplied = %d, want 10", got)
+	}
+}
+
+func TestCompactClampsToApplied(t *testing.T) {
+	services, _ := newServiceRing(t, "A")
+	s := services["A"]
+	seedLog(t, services, []string{"A"}, "g", 3)
+	horizon, err := s.Compact("g", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if horizon != 3 {
+		t.Fatalf("horizon = %d, want clamp to 3", horizon)
+	}
+	// Compacting backwards is a no-op.
+	horizon, err = s.Compact("g", 1)
+	if err != nil || horizon != 3 {
+		t.Fatalf("backward compact = (%d, %v)", horizon, err)
+	}
+}
+
+func TestFetchLogReportsCompacted(t *testing.T) {
+	services, _ := newServiceRing(t, "A")
+	s := services["A"]
+	seedLog(t, services, []string{"A"}, "g", 5)
+	if _, err := s.Compact("g", 4); err != nil {
+		t.Fatal(err)
+	}
+	resp := s.Handler()("B", network.Message{Kind: network.KindFetchLog, Group: "g", Pos: 2})
+	if resp.OK || resp.Err != errCompacted || resp.TS != 4 {
+		t.Fatalf("fetch of compacted position = %+v", resp)
+	}
+	// Position at the horizon is still served.
+	resp = s.Handler()("B", network.Message{Kind: network.KindFetchLog, Group: "g", Pos: 4})
+	if !resp.OK {
+		t.Fatalf("fetch at horizon = %+v", resp)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	services, _ := newServiceRing(t, "A", "B")
+	seedLog(t, services, []string{"A"}, "g", 6)
+
+	blob, err := services["A"].buildSnapshot("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := services["B"].installSnapshot(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got := services["B"].LastApplied("g"); got != 6 {
+		t.Fatalf("B horizon after install = %d, want 6", got)
+	}
+	resp := services["B"].Handler()("c", network.Message{Kind: network.KindRead, Group: "g", Key: "k", TS: 6})
+	if !resp.OK || resp.Value != "v6" {
+		t.Fatalf("read from installed snapshot = %+v", resp)
+	}
+	// Installing an old snapshot over newer state is a no-op.
+	if err := services["B"].installSnapshot(blob); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstallSnapshotRejectsGarbage(t *testing.T) {
+	services, _ := newServiceRing(t, "A")
+	if err := services["A"].installSnapshot([]byte("junk")); err == nil {
+		t.Fatal("garbage snapshot installed")
+	}
+}
+
+// TestLaggardCatchesUpViaSnapshot is the full scenario: C misses everything,
+// A and B compact past C's position, and C's read triggers snapshot
+// transfer followed by per-entry catch-up for the suffix.
+func TestLaggardCatchesUpViaSnapshot(t *testing.T) {
+	services, _ := newServiceRing(t, "A", "B", "C")
+	// Positions 1-10 decided at A and B only.
+	seedLog(t, services, []string{"A", "B"}, "g", 10)
+	// A and B compact below 8: entries 1-7 scavenged.
+	for _, dc := range []string{"A", "B"} {
+		if _, err := services[dc].Compact("g", 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// C must serve a read at position 10.
+	resp := services["C"].Handler()("client", network.Message{Kind: network.KindRead, Group: "g", Key: "k", TS: 10})
+	if !resp.OK || resp.Value != "v10" {
+		t.Fatalf("read after snapshot catch-up = %+v", resp)
+	}
+	if got := services["C"].LastApplied("g"); got != 10 {
+		t.Fatalf("C horizon = %d, want 10", got)
+	}
+	// Data written only in compacted entries is present via the snapshot.
+	resp = services["C"].Handler()("client", network.Message{Kind: network.KindRead, Group: "g", Key: "u3", TS: 10})
+	if !resp.OK || !resp.Found || resp.Value != "once" {
+		t.Fatalf("snapshot-only key = %+v", resp)
+	}
+}
+
+// TestRecoverViaSnapshot exercises the same path through explicit recovery.
+func TestRecoverViaSnapshot(t *testing.T) {
+	services, sim := newServiceRing(t, "A", "B", "C")
+	sim.SetDown("C", true)
+	seedLog(t, services, []string{"A", "B"}, "g", 9)
+	for _, dc := range []string{"A", "B"} {
+		if _, err := services[dc].Compact("g", 9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.SetDown("C", false)
+	if err := services["C"].Recover(context.Background(), "g"); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if got := services["C"].LastApplied("g"); got != 9 {
+		t.Fatalf("C horizon = %d, want 9", got)
+	}
+}

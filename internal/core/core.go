@@ -1,0 +1,130 @@
+// Package core implements the paper's transaction tier (§2.2, §4, §5): the
+// Transaction Service that fronts each datacenter's key-value store and the
+// Transaction Client library that applications use to run transactions.
+//
+// Two commit protocols are provided behind one API:
+//
+//   - Basic: the basic Paxos commit protocol of §4.1 (Algorithms 1 and 2),
+//     modeled on Megastore — one transaction per log position; concurrent
+//     transactions competing for a position abort even when they do not
+//     conflict ("concurrency prevention").
+//   - CP: Paxos-CP (§5) — the paper's contribution. Non-conflicting
+//     concurrent transactions are combined into a single log position when
+//     no value can yet have a majority, and a transaction that loses a
+//     position to a non-conflicting winner is promoted to compete for the
+//     next position instead of aborting.
+//
+// The transaction tier guarantees one-copy serializability (Theorems 2 and
+// 3); package history provides the checker the tests use to verify it.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Protocol selects the commit protocol a Client runs.
+type Protocol int
+
+const (
+	// Basic is the basic Paxos commit protocol (§4.1).
+	Basic Protocol = iota
+	// CP is Paxos with Combination and Promotion (§5).
+	CP
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case Basic:
+		return "paxos"
+	case CP:
+		return "paxos-cp"
+	case Master:
+		return "master"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Config tunes a Client's commit protocol. The zero value gives the paper's
+// defaults (basic Paxos, 2 s timeout via network.DefaultTimeout, unlimited
+// promotions, leader fast path on).
+type Config struct {
+	// Protocol selects Basic or CP.
+	Protocol Protocol
+	// Timeout bounds each message round (paper: 2 s). Zero uses
+	// network.DefaultTimeout. Experiments scale it with network latency.
+	Timeout time.Duration
+	// MaxPromotions caps promotion attempts in CP. Zero means unlimited,
+	// the paper's evaluation setting ("Transactions were allowed to try
+	// for promotion an unlimited number of times"). Use DisablePromotion
+	// for the combination-only ablation.
+	MaxPromotions int
+	// DisablePromotion turns Paxos-CP's promotion off (ablation 3 in
+	// DESIGN.md): losing transactions abort as in basic Paxos.
+	DisablePromotion bool
+	// MaxRetries bounds prepare/accept retry rounds within one Paxos
+	// instance before the commit attempt reports failure. Zero means the
+	// default (32).
+	MaxRetries int
+	// BackoffBase scales the randomized backoff between retry rounds
+	// ("sleep for random time period", Algorithm 2). Zero means 2 ms.
+	BackoffBase time.Duration
+	// DisableFastPath turns the §4.1 per-position leader optimization off
+	// (ablation 1 in DESIGN.md).
+	DisableFastPath bool
+	// DisableCombination turns Paxos-CP's combination off (ablation 2).
+	DisableCombination bool
+	// CombineLimit caps the number of candidate transactions considered by
+	// the exhaustive combination search before switching to the greedy
+	// pass (§5 suggests greedy for large lists). Zero means 4.
+	CombineLimit int
+	// Seed seeds the client's backoff RNG. Zero uses a time-based seed.
+	Seed int64
+	// MasterDC names the long-term master datacenter for the Master
+	// protocol (§7 design). Empty defaults to the topology's first
+	// datacenter. Ignored by Basic and CP.
+	MasterDC string
+}
+
+func (c Config) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	return 32
+}
+
+func (c Config) backoffBase() time.Duration {
+	if c.BackoffBase > 0 {
+		return c.BackoffBase
+	}
+	return 2 * time.Millisecond
+}
+
+func (c Config) combineLimit() int {
+	if c.CombineLimit > 0 {
+		return c.CombineLimit
+	}
+	return 4
+}
+
+// lockedRand is a concurrency-safe rand.Rand.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (r *lockedRand) Float64() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Float64()
+}

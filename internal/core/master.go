@@ -1,0 +1,188 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"paxoscp/internal/network"
+	"paxoscp/internal/paxos"
+	"paxoscp/internal/stats"
+	"paxoscp/internal/wal"
+)
+
+// This file implements the leader-based design the paper sketches in §7 and
+// names as future work in §8: "a full Paxos algorithm [that] behaves exactly
+// as an atomic broadcast algorithm with a sequencer ... The leader could act
+// as the transaction manager, check each new transaction against previously
+// committed transactions ... assign the transaction a position in the log
+// and send this log entry to all replicas."
+//
+// One datacenter is the long-term master for a transaction group. Clients
+// submit their transaction to the master; the master runs a fine-grained
+// conflict check against the log suffix after the transaction's read
+// position, assigns the next log position, and replicates with a single
+// accept round (the multi-Paxos fast ballot — the master is the only
+// proposer while its leadership holds). If an acceptor has been touched by
+// another proposer, the master falls back to a full Paxos instance.
+//
+// Trade-offs, as the paper predicts: fewer message rounds per transaction
+// and no aborts for non-conflicting transactions, but every commit does a
+// round trip to the master's site and "a greater amount of work [falls] on
+// a single site [which] could possibly be a performance bottleneck". The
+// Master row in the bench ablations quantifies exactly that.
+
+// Master selects the leader-based commit protocol (§7 design). Configure
+// the master's datacenter with Config.MasterDC.
+const Master Protocol = 2
+
+// masterClientID is the proposer identity the master uses for fallback
+// instances; it shares the ballot space with regular clients.
+const masterClientID = paxos.MaxClients - 2
+
+// commitMaster submits the transaction to the group's master and waits for
+// its verdict.
+func (c *Client) commitMaster(ctx context.Context, t *Tx) (CommitResult, error) {
+	master := c.cfg.MasterDC
+	if master == "" {
+		master = c.transport.Peers()[0]
+	}
+	payload := wal.Encode(wal.NewEntry(t.walTxn()))
+	timeout := c.cfg.Timeout
+	if timeout <= 0 {
+		timeout = network.DefaultTimeout
+	}
+	// The submit round trip covers the master's replication work, so give
+	// it two message timeouts.
+	cctx, cancel := context.WithTimeout(ctx, 2*timeout)
+	defer cancel()
+	resp, err := c.transport.Send(cctx, master, network.Message{
+		Kind: network.KindSubmit, Group: t.group, Payload: payload,
+	})
+	if err != nil {
+		return CommitResult{Status: stats.Failed}, fmt.Errorf("core: submit to master %s: %w", master, err)
+	}
+	switch {
+	case resp.OK:
+		return CommitResult{Status: stats.Committed, Pos: resp.TS}, nil
+	case resp.Err == masterConflict:
+		return CommitResult{Status: stats.Aborted}, nil
+	default:
+		return CommitResult{Status: stats.Failed}, fmt.Errorf("core: master %s: %s", master, resp.Err)
+	}
+}
+
+// masterConflict is the wire marker for a conflict abort verdict.
+const masterConflict = "conflict"
+
+// handleSubmit is the master-side transaction manager. It serializes the
+// conflict check, position assignment, and replication per group.
+func (s *Service) handleSubmit(req network.Message) network.Message {
+	entry, err := wal.Decode(req.Payload)
+	if err != nil || len(entry.Txns) != 1 {
+		return network.Status(false, "bad submit payload")
+	}
+	txn := entry.Txns[0]
+	group := req.Group
+
+	// The sequencer lock serializes conflict check, position assignment,
+	// and replication per group. It is distinct from the apply mutex so the
+	// master's own apply fan-out (which loops back to this service) cannot
+	// deadlock against the submit pipeline.
+	mu := s.sequencerMu(group)
+	mu.Lock()
+	defer mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*s.timeout)
+	defer cancel()
+
+	for attempt := 0; attempt < 8; attempt++ {
+		last := s.lastApplied(group)
+		if txn.ReadPos > last {
+			// The client read at a position this master has not applied —
+			// possible right after failover. Catch up first.
+			if err := s.CatchUp(ctx, group, txn.ReadPos); err != nil {
+				return network.Status(false, fmt.Sprintf("master behind client: %v", err))
+			}
+			continue
+		}
+		// Fine-grained conflict check: the transaction aborts iff a log
+		// entry after its read position wrote something it read.
+		for pos := txn.ReadPos + 1; pos <= last; pos++ {
+			prev, ok := s.DecidedEntry(group, pos)
+			if !ok {
+				return network.Status(false, fmt.Sprintf("log hole at %d", pos))
+			}
+			if txn.ReadsAny(prev.WriteKeys()) {
+				return network.Status(false, masterConflict)
+			}
+		}
+		pos := last + 1
+		decided, committed, err := s.replicateAsMaster(ctx, group, pos, req.Payload)
+		if err != nil {
+			return network.Status(false, err.Error())
+		}
+		if err := s.ApplyDecided(group, pos, decided); err != nil {
+			return network.Status(false, err.Error())
+		}
+		if committed {
+			return network.Message{Kind: network.KindValue, OK: true, TS: pos}
+		}
+		// Another proposer decided this position (e.g. during a failover
+		// race): absorb its entry and retry the next position.
+	}
+	return network.Status(false, "master could not place transaction")
+}
+
+// replicateAsMaster replicates value into (group, pos): one fast-ballot
+// accept round in the common case, a full Paxos instance as fallback. It
+// returns the decided bytes and whether they are the submitted value.
+func (s *Service) replicateAsMaster(ctx context.Context, group string, pos int64, value []byte) ([]byte, bool, error) {
+	prop := &paxos.Proposer{Transport: s.transport, Timeout: s.timeout}
+	acc := prop.Accept(ctx, group, pos, paxos.FastBallot, value)
+	if acc.Quorum() {
+		prop.Apply(ctx, group, pos, paxos.FastBallot, value)
+		return value, true, nil
+	}
+	// Someone touched the instance; run it properly.
+	ballot := paxos.NextBallot(acc.MaxSeen, masterClientID)
+	for attempt := 0; attempt < 16; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		prep := prop.Prepare(ctx, group, pos, ballot, false)
+		if !prep.Quorum() {
+			ballot = paxos.NextBallot(maxInt64(prep.MaxSeen, ballot), masterClientID)
+			sleepBackoff(ctx, attempt, s.timeout/40)
+			continue
+		}
+		proposal := value
+		if v, ok := maxBallotVote(prep.Votes); ok {
+			proposal = v.Value
+		}
+		a := prop.Accept(ctx, group, pos, ballot, proposal)
+		if !a.Quorum() {
+			ballot = paxos.NextBallot(maxInt64(a.MaxSeen, ballot), masterClientID)
+			sleepBackoff(ctx, attempt, s.timeout/40)
+			continue
+		}
+		prop.Apply(ctx, group, pos, ballot, proposal)
+		return proposal, string(proposal) == string(value), nil
+	}
+	return nil, false, fmt.Errorf("core: master replication failed for %s/%d", group, pos)
+}
+
+func sleepBackoff(ctx context.Context, attempt int, base time.Duration) {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if attempt > 6 {
+		attempt = 6
+	}
+	t := time.NewTimer(base * time.Duration(int(1)<<attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

@@ -1,0 +1,560 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"paxoscp/internal/kvstore"
+	"paxoscp/internal/network"
+	"paxoscp/internal/paxos"
+	"paxoscp/internal/wal"
+)
+
+// Key-value store layout used by the Transaction Service. Everything the
+// service knows lives in its datacenter's kvstore, keeping the service
+// processes themselves stateless (§2.2), with the exception of a per-group
+// apply mutex that only serializes local log application.
+//
+//	data/<group>/<key>   data item versions; version timestamp = log position
+//	log/<group>/<pos>    decided log entry (attr "entry" = encoded wal.Entry)
+//	meta/<group>         attr "last" = highest contiguously applied position
+//	claim/<group>/<pos>  leader fast-path claim (attr "owner")
+//	paxos/<group>/<pos>  acceptor state (managed by internal/paxos)
+func dataKey(group, key string) string { return fmt.Sprintf("data/%s/%s", group, key) }
+func logKey(group string, pos int64) string {
+	return fmt.Sprintf("log/%s/%d", group, pos)
+}
+func metaKey(group string) string { return fmt.Sprintf("meta/%s", group) }
+func claimKey(group string, pos int64) string {
+	return fmt.Sprintf("claim/%s/%d", group, pos)
+}
+
+// Service is one datacenter's Transaction Service. It owns the datacenter's
+// key-value store, answers Paxos messages through its acceptor, serves reads
+// at a requested log position, applies decided log entries, and catches up
+// missing entries from its peers (fault tolerance and recovery, §4.1).
+type Service struct {
+	dc       string
+	store    *kvstore.Store
+	acceptor *paxos.Acceptor
+
+	// transport reaches peer datacenters for catch-up. It may be nil in
+	// single-DC tests; catch-up then only serves from the local log.
+	transport network.Transport
+	// timeout bounds catch-up message rounds.
+	timeout time.Duration
+
+	// applyMu serializes log application per group; seqMu serializes the
+	// master protocol's submit pipeline per group (see master.go).
+	mu      sync.Mutex
+	applyMu map[string]*sync.Mutex
+	seqMu   map[string]*sync.Mutex
+}
+
+// ServiceOption configures a Service.
+type ServiceOption func(*Service)
+
+// WithServiceTimeout sets the timeout for the service's own catch-up
+// messaging (defaults to network.DefaultTimeout).
+func WithServiceTimeout(d time.Duration) ServiceOption {
+	return func(s *Service) { s.timeout = d }
+}
+
+// NewService creates the Transaction Service for datacenter dc, backed by
+// store, using transport to reach peer services during catch-up.
+func NewService(dc string, store *kvstore.Store, transport network.Transport, opts ...ServiceOption) *Service {
+	s := &Service{
+		dc:        dc,
+		store:     store,
+		acceptor:  paxos.NewAcceptor(store),
+		transport: transport,
+		timeout:   network.DefaultTimeout,
+		applyMu:   make(map[string]*sync.Mutex),
+		seqMu:     make(map[string]*sync.Mutex),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// DC returns the datacenter this service belongs to.
+func (s *Service) DC() string { return s.dc }
+
+// Store exposes the underlying kvstore (used by examples and tests).
+func (s *Service) Store() *kvstore.Store { return s.store }
+
+func (s *Service) groupMu(group string) *sync.Mutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.applyMu[group]
+	if m == nil {
+		m = &sync.Mutex{}
+		s.applyMu[group] = m
+	}
+	return m
+}
+
+func (s *Service) sequencerMu(group string) *sync.Mutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.seqMu[group]
+	if m == nil {
+		m = &sync.Mutex{}
+		s.seqMu[group] = m
+	}
+	return m
+}
+
+// Handler returns the network handler that dispatches every protocol
+// message this service understands.
+func (s *Service) Handler() network.Handler {
+	return func(from string, req network.Message) network.Message {
+		if resp, ok := paxos.HandleMessage(s.acceptor, req); ok {
+			return resp
+		}
+		switch req.Kind {
+		case network.KindApply:
+			return s.handleApply(req)
+		case network.KindReadPos:
+			return s.handleReadPos(req)
+		case network.KindRead:
+			return s.handleRead(req)
+		case network.KindClaimLeader:
+			return s.handleClaim(req)
+		case network.KindFetchLog:
+			return s.handleFetchLog(req)
+		case network.KindSubmit:
+			return s.handleSubmit(req)
+		case network.KindSnapshot:
+			return s.handleSnapshot(req)
+		case network.KindStats:
+			return s.handleStats(req)
+		case network.KindCompact:
+			return s.handleCompact(req)
+		default:
+			return network.Status(false, fmt.Sprintf("unknown kind %q", req.Kind))
+		}
+	}
+}
+
+// --- log application ---------------------------------------------------
+
+// handleApply stores a decided entry and advances the applied horizon.
+func (s *Service) handleApply(req network.Message) network.Message {
+	if _, err := wal.Decode(req.Payload); err != nil {
+		return network.Status(false, err.Error())
+	}
+	if err := s.ApplyDecided(req.Group, req.Pos, req.Payload); err != nil {
+		return network.Status(false, err.Error())
+	}
+	return network.Status(true, "")
+}
+
+// ApplyDecided records the decided entry for (group, pos) in the local log
+// and applies every newly contiguous log entry's writes to the data rows.
+// It is idempotent: duplicated apply messages and replays are harmless.
+func (s *Service) ApplyDecided(group string, pos int64, entryBytes []byte) error {
+	if pos < 1 {
+		return fmt.Errorf("core: apply at invalid position %d", pos)
+	}
+	mu := s.groupMu(group)
+	mu.Lock()
+	defer mu.Unlock()
+	if err := s.store.WriteIdempotent(logKey(group, pos), kvstore.Value{"entry": string(entryBytes)}, 0); err != nil {
+		return fmt.Errorf("core: store log entry %s/%d: %w", group, pos, err)
+	}
+	return s.advanceLocked(group)
+}
+
+// advanceLocked applies all contiguous decided entries beyond the current
+// horizon. Caller holds the group's apply mutex.
+func (s *Service) advanceLocked(group string) error {
+	last := s.lastApplied(group)
+	for {
+		next := last + 1
+		raw, _, err := s.store.Read(logKey(group, next), kvstore.Latest)
+		if errors.Is(err, kvstore.ErrNotFound) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		entry, err := wal.Decode([]byte(raw["entry"]))
+		if err != nil {
+			return fmt.Errorf("core: corrupt log entry %s/%d: %w", group, next, err)
+		}
+		// Apply the entry's merged writes with the log position as the
+		// version timestamp (§3.2).
+		for key, val := range entry.Writes() {
+			if err := s.store.WriteIdempotent(dataKey(group, key), kvstore.Value{"v": val}, next); err != nil {
+				return fmt.Errorf("core: apply %s/%s@%d: %w", group, key, next, err)
+			}
+		}
+		last = next
+		if err := s.store.Update(metaKey(group), func(cur kvstore.Value) (kvstore.Value, error) {
+			if cur == nil {
+				cur = kvstore.Value{}
+			}
+			cur["last"] = strconv.FormatInt(last, 10)
+			return cur, nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lastApplied returns the highest contiguously applied log position for
+// group; 0 means the log is empty.
+func (s *Service) lastApplied(group string) int64 {
+	v, _, err := s.store.Read(metaKey(group), kvstore.Latest)
+	if err != nil {
+		return 0
+	}
+	n, _ := strconv.ParseInt(v["last"], 10, 64)
+	return n
+}
+
+// LastApplied exposes the applied horizon (tests, tooling, examples).
+func (s *Service) LastApplied(group string) int64 { return s.lastApplied(group) }
+
+// LogSnapshot returns every decided log entry this datacenter knows for
+// group, keyed by position. Used by the history checker and tooling.
+func (s *Service) LogSnapshot(group string) map[int64]wal.Entry {
+	out := make(map[int64]wal.Entry)
+	prefix := fmt.Sprintf("log/%s/", group)
+	for _, key := range s.store.Keys() {
+		if len(key) <= len(prefix) || key[:len(prefix)] != prefix {
+			continue
+		}
+		pos, err := strconv.ParseInt(key[len(prefix):], 10, 64)
+		if err != nil {
+			continue
+		}
+		if entry, ok := s.DecidedEntry(group, pos); ok {
+			out[pos] = entry
+		}
+	}
+	return out
+}
+
+// DecidedEntry returns the decided log entry at pos, if this datacenter has
+// learned it.
+func (s *Service) DecidedEntry(group string, pos int64) (wal.Entry, bool) {
+	raw, _, err := s.store.Read(logKey(group, pos), kvstore.Latest)
+	if err != nil {
+		return wal.Entry{}, false
+	}
+	entry, err := wal.Decode([]byte(raw["entry"]))
+	if err != nil {
+		return wal.Entry{}, false
+	}
+	return entry, true
+}
+
+// --- transaction API handlers -------------------------------------------
+
+// handleReadPos returns the read position for a new transaction: the last
+// contiguously applied log position (transaction protocol step 1).
+func (s *Service) handleReadPos(req network.Message) network.Message {
+	return network.Message{Kind: network.KindValue, OK: true, TS: s.lastApplied(req.Group)}
+}
+
+// handleRead serves a read at the requested read position (transaction
+// protocol step 2). If this datacenter's log lags the position, it first
+// catches up from its peers.
+func (s *Service) handleRead(req network.Message) network.Message {
+	if s.lastApplied(req.Group) < req.TS {
+		if err := s.CatchUp(context.Background(), req.Group, req.TS); err != nil {
+			return network.Status(false, err.Error())
+		}
+	}
+	v, _, err := s.store.Read(dataKey(req.Group, req.Key), req.TS)
+	if errors.Is(err, kvstore.ErrNotFound) {
+		return network.Message{Kind: network.KindValue, OK: true, Found: false}
+	}
+	if err != nil {
+		return network.Status(false, err.Error())
+	}
+	return network.Message{Kind: network.KindValue, OK: true, Found: true, Value: v["v"]}
+}
+
+// handleFetchLog returns the decided entry at a position, if known locally.
+// A position below the local compaction horizon is reported as compacted so
+// the laggard switches to snapshot transfer.
+func (s *Service) handleFetchLog(req network.Message) network.Message {
+	raw, _, err := s.store.Read(logKey(req.Group, req.Pos), kvstore.Latest)
+	if err != nil {
+		if compacted := s.CompactedTo(req.Group); req.Pos < compacted {
+			return network.Message{Kind: network.KindValue, OK: false, Err: errCompacted, TS: compacted}
+		}
+		return network.Message{Kind: network.KindValue, OK: false}
+	}
+	return network.Message{Kind: network.KindValue, OK: true, Payload: []byte(raw["entry"])}
+}
+
+// --- leader fast path -----------------------------------------------------
+
+// handleClaim implements the per-log-position leader check (§4.1): the
+// leader for position p is the datacenter whose client won position p-1.
+// The first client to claim the position at the leader may skip the prepare
+// phase; everyone else takes the full protocol.
+func (s *Service) handleClaim(req network.Message) network.Message {
+	if leader := s.Leader(req.Group, req.Pos); leader != s.dc {
+		// Refuse, hinting who the leader is so the client can retry there.
+		return network.Message{Kind: network.KindStatus, OK: false, Err: "not leader", Value: leader}
+	}
+	token := req.Value
+	err := s.store.CheckAndWrite(claimKey(req.Group, req.Pos), "owner", "", kvstore.Value{"owner": token})
+	if err == nil {
+		return network.Status(true, "")
+	}
+	if errors.Is(err, kvstore.ErrCheckFailed) {
+		// Idempotent for the same client (duplicate claim message).
+		v, _, rerr := s.store.Read(claimKey(req.Group, req.Pos), kvstore.Latest)
+		if rerr == nil && v["owner"] == token {
+			return network.Status(true, "")
+		}
+		return network.Status(false, "position already claimed")
+	}
+	return network.Status(false, err.Error())
+}
+
+// Leader computes the leader datacenter for (group, pos): the origin of the
+// winning proposer of position pos-1 (the first transaction in the decided
+// entry — under combination the proposer's own transaction heads the list).
+// When pos-1 is unknown locally or is a no-op, there is no usable leader and
+// Leader returns "".
+func (s *Service) Leader(group string, pos int64) string {
+	if pos <= 1 {
+		// First position: no previous winner. By convention the smallest
+		// datacenter name in the topology acts as initial leader, so the
+		// fast path works from a cold start too.
+		if s.transport == nil {
+			return s.dc
+		}
+		peers := s.transport.Peers()
+		if len(peers) == 0 {
+			return s.dc
+		}
+		return peers[0]
+	}
+	entry, ok := s.DecidedEntry(group, pos-1)
+	if !ok || entry.IsNoOp() {
+		return ""
+	}
+	return entry.Txns[0].Origin
+}
+
+// --- catch-up and recovery ------------------------------------------------
+
+// CatchUp brings the local log up to position target: each missing entry is
+// first fetched from a peer that knows it and, failing that, learned by
+// running a Paxos instance for the position ("If a Transaction Service does
+// not receive all Paxos messages for a log position ... it executes a Paxos
+// instance for the missing log entry to learn the winning value", §4.1).
+func (s *Service) CatchUp(ctx context.Context, group string, target int64) error {
+	for {
+		pos := s.lastApplied(group) + 1
+		if pos > target {
+			return nil
+		}
+		if _, ok := s.DecidedEntry(group, pos); ok {
+			mu := s.groupMu(group)
+			mu.Lock()
+			err := s.advanceLocked(group)
+			mu.Unlock()
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		entry, err := s.learn(ctx, group, pos, false)
+		if errors.Is(err, errSnapshotRequired) {
+			// The peers compacted past this position; install a snapshot
+			// and resume per-entry catch-up above its horizon.
+			if err := s.fetchSnapshot(ctx, group); err != nil {
+				return fmt.Errorf("core: snapshot catch-up %s: %w", group, err)
+			}
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("core: catch up %s/%d: %w", group, pos, err)
+		}
+		if err := s.ApplyDecided(group, pos, wal.Encode(entry)); err != nil {
+			return err
+		}
+	}
+}
+
+// Recover replays the recovery procedure after an outage: it asks every peer
+// for its applied horizon and catches up to the maximum. Positions that no
+// peer has decided are resolved by learning; a position nobody voted on is
+// filled with a no-op entry so the log has no permanent holes.
+func (s *Service) Recover(ctx context.Context, group string) error {
+	target := s.lastApplied(group)
+	if s.transport != nil {
+		for _, dc := range s.transport.Peers() {
+			if dc == s.dc {
+				continue
+			}
+			cctx, cancel := context.WithTimeout(ctx, s.timeout)
+			resp, err := s.transport.Send(cctx, dc, network.Message{Kind: network.KindReadPos, Group: group})
+			cancel()
+			if err == nil && resp.OK && resp.TS > target {
+				target = resp.TS
+			}
+		}
+	}
+	for {
+		pos := s.lastApplied(group) + 1
+		if pos > target {
+			break
+		}
+		if _, ok := s.DecidedEntry(group, pos); ok {
+			mu := s.groupMu(group)
+			mu.Lock()
+			err := s.advanceLocked(group)
+			mu.Unlock()
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		entry, err := s.learn(ctx, group, pos, true)
+		if errors.Is(err, errSnapshotRequired) {
+			if err := s.fetchSnapshot(ctx, group); err != nil {
+				return fmt.Errorf("core: snapshot recovery %s: %w", group, err)
+			}
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("core: recover %s/%d: %w", group, pos, err)
+		}
+		if err := s.ApplyDecided(group, pos, wal.Encode(entry)); err != nil {
+			return err
+		}
+	}
+	mu := s.groupMu(group)
+	mu.Lock()
+	if err := s.advanceLocked(group); err != nil {
+		mu.Unlock()
+		return err
+	}
+	mu.Unlock()
+
+	// Probe past every peer's applied horizon: a transaction whose accept
+	// round reached a majority is committed even if every apply message was
+	// lost, so positions just above the horizons may be decided without
+	// appearing in any log yet. Learning stops at the first genuinely
+	// undecided position. This mirrors §4.1: the decided value "will
+	// eventually be completed, either by another client or by a Transaction
+	// Service" — recovery is that service.
+	for {
+		pos := s.lastApplied(group) + 1
+		entry, err := s.learn(ctx, group, pos, false)
+		if err != nil {
+			if errors.Is(err, errSnapshotRequired) {
+				if err := s.fetchSnapshot(ctx, group); err != nil {
+					return err
+				}
+				continue
+			}
+			// Undecided or unreachable: nothing more to complete.
+			return nil
+		}
+		if err := s.ApplyDecided(group, pos, wal.Encode(entry)); err != nil {
+			return err
+		}
+	}
+}
+
+// learnClientID is the proposer identity services use when learning; it
+// shares the ballot space with regular clients.
+const learnClientID = paxos.MaxClients - 1
+
+// errSnapshotRequired reports that peers have compacted past the position
+// being learned; the caller must install a snapshot instead.
+var errSnapshotRequired = errors.New("core: position compacted at peers; snapshot required")
+
+// learn discovers the decided value of one log position by running the Paxos
+// protocol: fetch from peers first, then drive an instance to completion.
+// When fillNoOp is true (explicit recovery) an undecided position is decided
+// as a no-op entry; otherwise learning an undecided position fails. If any
+// peer reports the position compacted, learn returns errSnapshotRequired —
+// running Paxos there would resurrect a scavenged instance as a no-op.
+func (s *Service) learn(ctx context.Context, group string, pos int64, fillNoOp bool) (wal.Entry, error) {
+	if s.transport == nil {
+		return wal.Entry{}, fmt.Errorf("position %d not decided locally and no peers", pos)
+	}
+	// Fast path: a peer already knows the decided entry.
+	for _, dc := range s.transport.Peers() {
+		if dc == s.dc {
+			continue
+		}
+		cctx, cancel := context.WithTimeout(ctx, s.timeout)
+		resp, err := s.transport.Send(cctx, dc, network.Message{Kind: network.KindFetchLog, Group: group, Pos: pos})
+		cancel()
+		if err == nil && resp.OK {
+			if entry, derr := wal.Decode(resp.Payload); derr == nil {
+				return entry, nil
+			}
+		}
+		if err == nil && !resp.OK && resp.Err == errCompacted {
+			return wal.Entry{}, errSnapshotRequired
+		}
+	}
+	// Drive the Paxos instance to completion.
+	prop := &paxos.Proposer{Transport: s.transport, Timeout: s.timeout}
+	ballot := paxos.Ballot(1, learnClientID)
+	for attempt := 0; attempt < 16; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return wal.Entry{}, err
+		}
+		prep := prop.Prepare(ctx, group, pos, ballot, true)
+		if !prep.Quorum() {
+			ballot = paxos.NextBallot(maxInt64(prep.MaxSeen, ballot), learnClientID)
+			continue
+		}
+		var best paxos.Vote
+		best.Ballot = paxos.NilBallot
+		for _, v := range prep.Votes {
+			if !v.IsNull() && v.Ballot > best.Ballot {
+				best = v
+			}
+		}
+		var value []byte
+		if best.IsNull() {
+			if !fillNoOp {
+				return wal.Entry{}, fmt.Errorf("position %d undecided", pos)
+			}
+			value = wal.Encode(wal.NoOp())
+		} else {
+			value = best.Value
+		}
+		acc := prop.Accept(ctx, group, pos, ballot, value)
+		if !acc.Quorum() {
+			ballot = paxos.NextBallot(maxInt64(acc.MaxSeen, ballot), learnClientID)
+			continue
+		}
+		prop.Apply(ctx, group, pos, ballot, value)
+		entry, err := wal.Decode(value)
+		if err != nil {
+			return wal.Entry{}, err
+		}
+		return entry, nil
+	}
+	return wal.Entry{}, fmt.Errorf("could not learn position %d", pos)
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"paxoscp/internal/kvstore"
+	"paxoscp/internal/network"
+	"paxoscp/internal/stats"
+)
+
+// udpCluster runs three full Transaction Services over the real UDP
+// transport on localhost — the same wiring cmd/txkvd uses — and returns
+// client transports. This exercises the protocols over actual datagrams:
+// JSON codec, correlation, concurrent sockets.
+type udpCluster struct {
+	services   map[string]*Service
+	transports map[string]*network.UDP
+	clients    []*network.UDP
+	mu         sync.Mutex
+}
+
+func newUDPCluster(t *testing.T, dcs ...string) *udpCluster {
+	t.Helper()
+	uc := &udpCluster{
+		services:   make(map[string]*Service),
+		transports: make(map[string]*network.UDP),
+	}
+	t.Cleanup(func() {
+		uc.mu.Lock()
+		defer uc.mu.Unlock()
+		for _, tr := range uc.transports {
+			tr.Close()
+		}
+		for _, tr := range uc.clients {
+			tr.Close()
+		}
+	})
+	// Bind every service on an ephemeral port first, then exchange peers.
+	// The handler closure reads uc.services under the lock because the UDP
+	// read loop starts before the services map is fully populated.
+	for _, dc := range dcs {
+		dc := dc
+		tr, err := network.NewUDP(dc, "127.0.0.1:0", nil, func(from string, req network.Message) network.Message {
+			uc.mu.Lock()
+			svc := uc.services[dc]
+			uc.mu.Unlock()
+			if svc == nil {
+				return network.Status(false, "service not ready")
+			}
+			return svc.Handler()(from, req)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		uc.transports[dc] = tr
+	}
+	for _, a := range dcs {
+		for _, b := range dcs {
+			if err := uc.transports[a].SetPeer(b, uc.transports[b].LocalAddr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	uc.mu.Lock()
+	for _, dc := range dcs {
+		uc.services[dc] = NewService(dc, kvstore.New(), uc.transports[dc],
+			WithServiceTimeout(500*time.Millisecond))
+	}
+	uc.mu.Unlock()
+	return uc
+}
+
+// client creates a Transaction Client homed at dc with its own UDP socket.
+func (uc *udpCluster) client(t *testing.T, id int, dc string, cfg Config) *Client {
+	t.Helper()
+	name := fmt.Sprintf("%s-client-%d", dc, id)
+	tr, err := network.NewUDP(name, "127.0.0.1:0", nil, func(string, network.Message) network.Message {
+		return network.Status(false, "client endpoint")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc.mu.Lock()
+	uc.clients = append(uc.clients, tr)
+	for peer, ptr := range uc.transports {
+		if err := tr.SetPeer(peer, ptr.LocalAddr()); err != nil {
+			uc.mu.Unlock()
+			t.Fatal(err)
+		}
+	}
+	uc.mu.Unlock()
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 500 * time.Millisecond
+	}
+	return NewClient(id, dc, tr, cfg)
+}
+
+func TestUDPEndToEndCommit(t *testing.T) {
+	uc := newUDPCluster(t, "V1", "V2", "V3")
+	ctx := context.Background()
+	cl := uc.client(t, 1, "V1", Config{Protocol: CP})
+
+	tx, err := cl.Begin(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Write("k", "over-udp")
+	res, err := tx.Commit(ctx)
+	if err != nil || res.Status != stats.Committed {
+		t.Fatalf("commit over UDP: %+v %v", res, err)
+	}
+
+	// Visible via a different datacenter's client.
+	cl2 := uc.client(t, 2, "V3", Config{})
+	tx2, err := cl2.Begin(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := tx2.Read(ctx, "k")
+	if err != nil || !found || v != "over-udp" {
+		t.Fatalf("read over UDP = (%q,%v,%v)", v, found, err)
+	}
+	tx2.Abort()
+}
+
+func TestUDPEndToEndConcurrentClients(t *testing.T) {
+	uc := newUDPCluster(t, "V1", "V2", "V3")
+	ctx := context.Background()
+
+	const n = 6
+	results := make([]CommitResult, n)
+	var wg sync.WaitGroup
+	dcs := []string{"V1", "V2", "V3"}
+	for i := 0; i < n; i++ {
+		cl := uc.client(t, i+10, dcs[i%3], Config{Protocol: CP, Seed: int64(i + 1)})
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			tx, err := cl.Begin(ctx, "g")
+			if err != nil {
+				t.Errorf("begin %d: %v", i, err)
+				return
+			}
+			tx.Write(fmt.Sprintf("key-%d", i), "v")
+			res, err := tx.Commit(ctx)
+			if err != nil {
+				t.Errorf("commit %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i, cl)
+	}
+	wg.Wait()
+
+	commits := 0
+	for _, r := range results {
+		if r.Status == stats.Committed {
+			commits++
+		}
+	}
+	// Disjoint write sets under CP: every transaction must commit.
+	if commits != n {
+		t.Fatalf("%d of %d non-conflicting CP transactions committed over UDP", commits, n)
+	}
+	// All service logs must agree after quiescing.
+	for _, dc := range dcs {
+		if err := uc.services[dc].Recover(ctx, "g"); err != nil {
+			t.Fatalf("recover %s: %v", dc, err)
+		}
+	}
+	ref := uc.services["V1"].LogSnapshot("g")
+	for _, dc := range dcs[1:] {
+		snap := uc.services[dc].LogSnapshot("g")
+		if len(snap) != len(ref) {
+			t.Fatalf("%s log has %d entries, V1 has %d", dc, len(snap), len(ref))
+		}
+	}
+}
+
+func TestUDPEndToEndDeadServiceFallback(t *testing.T) {
+	uc := newUDPCluster(t, "V1", "V2", "V3")
+	ctx := context.Background()
+
+	// Seed through V1.
+	cl := uc.client(t, 1, "V1", Config{})
+	tx, err := cl.Begin(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Write("k", "v")
+	if res, err := tx.Commit(ctx); err != nil || res.Status != stats.Committed {
+		t.Fatalf("seed: %+v %v", res, err)
+	}
+
+	// Kill V2's socket; a V2-homed client must fall back to other services.
+	uc.transports["V2"].Close()
+	cl2 := uc.client(t, 2, "V2", Config{Timeout: 300 * time.Millisecond})
+	tx2, err := cl2.Begin(ctx, "g")
+	if err != nil {
+		t.Fatalf("begin with dead local service: %v", err)
+	}
+	v, found, err := tx2.Read(ctx, "k")
+	if err != nil || !found || v != "v" {
+		t.Fatalf("fallback read = (%q,%v,%v)", v, found, err)
+	}
+	tx2.Abort()
+}

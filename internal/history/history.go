@@ -1,0 +1,294 @@
+// Package history verifies one-copy serializability (paper §3). It checks
+// recorded executions against the properties the transaction tier must
+// guarantee:
+//
+//	(R1)      no two datacenter logs disagree on a log position
+//	(L1)(L2)  committed transactions appear in the log, whole, exactly once
+//	(L3)      the log prefix plus each entry is one-copy serializable
+//	(A1)(A2)  reads observe the transaction's own writes, else the state at
+//	          the transaction's read position
+//
+// The checker replays the merged log as the serial history S of Theorem 1
+// and validates every committed transaction's reads against it. Integration
+// and stress tests run it over every execution; any violation is a bug in
+// the commit protocol.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"paxoscp/internal/wal"
+)
+
+// Commit is one committed transaction as observed by its client.
+type Commit struct {
+	ID      string
+	Origin  string
+	ReadPos int64
+	// Pos is the log position the transaction committed at. Read-only
+	// transactions (no writes) carry their read position here and do not
+	// appear in the log.
+	Pos    int64
+	Reads  map[string]string // key -> value the client observed
+	Writes map[string]string
+}
+
+// ReadOnly reports whether the commit carried no writes.
+func (c Commit) ReadOnly() bool { return len(c.Writes) == 0 }
+
+// Recorder accumulates commits from concurrent clients.
+type Recorder struct {
+	mu      sync.Mutex
+	commits []Commit
+}
+
+// Record adds one commit. Safe for concurrent use.
+func (r *Recorder) Record(c Commit) {
+	r.mu.Lock()
+	r.commits = append(r.commits, c)
+	r.mu.Unlock()
+}
+
+// Commits returns a copy of everything recorded.
+func (r *Recorder) Commits() []Commit {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Commit(nil), r.commits...)
+}
+
+// Violation is one detected breach of the §3 properties.
+type Violation struct {
+	// Property names the violated property: "R1", "L1", "L2", "L3", "A2",
+	// or "LOG" for structural problems (holes, corrupt entries).
+	Property string
+	Detail   string
+}
+
+func (v Violation) String() string { return v.Property + ": " + v.Detail }
+
+func violationf(prop, format string, args ...any) Violation {
+	return Violation{Property: prop, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Check validates an execution: logs maps datacenter -> position -> decided
+// entry, commits lists every commit clients observed. It returns all
+// violations found (empty means the execution is one-copy serializable).
+func Check(logs map[string]map[int64]wal.Entry, commits []Commit) []Violation {
+	var out []Violation
+
+	merged, vs := mergeLogs(logs)
+	out = append(out, vs...)
+
+	out = append(out, checkPlacement(merged, commits)...)
+	out = append(out, checkSerializability(merged, commits)...)
+	return out
+}
+
+// mergeLogs enforces (R1) and returns the union log.
+func mergeLogs(logs map[string]map[int64]wal.Entry) (map[int64]wal.Entry, []Violation) {
+	var out []Violation
+	merged := make(map[int64]wal.Entry)
+	owner := make(map[int64]string)
+	dcs := make([]string, 0, len(logs))
+	for dc := range logs {
+		dcs = append(dcs, dc)
+	}
+	sort.Strings(dcs)
+	for _, dc := range dcs {
+		for pos, entry := range logs[dc] {
+			if prev, ok := merged[pos]; ok {
+				if string(wal.Encode(prev)) != string(wal.Encode(entry)) {
+					out = append(out, violationf("R1",
+						"position %d differs between %s (%s) and %s (%s)",
+						pos, owner[pos], prev, dc, entry))
+				}
+				continue
+			}
+			merged[pos] = entry
+			owner[pos] = dc
+		}
+	}
+	return merged, out
+}
+
+// positions returns the merged log's positions in ascending order and flags
+// holes below the maximum (a decided position missing everywhere).
+func positions(merged map[int64]wal.Entry) ([]int64, []Violation) {
+	var out []Violation
+	ps := make([]int64, 0, len(merged))
+	for p := range merged {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	for i, p := range ps {
+		if int64(i+1) != p {
+			out = append(out, violationf("LOG", "log hole: expected position %d, found %d", i+1, p))
+			break
+		}
+	}
+	return ps, out
+}
+
+// checkPlacement enforces (L1) and (L2): every committed read/write
+// transaction occupies exactly one log position — the one its client
+// reported — with all its operations in that single entry, and no
+// transaction appears at two positions.
+func checkPlacement(merged map[int64]wal.Entry, commits []Commit) []Violation {
+	var out []Violation
+	// Index the log by transaction ID.
+	at := make(map[string][]int64)
+	for pos, entry := range merged {
+		seen := make(map[string]bool)
+		for _, t := range entry.Txns {
+			if seen[t.ID] {
+				out = append(out, violationf("L2", "transaction %s appears twice in position %d", t.ID, pos))
+			}
+			seen[t.ID] = true
+			at[t.ID] = append(at[t.ID], pos)
+		}
+	}
+	for id, ps := range at {
+		if len(ps) > 1 {
+			out = append(out, violationf("L2", "transaction %s appears at multiple positions %v", id, ps))
+		}
+	}
+	committed := make(map[string]bool)
+	for _, c := range commits {
+		committed[c.ID] = true
+		if c.ReadOnly() {
+			if len(at[c.ID]) != 0 {
+				out = append(out, violationf("L1", "read-only transaction %s found in log at %v", c.ID, at[c.ID]))
+			}
+			continue
+		}
+		ps := at[c.ID]
+		if len(ps) == 0 {
+			out = append(out, violationf("L1", "committed transaction %s missing from log (client reported position %d)", c.ID, c.Pos))
+			continue
+		}
+		if ps[0] != c.Pos {
+			out = append(out, violationf("L2", "transaction %s committed at %d per client but logged at %d", c.ID, c.Pos, ps[0]))
+		}
+		entry := merged[ps[0]]
+		for _, t := range entry.Txns {
+			if t.ID != c.ID {
+				continue
+			}
+			if !mapsEqual(t.Writes, c.Writes) {
+				out = append(out, violationf("L2", "transaction %s write set in log differs from client's", c.ID))
+			}
+		}
+	}
+	return out
+}
+
+// checkSerializability enforces (L3) and (A2) by replaying the merged log
+// in order as the serial history and validating each transaction's reads:
+// a read of key k by transaction t placed at position p with read position r
+// must observe the value of k at position r, and no transaction serialized
+// between r and t (later entries up to p, or earlier transactions in t's own
+// entry) may have written k.
+func checkSerializability(merged map[int64]wal.Entry, commits []Commit) []Violation {
+	ps, out := positions(merged)
+
+	// versionsOf replays writes in serial order: key -> ascending (pos, val).
+	type version struct {
+		pos int64
+		val string
+	}
+	state := make(map[string][]version)
+	valueAt := func(key string, pos int64) string {
+		vs := state[key]
+		i := sort.Search(len(vs), func(i int) bool { return vs[i].pos > pos })
+		if i == 0 {
+			return "" // never written: reads as empty (missing) value
+		}
+		return vs[i-1].val
+	}
+	lastWriter := func(key string, after, before int64) (int64, bool) {
+		// Any write to key at position q with after < q < before?
+		vs := state[key]
+		i := sort.Search(len(vs), func(i int) bool { return vs[i].pos > after })
+		if i < len(vs) && vs[i].pos < before {
+			return vs[i].pos, true
+		}
+		return 0, false
+	}
+
+	byID := make(map[string]Commit, len(commits))
+	for _, c := range commits {
+		byID[c.ID] = c
+	}
+
+	for _, pos := range ps {
+		entry := merged[pos]
+		if !entry.SerializableOrder() {
+			out = append(out, violationf("L3", "entry at %d is not serializable in list order: %s", pos, entry))
+		}
+		writtenInEntry := make(map[string]bool)
+		for _, t := range entry.Txns {
+			if t.ReadPos >= pos {
+				out = append(out, violationf("L3", "transaction %s at position %d has read position %d >= commit position", t.ID, pos, t.ReadPos))
+			}
+			// Validate reads against the serial state.
+			c, haveClient := byID[t.ID]
+			readSet := t.ReadSet
+			for _, key := range readSet {
+				if q, dirty := lastWriter(key, t.ReadPos, pos); dirty {
+					out = append(out, violationf("L3",
+						"transaction %s (read pos %d, commit pos %d) read %q but position %d wrote it",
+						t.ID, t.ReadPos, pos, key, q))
+				}
+				if writtenInEntry[key] {
+					out = append(out, violationf("L3",
+						"transaction %s reads %q written earlier in its own entry at %d", t.ID, key, pos))
+				}
+				if haveClient {
+					want := valueAt(key, t.ReadPos)
+					if got, ok := c.Reads[key]; ok && got != want {
+						out = append(out, violationf("A2",
+							"transaction %s read %q = %q, serial history has %q at read position %d",
+							t.ID, key, got, want, t.ReadPos))
+					}
+				}
+			}
+			for k := range t.Writes {
+				writtenInEntry[k] = true
+			}
+		}
+		// Apply the entry's merged writes at this position.
+		for k, v := range entry.Writes() {
+			state[k] = append(state[k], version{pos: pos, val: v})
+		}
+	}
+
+	// Read-only transactions: every read must match the state at their read
+	// position (they serialize immediately after that position's entry).
+	for _, c := range commits {
+		if !c.ReadOnly() {
+			continue
+		}
+		for key, got := range c.Reads {
+			if want := valueAt(key, c.ReadPos); got != want {
+				out = append(out, violationf("A2",
+					"read-only transaction %s read %q = %q, serial history has %q at position %d",
+					c.ID, key, got, want, c.ReadPos))
+			}
+		}
+	}
+	return out
+}
+
+func mapsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

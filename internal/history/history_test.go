@@ -1,0 +1,234 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"paxoscp/internal/wal"
+)
+
+func txn(id string, readPos int64, reads []string, writes map[string]string) wal.Txn {
+	return wal.Txn{ID: id, Origin: "V1", ReadPos: readPos, ReadSet: reads, Writes: writes}
+}
+
+func logOf(entries ...wal.Entry) map[int64]wal.Entry {
+	out := make(map[int64]wal.Entry, len(entries))
+	for i, e := range entries {
+		out[int64(i+1)] = e
+	}
+	return out
+}
+
+func hasViolation(vs []Violation, prop, substr string) bool {
+	for _, v := range vs {
+		if v.Property == prop && strings.Contains(v.Detail, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCleanSerialHistoryPasses(t *testing.T) {
+	t1 := txn("t1", 0, nil, map[string]string{"x": "1"})
+	t2 := txn("t2", 1, []string{"x"}, map[string]string{"y": "2"})
+	log := logOf(wal.NewEntry(t1), wal.NewEntry(t2))
+	logs := map[string]map[int64]wal.Entry{"A": log, "B": log}
+	commits := []Commit{
+		{ID: "t1", ReadPos: 0, Pos: 1, Reads: map[string]string{}, Writes: map[string]string{"x": "1"}},
+		{ID: "t2", ReadPos: 1, Pos: 2, Reads: map[string]string{"x": "1"}, Writes: map[string]string{"y": "2"}},
+	}
+	if vs := Check(logs, commits); len(vs) != 0 {
+		t.Fatalf("clean history flagged: %v", vs)
+	}
+}
+
+func TestR1DivergentLogsDetected(t *testing.T) {
+	e1 := wal.NewEntry(txn("t1", 0, nil, map[string]string{"x": "1"}))
+	e2 := wal.NewEntry(txn("OTHER", 0, nil, map[string]string{"x": "9"}))
+	logs := map[string]map[int64]wal.Entry{
+		"A": {1: e1},
+		"B": {1: e2},
+	}
+	vs := Check(logs, nil)
+	if !hasViolation(vs, "R1", "position 1 differs") {
+		t.Fatalf("divergent logs not flagged: %v", vs)
+	}
+}
+
+func TestL1MissingCommitDetected(t *testing.T) {
+	logs := map[string]map[int64]wal.Entry{"A": {}}
+	commits := []Commit{{ID: "ghost", Pos: 1, Writes: map[string]string{"x": "1"}}}
+	vs := Check(logs, commits)
+	if !hasViolation(vs, "L1", "ghost") {
+		t.Fatalf("missing commit not flagged: %v", vs)
+	}
+}
+
+func TestL1ReadOnlyInLogDetected(t *testing.T) {
+	e := wal.NewEntry(txn("ro", 0, []string{"x"}, map[string]string{"x": "oops"}))
+	logs := map[string]map[int64]wal.Entry{"A": logOf(e)}
+	commits := []Commit{{ID: "ro", ReadPos: 0, Pos: 0, Reads: map[string]string{"x": ""}}}
+	vs := Check(logs, commits)
+	if !hasViolation(vs, "L1", "read-only") {
+		t.Fatalf("read-only txn in log not flagged: %v", vs)
+	}
+}
+
+func TestL2DoubleCommitDetected(t *testing.T) {
+	tt := txn("dup", 0, nil, map[string]string{"x": "1"})
+	logs := map[string]map[int64]wal.Entry{
+		"A": logOf(wal.NewEntry(tt), wal.NewEntry(tt)),
+	}
+	vs := Check(logs, nil)
+	if !hasViolation(vs, "L2", "multiple positions") {
+		t.Fatalf("double placement not flagged: %v", vs)
+	}
+}
+
+func TestL2PositionMismatchDetected(t *testing.T) {
+	tt := txn("t", 0, nil, map[string]string{"x": "1"})
+	logs := map[string]map[int64]wal.Entry{"A": logOf(wal.NewEntry(tt))}
+	commits := []Commit{{ID: "t", Pos: 5, Writes: map[string]string{"x": "1"}}}
+	vs := Check(logs, commits)
+	if !hasViolation(vs, "L2", "logged at 1") {
+		t.Fatalf("position mismatch not flagged: %v", vs)
+	}
+}
+
+func TestL3StaleReadDetected(t *testing.T) {
+	// t2 read at position 0 but committed at 3; position 2 wrote its read key.
+	t1 := txn("t1", 0, nil, map[string]string{"a": "1"})
+	t2 := txn("t2", 0, nil, map[string]string{"x": "mid"})
+	t3 := txn("t3", 0, []string{"x"}, map[string]string{"y": "1"})
+	logs := map[string]map[int64]wal.Entry{
+		"A": logOf(wal.NewEntry(t1), wal.NewEntry(t2), wal.NewEntry(t3)),
+	}
+	vs := Check(logs, nil)
+	if !hasViolation(vs, "L3", "position 2 wrote it") {
+		t.Fatalf("stale read not flagged: %v", vs)
+	}
+}
+
+func TestL3IntraEntryConflictDetected(t *testing.T) {
+	// Combined entry where the second txn reads the first's write.
+	t1 := txn("t1", 0, nil, map[string]string{"x": "1"})
+	t2 := txn("t2", 0, []string{"x"}, map[string]string{"y": "1"})
+	logs := map[string]map[int64]wal.Entry{"A": logOf(wal.NewEntry(t1, t2))}
+	vs := Check(logs, nil)
+	if !hasViolation(vs, "L3", "not serializable in list order") {
+		t.Fatalf("intra-entry conflict not flagged: %v", vs)
+	}
+}
+
+func TestL3ReadPosBeyondCommitDetected(t *testing.T) {
+	bad := txn("bad", 7, nil, map[string]string{"x": "1"})
+	logs := map[string]map[int64]wal.Entry{"A": logOf(wal.NewEntry(bad))}
+	vs := Check(logs, nil)
+	if !hasViolation(vs, "L3", "read position 7") {
+		t.Fatalf("forward read position not flagged: %v", vs)
+	}
+}
+
+func TestA2WrongReadValueDetected(t *testing.T) {
+	t1 := txn("t1", 0, nil, map[string]string{"x": "1"})
+	t2 := txn("t2", 1, []string{"x"}, map[string]string{"y": "2"})
+	logs := map[string]map[int64]wal.Entry{"A": logOf(wal.NewEntry(t1), wal.NewEntry(t2))}
+	commits := []Commit{
+		{ID: "t2", ReadPos: 1, Pos: 2, Reads: map[string]string{"x": "WRONG"}, Writes: map[string]string{"y": "2"}},
+	}
+	vs := Check(logs, commits)
+	if !hasViolation(vs, "A2", `read "x"`) {
+		t.Fatalf("wrong read value not flagged: %v", vs)
+	}
+}
+
+func TestA2ReadOnlyWrongValueDetected(t *testing.T) {
+	t1 := txn("t1", 0, nil, map[string]string{"x": "1"})
+	logs := map[string]map[int64]wal.Entry{"A": logOf(wal.NewEntry(t1))}
+	commits := []Commit{
+		{ID: "ro", ReadPos: 1, Pos: 1, Reads: map[string]string{"x": "stale"}},
+	}
+	vs := Check(logs, commits)
+	if !hasViolation(vs, "A2", "read-only") {
+		t.Fatalf("read-only stale read not flagged: %v", vs)
+	}
+}
+
+func TestReadOnlyCorrectValuePasses(t *testing.T) {
+	t1 := txn("t1", 0, nil, map[string]string{"x": "1"})
+	logs := map[string]map[int64]wal.Entry{"A": logOf(wal.NewEntry(t1))}
+	commits := []Commit{
+		{ID: "ro0", ReadPos: 0, Pos: 0, Reads: map[string]string{"x": ""}},
+		{ID: "ro1", ReadPos: 1, Pos: 1, Reads: map[string]string{"x": "1"}},
+	}
+	if vs := Check(logs, commits); len(vs) != 0 {
+		t.Fatalf("correct read-only txns flagged: %v", vs)
+	}
+}
+
+func TestLogHoleDetected(t *testing.T) {
+	t1 := txn("t1", 0, nil, map[string]string{"x": "1"})
+	t3 := txn("t3", 2, nil, map[string]string{"y": "1"})
+	logs := map[string]map[int64]wal.Entry{
+		"A": {1: wal.NewEntry(t1), 3: wal.NewEntry(t3)},
+	}
+	vs := Check(logs, nil)
+	if !hasViolation(vs, "LOG", "hole") {
+		t.Fatalf("log hole not flagged: %v", vs)
+	}
+}
+
+func TestCombinedEntryValidOrderPasses(t *testing.T) {
+	// [t-reader-of-a, t-writer-of-a] is fine in that order.
+	tr := txn("tr", 0, []string{"a"}, map[string]string{"b": "1"})
+	tw := txn("tw", 0, nil, map[string]string{"a": "2"})
+	logs := map[string]map[int64]wal.Entry{"A": logOf(wal.NewEntry(tr, tw))}
+	commits := []Commit{
+		{ID: "tr", ReadPos: 0, Pos: 1, Reads: map[string]string{"a": ""}, Writes: map[string]string{"b": "1"}},
+		{ID: "tw", ReadPos: 0, Pos: 1, Reads: map[string]string{}, Writes: map[string]string{"a": "2"}},
+	}
+	if vs := Check(logs, commits); len(vs) != 0 {
+		t.Fatalf("valid combined entry flagged: %v", vs)
+	}
+}
+
+func TestNoOpEntriesPass(t *testing.T) {
+	t2 := txn("t2", 1, nil, map[string]string{"x": "1"})
+	logs := map[string]map[int64]wal.Entry{
+		"A": {1: wal.NoOp(), 2: wal.NewEntry(t2)},
+	}
+	if vs := Check(logs, nil); len(vs) != 0 {
+		t.Fatalf("no-op entry flagged: %v", vs)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	rec := &Recorder{}
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			for j := 0; j < 50; j++ {
+				rec.Record(Commit{ID: "t", Pos: int64(j)})
+			}
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if got := len(rec.Commits()); got != 400 {
+		t.Fatalf("recorded %d, want 400", got)
+	}
+}
+
+func TestWriteSetMismatchDetected(t *testing.T) {
+	logged := txn("t", 0, nil, map[string]string{"x": "logged"})
+	logs := map[string]map[int64]wal.Entry{"A": logOf(wal.NewEntry(logged))}
+	commits := []Commit{
+		{ID: "t", ReadPos: 0, Pos: 1, Writes: map[string]string{"x": "client-side"}},
+	}
+	vs := Check(logs, commits)
+	if !hasViolation(vs, "L2", "write set") {
+		t.Fatalf("write-set divergence not flagged: %v", vs)
+	}
+}

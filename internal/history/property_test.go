@@ -1,0 +1,190 @@
+package history
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"paxoscp/internal/wal"
+)
+
+// genExecution builds a random valid execution: a serial log over a small
+// key space where every transaction's reads are computed from the replayed
+// state at its read position and its read set never intersects later
+// writes. It returns the logs (replicated to 2 DCs) and the client commits.
+func genExecution(seed int64) (map[string]map[int64]wal.Entry, []Commit) {
+	rng := rand.New(rand.NewSource(seed))
+	keys := []string{"a", "b", "c", "d"}
+	nPos := 1 + rng.Intn(12)
+
+	state := map[string]string{}    // current value per key
+	written := map[string][]int64{} // key -> positions that wrote it
+	valueAt := func(key string, pos int64) string {
+		// Latest write to key at position <= pos.
+		best := int64(-1)
+		for _, p := range written[key] {
+			if p <= pos && p > best {
+				best = p
+			}
+		}
+		if best == -1 {
+			return ""
+		}
+		return fmt.Sprintf("%s@%d", key, best)
+	}
+	cleanSince := func(key string, since, until int64) bool {
+		for _, p := range written[key] {
+			if p > since && p < until {
+				return false
+			}
+		}
+		return true
+	}
+	_ = state
+
+	log := map[int64]wal.Entry{}
+	var commits []Commit
+	txnID := 0
+	for pos := int64(1); pos <= int64(nPos); pos++ {
+		// Each entry holds 1-2 transactions whose list order is valid.
+		nTxns := 1 + rng.Intn(2)
+		var entry wal.Entry
+		wroteInEntry := map[string]bool{}
+		for i := 0; i < nTxns; i++ {
+			txnID++
+			id := fmt.Sprintf("t%d", txnID)
+			readPos := pos - 1
+			if readPos > 0 && rng.Intn(3) == 0 {
+				readPos-- // occasionally a promoted transaction
+			}
+			// Pick a read key whose value is stable from readPos to pos and
+			// not written earlier in this entry.
+			var reads []string
+			readVals := map[string]string{}
+			for _, k := range rng.Perm(len(keys)) {
+				key := keys[k]
+				if !wroteInEntry[key] && cleanSince(key, readPos, pos) {
+					reads = append(reads, key)
+					readVals[key] = valueAt(key, readPos)
+					break
+				}
+			}
+			wkey := keys[rng.Intn(len(keys))]
+			writes := map[string]string{wkey: fmt.Sprintf("%s@%d", wkey, pos)}
+			entry.Txns = append(entry.Txns, wal.Txn{
+				ID: id, Origin: "A", ReadPos: readPos, ReadSet: reads, Writes: writes,
+			})
+			wroteInEntry[wkey] = true
+			commits = append(commits, Commit{
+				ID: id, Origin: "A", ReadPos: readPos, Pos: pos,
+				Reads: readVals, Writes: writes,
+			})
+		}
+		log[pos] = entry
+		for k := range entry.Writes() {
+			written[k] = append(written[k], pos)
+		}
+	}
+	return map[string]map[int64]wal.Entry{"A": log, "B": log}, commits
+}
+
+// TestPropValidExecutionsPass: randomly generated valid executions must
+// never be flagged.
+func TestPropValidExecutionsPass(t *testing.T) {
+	f := func(seed int64) bool {
+		logs, commits := genExecution(seed)
+		vs := Check(logs, commits)
+		if len(vs) != 0 {
+			t.Logf("seed %d: %v", seed, vs)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropMutatedExecutionsCaught: corrupting a valid execution must be
+// detected. Each mutation class maps to the property expected to fire.
+func TestPropMutatedExecutionsCaught(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(rng *rand.Rand, logs map[string]map[int64]wal.Entry, commits []Commit) bool
+	}{
+		{"diverge-replica", func(rng *rand.Rand, logs map[string]map[int64]wal.Entry, commits []Commit) bool {
+			log := logs["B"]
+			for pos := range log {
+				log[pos] = wal.NewEntry(wal.Txn{ID: "evil", Writes: map[string]string{"z": "1"}})
+				return true
+			}
+			return false
+		}},
+		{"duplicate-txn", func(rng *rand.Rand, logs map[string]map[int64]wal.Entry, commits []Commit) bool {
+			for _, log := range logs {
+				var first wal.Txn
+				var found bool
+				for _, e := range log {
+					if len(e.Txns) > 0 {
+						first = e.Txns[0]
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+				pos := int64(len(log) + 1)
+				dup := wal.NewEntry(first)
+				for dc := range logs {
+					logs[dc][pos] = dup
+				}
+				return true
+			}
+			return false
+		}},
+		{"stale-read-value", func(rng *rand.Rand, logs map[string]map[int64]wal.Entry, commits []Commit) bool {
+			for i := range commits {
+				for k := range commits[i].Reads {
+					commits[i].Reads[k] = "corrupted-value"
+					return true
+				}
+			}
+			return false
+		}},
+		{"hole", func(rng *rand.Rand, logs map[string]map[int64]wal.Entry, commits []Commit) bool {
+			if len(logs["A"]) < 2 {
+				return false
+			}
+			for dc := range logs {
+				delete(logs[dc], 1)
+			}
+			return true
+		}},
+	}
+	for _, m := range mutations {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			caught, applicable := 0, 0
+			for seed := int64(0); seed < 60; seed++ {
+				logs, commits := genExecution(seed)
+				rng := rand.New(rand.NewSource(seed))
+				if !m.mutate(rng, logs, commits) {
+					continue
+				}
+				applicable++
+				if len(Check(logs, commits)) > 0 {
+					caught++
+				}
+			}
+			if applicable == 0 {
+				t.Skip("mutation never applicable")
+			}
+			if caught != applicable {
+				t.Fatalf("mutation %q escaped detection in %d of %d cases",
+					m.name, applicable-caught, applicable)
+			}
+		})
+	}
+}

@@ -1,0 +1,411 @@
+// Package kvstore implements the multi-version key-value store that forms
+// the foundation tier of each datacenter (paper §2.2).
+//
+// The transaction tier depends on exactly three atomic operations, which this
+// package provides with per-row atomicity:
+//
+//   - Read(key, ts): most recent version with timestamp <= ts
+//   - Write(key, value, ts): create a new version; error if a newer exists
+//   - CheckAndWrite(key, testAttr, testValue, value): conditional write on an
+//     attribute of the latest version
+//
+// Timestamps are logical; the transaction tier uses write-ahead-log positions
+// as timestamps (paper §3.2). The paper's prototype used HBase; this in-memory
+// store implements the same abstraction contract (see DESIGN.md §5).
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Common errors returned by Store operations.
+var (
+	// ErrNotFound is returned by Read when no version of the row exists at
+	// or before the requested timestamp.
+	ErrNotFound = errors.New("kvstore: key not found")
+	// ErrStaleWrite is returned by Write when a version with a timestamp
+	// greater than or equal to the requested one already exists.
+	ErrStaleWrite = errors.New("kvstore: newer version exists")
+	// ErrCheckFailed is returned by CheckAndWrite when the test attribute of
+	// the latest version does not match the expected value.
+	ErrCheckFailed = errors.New("kvstore: check failed")
+	// ErrClosed is returned by all operations after Close.
+	ErrClosed = errors.New("kvstore: store closed")
+)
+
+// Value is one version's contents: a set of named attributes (columns).
+// Values are copied on write and on read, so callers may retain and mutate
+// the maps they pass in or receive without affecting the store.
+type Value map[string]string
+
+// Clone returns a deep copy of v. A nil Value clones to an empty, non-nil map
+// so the result is always safe to assign into.
+func (v Value) Clone() Value {
+	out := make(Value, len(v))
+	for k, val := range v {
+		out[k] = val
+	}
+	return out
+}
+
+// Equal reports whether v and o contain exactly the same attributes.
+func (v Value) Equal(o Value) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for k, val := range v {
+		if ov, ok := o[k]; !ok || ov != val {
+			return false
+		}
+	}
+	return true
+}
+
+// Version is a single timestamped version of a row.
+type Version struct {
+	Timestamp int64
+	Value     Value
+}
+
+// row holds all versions of one key, sorted by ascending timestamp.
+type row struct {
+	mu       sync.Mutex
+	versions []Version
+}
+
+// latest returns the newest version, or nil if none exist.
+// Caller must hold row.mu.
+func (r *row) latest() *Version {
+	if len(r.versions) == 0 {
+		return nil
+	}
+	return &r.versions[len(r.versions)-1]
+}
+
+// at returns the newest version with Timestamp <= ts, or nil.
+// Caller must hold row.mu.
+func (r *row) at(ts int64) *Version {
+	// Binary search for the first version with Timestamp > ts.
+	i := sort.Search(len(r.versions), func(i int) bool {
+		return r.versions[i].Timestamp > ts
+	})
+	if i == 0 {
+		return nil
+	}
+	return &r.versions[i-1]
+}
+
+const numShards = 32
+
+type shard struct {
+	mu   sync.RWMutex
+	rows map[string]*row
+}
+
+// Store is an in-memory multi-version key-value store. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use.
+type Store struct {
+	shards [numShards]*shard
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New returns an empty Store.
+func New() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i] = &shard{rows: make(map[string]*row)}
+	}
+	return s
+}
+
+func shardFor(key string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return h.Sum32() % numShards
+}
+
+// getRow returns the row for key, creating it when create is true.
+func (s *Store) getRow(key string, create bool) *row {
+	sh := s.shards[shardFor(key)]
+	sh.mu.RLock()
+	r := sh.rows[key]
+	sh.mu.RUnlock()
+	if r != nil || !create {
+		return r
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if r = sh.rows[key]; r == nil {
+		r = &row{}
+		sh.rows[key] = r
+	}
+	return r
+}
+
+func (s *Store) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Read returns the most recent version of key with a timestamp less than or
+// equal to ts. Pass Latest (or any negative ts) to read the most recent
+// version regardless of timestamp. The returned Value is a copy.
+func (s *Store) Read(key string, ts int64) (Value, int64, error) {
+	if s.isClosed() {
+		return nil, 0, ErrClosed
+	}
+	r := s.getRow(key, false)
+	if r == nil {
+		return nil, 0, ErrNotFound
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var v *Version
+	if ts < 0 {
+		v = r.latest()
+	} else {
+		v = r.at(ts)
+	}
+	if v == nil {
+		return nil, 0, ErrNotFound
+	}
+	return v.Value.Clone(), v.Timestamp, nil
+}
+
+// Latest may be passed as the timestamp to Read to fetch the most recent
+// version of a row.
+const Latest int64 = -1
+
+// Write creates a new version of key with the given timestamp. If a version
+// with a timestamp >= ts already exists, ErrStaleWrite is returned, matching
+// the paper's write(key, value, timestamp) contract. Pass a negative ts to
+// have the store assign a timestamp one greater than the current maximum.
+// Writing the same timestamp twice is rejected (timestamps are log positions
+// and each position is written once).
+func (s *Store) Write(key string, value Value, ts int64) (int64, error) {
+	if s.isClosed() {
+		return 0, ErrClosed
+	}
+	r := s.getRow(key, true)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	last := r.latest()
+	if ts < 0 {
+		ts = 0
+		if last != nil {
+			ts = last.Timestamp + 1
+		}
+	} else if last != nil && last.Timestamp >= ts {
+		return 0, fmt.Errorf("%w: have ts=%d, write ts=%d key=%q",
+			ErrStaleWrite, last.Timestamp, ts, key)
+	}
+	r.versions = append(r.versions, Version{Timestamp: ts, Value: value.Clone()})
+	return ts, nil
+}
+
+// WriteIdempotent is Write except that re-writing an existing timestamp with
+// an identical value succeeds silently. The WAL apply path uses this so that
+// replayed log entries (after recovery or duplicated apply messages) are
+// harmless.
+func (s *Store) WriteIdempotent(key string, value Value, ts int64) error {
+	if s.isClosed() {
+		return ErrClosed
+	}
+	if ts < 0 {
+		return fmt.Errorf("kvstore: WriteIdempotent requires explicit timestamp")
+	}
+	r := s.getRow(key, true)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	last := r.latest()
+	if last != nil && last.Timestamp >= ts {
+		if v := r.at(ts); v != nil && v.Timestamp == ts {
+			if v.Value.Equal(value) {
+				return nil
+			}
+			return fmt.Errorf("%w: conflicting rewrite of ts=%d key=%q",
+				ErrStaleWrite, ts, key)
+		}
+		// A newer version exists but this exact timestamp was never
+		// written: insert in order to keep historical reads correct.
+		i := sort.Search(len(r.versions), func(i int) bool {
+			return r.versions[i].Timestamp > ts
+		})
+		r.versions = append(r.versions, Version{})
+		copy(r.versions[i+1:], r.versions[i:])
+		r.versions[i] = Version{Timestamp: ts, Value: value.Clone()}
+		return nil
+	}
+	r.versions = append(r.versions, Version{Timestamp: ts, Value: value.Clone()})
+	return nil
+}
+
+// CheckAndWrite atomically compares attribute testAttr of the latest version
+// of key against testValue and, when equal, writes value as a new latest
+// version (with a store-assigned timestamp). If the row has no versions, the
+// test passes only when testValue equals the empty string, mirroring a
+// missing attribute. Returns ErrCheckFailed when the test fails.
+//
+// This is the operation Algorithm 1 of the paper relies on to make Paxos
+// acceptor state transitions atomic.
+func (s *Store) CheckAndWrite(key, testAttr, testValue string, value Value) error {
+	if s.isClosed() {
+		return ErrClosed
+	}
+	r := s.getRow(key, true)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := ""
+	last := r.latest()
+	if last != nil {
+		cur = last.Value[testAttr]
+	}
+	if cur != testValue {
+		return fmt.Errorf("%w: attr %q is %q, want %q", ErrCheckFailed, testAttr, cur, testValue)
+	}
+	ts := int64(0)
+	if last != nil {
+		ts = last.Timestamp + 1
+	}
+	r.versions = append(r.versions, Version{Timestamp: ts, Value: value.Clone()})
+	return nil
+}
+
+// Update atomically reads the latest version of key and replaces it with the
+// value returned by fn. fn receives a copy of the latest value (nil if the
+// row is empty) and returns the replacement value, or an error to abort.
+// Update exists for maintenance paths (GC bookkeeping, tooling); the Paxos
+// protocol itself uses only Read/Write/CheckAndWrite per the paper.
+func (s *Store) Update(key string, fn func(Value) (Value, error)) error {
+	if s.isClosed() {
+		return ErrClosed
+	}
+	r := s.getRow(key, true)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var cur Value
+	var ts int64
+	if last := r.latest(); last != nil {
+		cur = last.Value.Clone()
+		ts = last.Timestamp + 1
+	}
+	next, err := fn(cur)
+	if err != nil {
+		return err
+	}
+	r.versions = append(r.versions, Version{Timestamp: ts, Value: next.Clone()})
+	return nil
+}
+
+// Versions returns the number of stored versions for key.
+func (s *Store) Versions(key string) int {
+	r := s.getRow(key, false)
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.versions)
+}
+
+// GC discards all versions of key strictly older than the newest version
+// whose timestamp is <= keepFrom. The version visible at keepFrom (and all
+// newer) survive, so reads at timestamps >= keepFrom are unaffected.
+// It returns the number of versions discarded.
+func (s *Store) GC(key string, keepFrom int64) int {
+	r := s.getRow(key, false)
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := sort.Search(len(r.versions), func(i int) bool {
+		return r.versions[i].Timestamp > keepFrom
+	})
+	// Keep the version at keepFrom itself (index i-1) so reads at keepFrom
+	// still resolve.
+	cut := i - 1
+	if cut <= 0 {
+		return 0
+	}
+	dropped := cut
+	r.versions = append([]Version(nil), r.versions[cut:]...)
+	return dropped
+}
+
+// Delete removes a row and all its versions. Used by log compaction to
+// scavenge decided Paxos instance state and old log entries.
+func (s *Store) Delete(key string) {
+	sh := s.shards[shardFor(key)]
+	sh.mu.Lock()
+	delete(sh.rows, key)
+	sh.mu.Unlock()
+}
+
+// KeysWithPrefix returns all keys starting with prefix, sorted.
+func (s *Store) KeysWithPrefix(prefix string) []string {
+	var keys []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k, r := range sh.rows {
+			if !strings.HasPrefix(k, prefix) {
+				continue
+			}
+			r.mu.Lock()
+			n := len(r.versions)
+			r.mu.Unlock()
+			if n > 0 {
+				keys = append(keys, k)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Keys returns all keys with at least one version, in unspecified order.
+// Intended for tooling and tests.
+func (s *Store) Keys() []string {
+	var keys []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k, r := range sh.rows {
+			r.mu.Lock()
+			n := len(r.versions)
+			r.mu.Unlock()
+			if n > 0 {
+				keys = append(keys, k)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Len returns the number of keys with at least one version.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.rows)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Close marks the store closed; subsequent operations return ErrClosed.
+func (s *Store) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}

@@ -1,0 +1,165 @@
+package kvstore
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropReadSeesNewestNotAfter checks, for random version sets and random
+// read timestamps, that Read(key, ts) returns exactly the version a reference
+// linear scan would pick.
+func TestPropReadSeesNewestNotAfter(t *testing.T) {
+	f := func(stamps []uint8, probe uint8) bool {
+		s := New()
+		written := map[int64]string{}
+		var maxTS int64 = -1
+		for _, raw := range stamps {
+			ts := int64(raw % 64)
+			if ts <= maxTS {
+				continue // Write requires strictly increasing timestamps.
+			}
+			val := Value{"v": string(rune('a' + ts%26))}
+			if _, err := s.Write("k", val, ts); err != nil {
+				return false
+			}
+			written[ts] = val["v"]
+			maxTS = ts
+		}
+		readTS := int64(probe % 64)
+		// Reference answer: newest written ts <= readTS.
+		var want int64 = -1
+		for ts := range written {
+			if ts <= readTS && ts > want {
+				want = ts
+			}
+		}
+		v, gotTS, err := s.Read("k", readTS)
+		if want == -1 {
+			return errors.Is(err, ErrNotFound)
+		}
+		return err == nil && gotTS == want && v["v"] == written[want]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropIdempotentBackfillPreservesOrder inserts versions in random order
+// via WriteIdempotent and verifies reads at every timestamp match a reference
+// map regardless of insertion order.
+func TestPropIdempotentBackfillPreservesOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		n := 1 + rng.Intn(20)
+		perm := rng.Perm(n)
+		want := make(map[int64]string, n)
+		for _, p := range perm {
+			ts := int64(p)
+			val := string(rune('a' + p%26))
+			if err := s.WriteIdempotent("k", Value{"v": val}, ts); err != nil {
+				return false
+			}
+			want[ts] = val
+		}
+		for ts := int64(0); ts < int64(n); ts++ {
+			v, gotTS, err := s.Read("k", ts)
+			if err != nil || gotTS != ts || v["v"] != want[ts] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropCheckAndWriteLinearizes runs random sequences of CheckAndWrite
+// operations and verifies the store behaves like a single atomic register:
+// an operation succeeds iff its expectation matches the current value.
+func TestPropCheckAndWriteLinearizes(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s := New()
+		cur := "" // model of the nextBal attribute
+		for i, op := range ops {
+			expect := cur
+			if op%3 == 0 {
+				expect = "wrong" // deliberately mismatched expectation
+			}
+			next := string(rune('A' + i%26))
+			err := s.CheckAndWrite("k", "nextBal", expect, Value{"nextBal": next})
+			if expect == cur {
+				if err != nil {
+					return false
+				}
+				cur = next
+			} else if !errors.Is(err, ErrCheckFailed) {
+				return false
+			}
+		}
+		v, _, err := s.Read("k", Latest)
+		if cur == "" {
+			return errors.Is(err, ErrNotFound) || v["nextBal"] == ""
+		}
+		return err == nil && v["nextBal"] == cur
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropGCNeverChangesVisibleReads verifies that for random histories and a
+// random GC horizon, every read at or above the horizon returns the same
+// result before and after GC.
+func TestPropGCNeverChangesVisibleReads(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		n := 2 + rng.Intn(30)
+		for ts := 0; ts < n; ts++ {
+			if _, err := s.Write("k", Value{"v": string(rune('a' + ts%26))}, int64(ts)); err != nil {
+				return false
+			}
+		}
+		horizon := int64(rng.Intn(n))
+		type result struct {
+			v   string
+			ts  int64
+			err bool
+		}
+		before := make([]result, 0, n)
+		for ts := horizon; ts < int64(n); ts++ {
+			v, got, err := s.Read("k", ts)
+			before = append(before, result{v["v"], got, err != nil})
+		}
+		s.GC("k", horizon)
+		for i, ts := 0, horizon; ts < int64(n); i, ts = i+1, ts+1 {
+			v, got, err := s.Read("k", ts)
+			after := result{v["v"], got, err != nil}
+			if after != before[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropValueEqualReflexiveSymmetric exercises Value.Equal and Clone.
+func TestPropValueEqualReflexiveSymmetric(t *testing.T) {
+	f := func(a, b map[string]string) bool {
+		va, vb := Value(a), Value(b)
+		if !va.Equal(va.Clone()) {
+			return false
+		}
+		return va.Equal(vb) == vb.Equal(va)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package network
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Kind identifies the protocol message type. The set covers the full
+// transaction tier protocol: the three Paxos phases of Algorithms 1–2, the
+// transaction API (read position, remote read), the per-position leader
+// claim optimization (§4.1), and catch-up for recovery.
+type Kind string
+
+// Message kinds. Requests and responses share the Message struct; responses
+// use KindStatus/KindLastVote/KindValue kinds.
+const (
+	// Paxos commit protocol (Algorithm 1 / 2).
+	KindPrepare Kind = "prepare" // propNum=Ballot
+	KindAccept  Kind = "accept"  // propNum=Ballot, value=Payload
+	KindApply   Kind = "apply"   // propNum=Ballot, value=Payload
+
+	// Transaction API (transaction protocol steps 1–2).
+	KindReadPos Kind = "readpos" // ask for last written log position
+	KindRead    Kind = "read"    // Key at TS=read position
+
+	// Leader optimization (§4.1 "Paxos Optimizations").
+	KindClaimLeader Kind = "claim" // first claimant of Pos gets fast path
+
+	// Catch-up: fetch a decided log entry from a peer (recovery path).
+	KindFetchLog Kind = "fetchlog"
+
+	// Leader-based protocol (§7 design): client submits a transaction to
+	// the group's long-term master, which sequences and replicates it.
+	KindSubmit Kind = "submit"
+
+	// Snapshot transfer: a replica that lagged past its peers' compaction
+	// horizon installs a state snapshot instead of per-entry catch-up.
+	KindSnapshot Kind = "snapshot"
+
+	// Administration: replica status and remotely triggered log compaction
+	// (operator tooling; see cmd/txkvctl).
+	KindStats   Kind = "stats"
+	KindCompact Kind = "compact"
+
+	// Responses.
+	KindLastVote Kind = "lastvote" // prepare reply: Ballot=lastVote ballot, Payload=vote
+	KindStatus   Kind = "status"   // generic success/failure reply
+	KindValue    Kind = "value"    // read/readpos/fetchlog reply
+)
+
+// Message is the single wire unit exchanged between Transaction Clients and
+// Transaction Services. One flat struct (rather than per-kind types) keeps
+// the UDP codec trivial and mirrors the loosely-typed RPC of the prototype.
+type Message struct {
+	Kind  Kind   `json:"k"`
+	Group string `json:"g,omitempty"` // transaction group key
+	Pos   int64  `json:"p,omitempty"` // log position the message concerns
+
+	Ballot  int64  `json:"b,omitempty"` // proposal number
+	Payload []byte `json:"v,omitempty"` // encoded wal.Entry (vote or value)
+
+	Key string `json:"key,omitempty"` // data item key (reads)
+	TS  int64  `json:"ts,omitempty"`  // timestamp / read position
+
+	OK    bool   `json:"ok,omitempty"`  // success flag in replies
+	Value string `json:"val,omitempty"` // data item value in read replies
+	Found bool   `json:"f,omitempty"`   // read reply: key existed
+	Err   string `json:"e,omitempty"`   // error detail in failure replies
+}
+
+// Status constructs a generic success/failure reply.
+func Status(ok bool, err string) Message {
+	return Message{Kind: KindStatus, OK: ok, Err: err}
+}
+
+// String renders a compact debug form.
+func (m Message) String() string {
+	return fmt.Sprintf("%s{g=%s p=%d b=%d ok=%v}", m.Kind, m.Group, m.Pos, m.Ballot, m.OK)
+}
+
+// Marshal encodes m for the UDP transport.
+func Marshal(m Message) ([]byte, error) { return json.Marshal(m) }
+
+// Unmarshal decodes a datagram payload.
+func Unmarshal(data []byte) (Message, error) {
+	var m Message
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Message{}, fmt.Errorf("network: bad message: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,61 @@
+// Package network provides the inter-datacenter communication substrate
+// (paper §2.2, "Transaction tier"): unreliable request/response messaging
+// where a message either arrives before a known timeout or is lost.
+//
+// Two interchangeable transports implement the same interface:
+//
+//   - Sim: an in-process network that reproduces the paper's testbed — each
+//     datacenter pair has a configurable round-trip time (Virginia–Virginia
+//     1.5 ms, Virginia–Oregon/California 90 ms, Oregon–California 20 ms),
+//     plus jitter, message loss, datacenter outages, and partitions.
+//   - UDP: a real UDP transport (the paper's prototype used UDP), one socket
+//     per datacenter, JSON-encoded datagrams, no retransmission.
+//
+// The transaction tier is written against the Transport interface only, so
+// protocol behaviour is identical over both.
+package network
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Common transport errors.
+var (
+	// ErrTimeout reports that no response arrived before the deadline. The
+	// sender cannot distinguish a lost request, a lost response, or a dead
+	// peer — exactly the paper's failure model.
+	ErrTimeout = errors.New("network: timeout")
+	// ErrUnknownPeer reports a send to an address not in the topology.
+	ErrUnknownPeer = errors.New("network: unknown peer")
+	// ErrClosed reports use of a closed transport.
+	ErrClosed = errors.New("network: transport closed")
+)
+
+// DefaultTimeout is the paper's message-loss detection timeout (§6: "We
+// utilize a two second timeout for message loss detection."). Experiments
+// scale this alongside latencies.
+const DefaultTimeout = 2 * time.Second
+
+// Handler processes one inbound request and returns the response. Handlers
+// must be safe for concurrent use; each datacenter's Transaction Service
+// handles every request in its own goroutine (the paper's "each client
+// request in its own service process").
+type Handler func(from string, req Message) Message
+
+// Transport sends a request to a peer datacenter and waits for its response.
+type Transport interface {
+	// Send delivers req to the named peer and returns its response. It
+	// returns ErrTimeout if the request or response is lost or the peer does
+	// not answer before the context deadline (or DefaultTimeout when the
+	// context has none).
+	Send(ctx context.Context, to string, req Message) (Message, error)
+	// Local returns the name of the datacenter this endpoint belongs to.
+	Local() string
+	// Peers returns the names of all datacenters in the topology, including
+	// the local one, in stable order.
+	Peers() []string
+	// Close releases resources. Subsequent Sends return ErrClosed.
+	Close() error
+}

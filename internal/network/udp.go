@@ -1,0 +1,205 @@
+package network
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// envelope wraps a Message on the UDP wire with correlation metadata.
+type envelope struct {
+	ID   uint64  `json:"id"`
+	From string  `json:"from"`
+	Resp bool    `json:"resp,omitempty"`
+	Msg  Message `json:"msg"`
+}
+
+// UDP is a real UDP transport: one socket per datacenter, JSON datagrams, no
+// retransmission or acknowledgement below the request/response layer. The
+// paper's prototype used UDP with a 2-second loss-detection timeout; this
+// transport reproduces those semantics faithfully — a dropped datagram in
+// either direction simply surfaces as ErrTimeout.
+type UDP struct {
+	local   string
+	conn    *net.UDPConn
+	handler Handler
+
+	mu      sync.RWMutex
+	peers   map[string]*net.UDPAddr
+	pending map[uint64]chan Message
+	closed  bool
+
+	nextID atomic.Uint64
+	wg     sync.WaitGroup
+}
+
+// NewUDP binds a UDP socket on bindAddr (e.g. "127.0.0.1:7001") for the
+// datacenter named local and starts serving inbound requests with h. peers
+// maps every datacenter name (including local) to its UDP address. Peer
+// addresses are resolved eagerly so a bad address fails fast.
+func NewUDP(local, bindAddr string, peers map[string]string, h Handler) (*UDP, error) {
+	laddr, err := net.ResolveUDPAddr("udp", bindAddr)
+	if err != nil {
+		return nil, fmt.Errorf("network: bind %q: %w", bindAddr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("network: listen %q: %w", bindAddr, err)
+	}
+	u := &UDP{
+		local:   local,
+		conn:    conn,
+		handler: h,
+		peers:   make(map[string]*net.UDPAddr, len(peers)),
+		pending: make(map[uint64]chan Message),
+	}
+	for name, addr := range peers {
+		a, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("network: peer %s=%q: %w", name, addr, err)
+		}
+		u.peers[name] = a
+	}
+	u.wg.Add(1)
+	go u.readLoop()
+	return u, nil
+}
+
+// LocalAddr returns the bound socket address (useful with port 0 in tests).
+func (u *UDP) LocalAddr() string { return u.conn.LocalAddr().String() }
+
+// SetPeer adds or updates a peer address after construction.
+func (u *UDP) SetPeer(name, addr string) error {
+	a, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("network: peer %s=%q: %w", name, addr, err)
+	}
+	u.mu.Lock()
+	u.peers[name] = a
+	u.mu.Unlock()
+	return nil
+}
+
+func (u *UDP) Local() string { return u.local }
+
+func (u *UDP) Peers() []string {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	out := make([]string, 0, len(u.peers))
+	for name := range u.peers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// maxDatagram bounds inbound datagram size; combined entries for the paper's
+// workloads are far below this.
+const maxDatagram = 64 * 1024
+
+func (u *UDP) readLoop() {
+	defer u.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, raddr, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		var env envelope
+		if err := json.Unmarshal(buf[:n], &env); err != nil {
+			continue // drop malformed datagrams, as real UDP services must
+		}
+		if env.Resp {
+			u.mu.RLock()
+			ch := u.pending[env.ID]
+			u.mu.RUnlock()
+			if ch != nil {
+				select {
+				case ch <- env.Msg:
+				default: // duplicate or late response; drop
+				}
+			}
+			continue
+		}
+		// Inbound request: serve in its own goroutine (stateless service
+		// processes, §2.2) and reply to the observed source address.
+		go u.serve(env, raddr)
+	}
+}
+
+func (u *UDP) serve(env envelope, raddr *net.UDPAddr) {
+	resp := u.handler(env.From, env.Msg)
+	out, err := json.Marshal(envelope{ID: env.ID, From: u.local, Resp: true, Msg: resp})
+	if err != nil {
+		return
+	}
+	u.conn.WriteToUDP(out, raddr) // best effort; loss is the failure model
+}
+
+// Send implements Transport.
+func (u *UDP) Send(ctx context.Context, to string, req Message) (Message, error) {
+	u.mu.RLock()
+	addr, ok := u.peers[to]
+	closed := u.closed
+	u.mu.RUnlock()
+	if closed {
+		return Message{}, ErrClosed
+	}
+	if !ok {
+		return Message{}, fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+	}
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, DefaultTimeout)
+		defer cancel()
+	}
+
+	id := u.nextID.Add(1)
+	ch := make(chan Message, 1)
+	u.mu.Lock()
+	u.pending[id] = ch
+	u.mu.Unlock()
+	defer func() {
+		u.mu.Lock()
+		delete(u.pending, id)
+		u.mu.Unlock()
+	}()
+
+	out, err := json.Marshal(envelope{ID: id, From: u.local, Msg: req})
+	if err != nil {
+		return Message{}, fmt.Errorf("network: marshal: %w", err)
+	}
+	if _, err := u.conn.WriteToUDP(out, addr); err != nil {
+		// Treat send failure like loss: wait out the timeout so callers see
+		// uniform behaviour, unless the context is already done.
+		select {
+		case <-ctx.Done():
+		}
+		return Message{}, ErrTimeout
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-ctx.Done():
+		return Message{}, ErrTimeout
+	}
+}
+
+// Close shuts the socket down and waits for the read loop to exit.
+func (u *UDP) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	u.mu.Unlock()
+	err := u.conn.Close()
+	u.wg.Wait()
+	return err
+}

@@ -1,0 +1,136 @@
+package network
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newUDPPair starts two UDP endpoints on ephemeral localhost ports and wires
+// their peer tables together.
+func newUDPPair(t *testing.T) (*UDP, *UDP) {
+	t.Helper()
+	a, err := NewUDP("A", "127.0.0.1:0", nil, echoHandler("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewUDP("B", "127.0.0.1:0", nil, echoHandler("B"))
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	if err := a.SetPeer("B", b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetPeer("A", a.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetPeer("A", a.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestUDPRequestResponse(t *testing.T) {
+	a, _ := newUDPPair(t)
+	resp, err := a.Send(context.Background(), "B", Message{Kind: KindPrepare, Pos: 11})
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if !resp.OK || resp.Err != "B<-A" || resp.Pos != 11 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestUDPSelfSend(t *testing.T) {
+	a, _ := newUDPPair(t)
+	resp, err := a.Send(context.Background(), "A", Message{Kind: KindRead})
+	if err != nil {
+		t.Fatalf("self send: %v", err)
+	}
+	if resp.Err != "A<-A" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestUDPUnknownPeer(t *testing.T) {
+	a, _ := newUDPPair(t)
+	if _, err := a.Send(context.Background(), "Z", Message{}); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestUDPTimeoutOnDeadPeer(t *testing.T) {
+	a, b := newUDPPair(t)
+	b.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := a.Send(ctx, "B", Message{}); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestUDPClosedSend(t *testing.T) {
+	a, _ := newUDPPair(t)
+	a.Close()
+	if _, err := a.Send(context.Background(), "B", Message{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	// Double close is safe.
+	if err := a.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestUDPConcurrentRequests(t *testing.T) {
+	a, _ := newUDPPair(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := a.Send(context.Background(), "B", Message{Pos: int64(i)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.Pos != int64(i) {
+				errs <- errors.New("response correlation mixed up")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPPeersListing(t *testing.T) {
+	a, _ := newUDPPair(t)
+	peers := a.Peers()
+	if len(peers) != 2 || peers[0] != "A" || peers[1] != "B" {
+		t.Fatalf("Peers = %v", peers)
+	}
+	if a.Local() != "A" {
+		t.Fatalf("Local = %q", a.Local())
+	}
+}
+
+func TestUDPMalformedDatagramIgnored(t *testing.T) {
+	a, b := newUDPPair(t)
+	// Fire a garbage datagram at B's socket; B must survive and keep serving.
+	conn := a.conn
+	baddr := b.conn.LocalAddr()
+	if _, err := conn.WriteTo([]byte("garbage!"), baddr); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if _, err := a.Send(context.Background(), "B", Message{}); err != nil {
+		t.Fatalf("B stopped serving after garbage: %v", err)
+	}
+}

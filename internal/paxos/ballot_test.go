@@ -1,0 +1,87 @@
+package paxos
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBallotComposition(t *testing.T) {
+	b := Ballot(3, 41)
+	if got := Round(b); got != 3 {
+		t.Fatalf("Round(%d) = %d, want 3", b, got)
+	}
+	if Ballot(1, 0) <= FastBallot {
+		t.Fatal("round-1 ballot must exceed FastBallot")
+	}
+	if Round(FastBallot) != 0 || Round(NilBallot) != 0 {
+		t.Fatal("special ballots must be round 0")
+	}
+}
+
+func TestBallotPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("round 0", func() { Ballot(0, 1) })
+	mustPanic("negative client", func() { Ballot(1, -1) })
+	mustPanic("client too large", func() { Ballot(1, MaxClients) })
+}
+
+func TestNextBallot(t *testing.T) {
+	cases := []struct {
+		seen     int64
+		clientID int
+	}{
+		{NilBallot, 0},
+		{FastBallot, 5},
+		{Ballot(1, 3), 3},
+		{Ballot(1, 3), 2},   // lower client ID needs a higher round
+		{Ballot(7, 100), 1}, //
+	}
+	for _, c := range cases {
+		got := NextBallot(c.seen, c.clientID)
+		if got <= c.seen {
+			t.Errorf("NextBallot(%d,%d) = %d, not greater", c.seen, c.clientID, got)
+		}
+		if got%MaxClients != int64(c.clientID) {
+			t.Errorf("NextBallot(%d,%d) = %d, wrong owner", c.seen, c.clientID, got)
+		}
+	}
+}
+
+func TestMajority(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 5: 3, 7: 4}
+	for d, want := range cases {
+		if got := Majority(d); got != want {
+			t.Errorf("Majority(%d) = %d, want %d", d, got, want)
+		}
+	}
+}
+
+// TestPropNextBallotGreaterAndOwned: for any seen ballot and client, the next
+// ballot is strictly greater, owned by the client, and two distinct clients
+// never generate the same ballot.
+func TestPropNextBallotGreaterAndOwned(t *testing.T) {
+	f := func(seenRaw uint32, c1Raw, c2Raw uint16) bool {
+		seen := int64(seenRaw)
+		c1 := int(c1Raw) % MaxClients
+		c2 := int(c2Raw) % MaxClients
+		b1 := NextBallot(seen, c1)
+		b2 := NextBallot(seen, c2)
+		if b1 <= seen || b2 <= seen {
+			return false
+		}
+		if c1 != c2 && b1 == b2 {
+			return false
+		}
+		return b1%MaxClients == int64(c1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

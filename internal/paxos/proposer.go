@@ -1,0 +1,195 @@
+package paxos
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"paxoscp/internal/network"
+)
+
+// Vote is one acceptor's last vote as reported in a prepare response.
+type Vote struct {
+	// DC is the responding datacenter.
+	DC string
+	// Ballot is the ballot the vote was cast at; NilBallot means the
+	// acceptor had not voted (a null vote).
+	Ballot int64
+	// Value is the voted value (encoded wal.Entry), nil for a null vote.
+	Value []byte
+}
+
+// IsNull reports whether the vote is a null vote.
+func (v Vote) IsNull() bool { return v.Ballot == NilBallot }
+
+// PrepareOutcome aggregates the responses of one prepare round across all
+// datacenters.
+type PrepareOutcome struct {
+	// D is the total number of datacenters messaged.
+	D int
+	// Acks counts successful promises.
+	Acks int
+	// Votes holds the last votes of the acceptors that promised (one per
+	// acking datacenter, null votes included).
+	Votes []Vote
+	// MaxSeen is the highest ballot observed in any response (granted or
+	// refused); the proposer's next proposal number must exceed it.
+	MaxSeen int64
+}
+
+// Quorum reports whether a majority of datacenters promised.
+func (o PrepareOutcome) Quorum() bool { return o.Acks >= Majority(o.D) }
+
+// AcceptOutcome aggregates the responses of one accept round.
+type AcceptOutcome struct {
+	D       int
+	Acks    int
+	MaxSeen int64
+}
+
+// Quorum reports whether a majority of datacenters voted for the proposal.
+func (o AcceptOutcome) Quorum() bool { return o.Acks >= Majority(o.D) }
+
+// Proposer drives the messaging of Algorithm 2 for a Transaction Client: it
+// fans each phase out to every datacenter in parallel ("Loop iterations may
+// be executed in parallel") and tallies responses until the timeout.
+type Proposer struct {
+	// Transport connects to every datacenter's Transaction Service.
+	Transport network.Transport
+	// Timeout bounds each phase's message round (the paper's 2 s loss
+	// detection timeout, scaled in experiments). Zero means
+	// network.DefaultTimeout.
+	Timeout time.Duration
+}
+
+func (p *Proposer) timeout() time.Duration {
+	if p.Timeout > 0 {
+		return p.Timeout
+	}
+	return network.DefaultTimeout
+}
+
+// broadcast sends req to every datacenter in parallel and streams responses
+// to collect until all datacenters answered or the phase timeout expires.
+// collect returns true to stop early (e.g. majority reached and waiting
+// longer cannot change the decision).
+func (p *Proposer) broadcast(ctx context.Context, req network.Message, collect func(dc string, resp network.Message, err error) (stop bool)) {
+	ctx, cancel := context.WithTimeout(ctx, p.timeout())
+	defer cancel()
+
+	dcs := p.Transport.Peers()
+	type reply struct {
+		dc   string
+		resp network.Message
+		err  error
+	}
+	ch := make(chan reply, len(dcs))
+	var wg sync.WaitGroup
+	for _, dc := range dcs {
+		wg.Add(1)
+		go func(dc string) {
+			defer wg.Done()
+			resp, err := p.Transport.Send(ctx, dc, req)
+			ch <- reply{dc, resp, err}
+		}(dc)
+	}
+	go func() { wg.Wait(); close(ch) }()
+
+	for r := range ch {
+		if collect(r.dc, r.resp, r.err) {
+			cancel()
+			// Drain remaining replies so senders never block.
+			go func() {
+				for range ch {
+				}
+			}()
+			return
+		}
+	}
+}
+
+// Prepare runs one prepare phase (Algorithm 2 lines 24–41) with the given
+// ballot. When waitAll is false the phase ends as soon as a majority has
+// promised ("if ackCount > D/2 then keepTrying ← false"); when true it
+// keeps collecting until every datacenter answered or the timeout fires —
+// Paxos-CP benefits from extra votes ("In practice, when a Transaction
+// Client sends a prepare message, it will receive responses from more than
+// a simple majority", §5).
+func (p *Proposer) Prepare(ctx context.Context, group string, pos int64, ballot int64, waitAll bool) PrepareOutcome {
+	req := network.Message{Kind: network.KindPrepare, Group: group, Pos: pos, Ballot: ballot}
+	out := PrepareOutcome{D: len(p.Transport.Peers()), MaxSeen: ballot}
+	maj := Majority(out.D)
+	p.broadcast(ctx, req, func(dc string, resp network.Message, err error) bool {
+		if err != nil {
+			return false
+		}
+		if resp.Ballot > out.MaxSeen {
+			out.MaxSeen = resp.Ballot
+		}
+		if resp.OK {
+			out.Acks++
+			v := Vote{DC: dc, Ballot: resp.TS, Value: resp.Payload}
+			if len(resp.Payload) == 0 && resp.TS < 0 {
+				v.Value = nil
+			}
+			out.Votes = append(out.Votes, v)
+		}
+		return !waitAll && out.Acks >= maj
+	})
+	return out
+}
+
+// Accept runs one accept phase (Algorithm 2 lines 42–57), proposing value at
+// the given ballot. It stops as soon as a majority votes — or as soon as
+// enough refusals arrive that a majority has become impossible, so a doomed
+// round does not sit out the timeout.
+func (p *Proposer) Accept(ctx context.Context, group string, pos int64, ballot int64, value []byte) AcceptOutcome {
+	req := network.Message{Kind: network.KindAccept, Group: group, Pos: pos, Ballot: ballot, Payload: value}
+	out := AcceptOutcome{D: len(p.Transport.Peers()), MaxSeen: ballot}
+	maj := Majority(out.D)
+	refused := 0
+	p.broadcast(ctx, req, func(dc string, resp network.Message, err error) bool {
+		if err != nil {
+			return false
+		}
+		if resp.Ballot > out.MaxSeen {
+			out.MaxSeen = resp.Ballot
+		}
+		if resp.OK {
+			out.Acks++
+		} else {
+			refused++
+		}
+		return out.Acks >= maj || out.Acks+(out.D-out.Acks-refused) < maj
+	})
+	return out
+}
+
+// Apply runs the apply phase (Algorithm 2 lines 58–61): it tells every
+// datacenter the decided value. Apply is fire-and-forget per the protocol —
+// a datacenter that misses it learns the value later via catch-up (§4.1) —
+// so the proposer returns once a majority including the proposer's own
+// datacenter has stored the entry (waiting for the local ack keeps the
+// client's next read position fresh; waiting for the majority makes the log
+// entry widely fetchable). It never waits out the timeout for unreachable
+// minorities.
+func (p *Proposer) Apply(ctx context.Context, group string, pos int64, ballot int64, value []byte) int {
+	req := network.Message{Kind: network.KindApply, Group: group, Pos: pos, Ballot: ballot, Payload: value}
+	acks := 0
+	responses := 0
+	localAcked := false
+	local := p.Transport.Local()
+	d := len(p.Transport.Peers())
+	maj := Majority(d)
+	p.broadcast(ctx, req, func(dc string, resp network.Message, err error) bool {
+		responses++
+		if err == nil && resp.OK {
+			acks++
+			if dc == local {
+				localAcked = true
+			}
+		}
+		return responses == d || (acks >= maj && localAcked)
+	})
+	return acks
+}

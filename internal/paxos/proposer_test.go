@@ -1,0 +1,269 @@
+package paxos
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"paxoscp/internal/kvstore"
+	"paxoscp/internal/network"
+)
+
+// testCluster wires D acceptors (one per datacenter) into a simulated
+// network and returns proposer endpoints.
+type testCluster struct {
+	sim       *network.Sim
+	acceptors map[string]*Acceptor
+	applied   map[string][]byte // last applied value per DC
+	mu        sync.Mutex
+}
+
+func newTestCluster(t *testing.T, dcs ...string) *testCluster {
+	t.Helper()
+	topo := network.NewTopology(dcs...)
+	for i, a := range dcs {
+		for _, b := range dcs[i+1:] {
+			topo.SetRTT(a, b, time.Millisecond)
+		}
+	}
+	tc := &testCluster{
+		sim:       network.NewSim(topo, network.SimConfig{Seed: 7}),
+		acceptors: make(map[string]*Acceptor),
+		applied:   make(map[string][]byte),
+	}
+	t.Cleanup(tc.sim.Close)
+	for _, dc := range dcs {
+		acc := NewAcceptor(kvstore.New())
+		tc.acceptors[dc] = acc
+		dc := dc
+		tc.sim.Endpoint(dc, func(from string, req network.Message) network.Message {
+			if resp, ok := HandleMessage(acc, req); ok {
+				return resp
+			}
+			if req.Kind == network.KindApply {
+				tc.mu.Lock()
+				tc.applied[dc] = req.Payload
+				tc.mu.Unlock()
+				return network.Status(true, "")
+			}
+			return network.Status(false, "unhandled")
+		})
+	}
+	return tc
+}
+
+func (tc *testCluster) proposer(dc string) *Proposer {
+	return &Proposer{
+		Transport: tc.sim.Endpoint(dc, func(from string, req network.Message) network.Message {
+			if resp, ok := HandleMessage(tc.acceptors[dc], req); ok {
+				return resp
+			}
+			if req.Kind == network.KindApply {
+				tc.mu.Lock()
+				tc.applied[dc] = req.Payload
+				tc.mu.Unlock()
+				return network.Status(true, "")
+			}
+			return network.Status(false, "unhandled")
+		}),
+		Timeout: 200 * time.Millisecond,
+	}
+}
+
+func TestProposerFullInstance(t *testing.T) {
+	tc := newTestCluster(t, "A", "B", "C")
+	p := tc.proposer("A")
+	ctx := context.Background()
+	b := Ballot(1, 1)
+
+	prep := p.Prepare(ctx, "g", 0, b, true)
+	if prep.D != 3 || !prep.Quorum() {
+		t.Fatalf("prepare outcome: %+v", prep)
+	}
+	for _, v := range prep.Votes {
+		if !v.IsNull() {
+			t.Fatalf("fresh instance returned non-null vote: %+v", v)
+		}
+	}
+
+	acc := p.Accept(ctx, "g", 0, b, []byte("value"))
+	if !acc.Quorum() {
+		t.Fatalf("accept outcome: %+v", acc)
+	}
+
+	if acks := p.Apply(ctx, "g", 0, b, []byte("value")); acks < Majority(3) {
+		t.Fatalf("apply acks = %d, want >= majority", acks)
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	applied := 0
+	for dc, v := range tc.applied {
+		if string(v) != "value" {
+			t.Fatalf("dc %s applied %q", dc, v)
+		}
+		applied++
+	}
+	if applied < Majority(3) {
+		t.Fatalf("only %d datacenters applied", applied)
+	}
+}
+
+func TestProposerSecondProposerLearnsFirstValue(t *testing.T) {
+	tc := newTestCluster(t, "A", "B", "C")
+	ctx := context.Background()
+
+	p1 := tc.proposer("A")
+	b1 := Ballot(1, 1)
+	p1.Prepare(ctx, "g", 0, b1, true)
+	if acc := p1.Accept(ctx, "g", 0, b1, []byte("first")); !acc.Quorum() {
+		t.Fatalf("p1 accept: %+v", acc)
+	}
+
+	// A competing proposer prepares with a higher ballot; at least one vote
+	// for "first" must surface, and by the Paxos rule it must adopt it.
+	p2 := tc.proposer("B")
+	b2 := Ballot(2, 2)
+	prep := p2.Prepare(ctx, "g", 0, b2, true)
+	if !prep.Quorum() {
+		t.Fatalf("p2 prepare: %+v", prep)
+	}
+	var best Vote
+	best.Ballot = NilBallot
+	for _, v := range prep.Votes {
+		if !v.IsNull() && v.Ballot > best.Ballot {
+			best = v
+		}
+	}
+	if best.IsNull() || string(best.Value) != "first" {
+		t.Fatalf("p2 must discover the voted value, votes = %+v", prep.Votes)
+	}
+}
+
+func TestProposerRefusedPrepareReportsHigherBallot(t *testing.T) {
+	tc := newTestCluster(t, "A", "B", "C")
+	ctx := context.Background()
+
+	high := Ballot(9, 9)
+	tc.proposer("A").Prepare(ctx, "g", 0, high, true)
+
+	low := Ballot(1, 1)
+	prep := tc.proposer("B").Prepare(ctx, "g", 0, low, true)
+	if prep.Quorum() {
+		t.Fatalf("low prepare acked: %+v", prep)
+	}
+	if prep.MaxSeen != high {
+		t.Fatalf("MaxSeen = %d, want %d", prep.MaxSeen, high)
+	}
+	if next := NextBallot(prep.MaxSeen, 1); next <= high {
+		t.Fatalf("retry ballot %d not above %d", next, high)
+	}
+}
+
+func TestProposerToleratesMinorityDown(t *testing.T) {
+	tc := newTestCluster(t, "A", "B", "C")
+	tc.sim.SetDown("C", true)
+	p := tc.proposer("A")
+	ctx := context.Background()
+	b := Ballot(1, 1)
+
+	prep := p.Prepare(ctx, "g", 0, b, true)
+	if !prep.Quorum() || prep.Acks != 2 {
+		t.Fatalf("prepare with 1 of 3 down: %+v", prep)
+	}
+	if acc := p.Accept(ctx, "g", 0, b, []byte("v")); !acc.Quorum() {
+		t.Fatalf("accept with 1 of 3 down: %+v", acc)
+	}
+}
+
+func TestProposerMajorityDownCannotProceed(t *testing.T) {
+	tc := newTestCluster(t, "A", "B", "C")
+	tc.sim.SetDown("B", true)
+	tc.sim.SetDown("C", true)
+	p := tc.proposer("A")
+	p.Timeout = 50 * time.Millisecond
+
+	start := time.Now()
+	prep := p.Prepare(context.Background(), "g", 0, Ballot(1, 1), true)
+	if prep.Quorum() {
+		t.Fatalf("quorum with majority down: %+v", prep)
+	}
+	if prep.Acks != 1 {
+		t.Fatalf("acks = %d, want 1 (self only)", prep.Acks)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("prepare did not respect phase timeout")
+	}
+}
+
+func TestProposerAcceptStopsAtMajority(t *testing.T) {
+	tc := newTestCluster(t, "A", "B", "C", "D", "E")
+	p := tc.proposer("A")
+	ctx := context.Background()
+	b := Ballot(1, 1)
+	p.Prepare(ctx, "g", 0, b, true)
+	acc := p.Accept(ctx, "g", 0, b, []byte("v"))
+	if !acc.Quorum() {
+		t.Fatalf("accept: %+v", acc)
+	}
+	if acc.Acks < Majority(5) {
+		t.Fatalf("acks = %d, below majority", acc.Acks)
+	}
+}
+
+// TestProposerSafetyUnderContention runs many concurrent proposers on one
+// position and verifies at most one value is chosen: every proposer that
+// believes it decided must have decided the same value.
+func TestProposerSafetyUnderContention(t *testing.T) {
+	tc := newTestCluster(t, "A", "B", "C")
+	ctx := context.Background()
+
+	const proposers = 8
+	var mu sync.Mutex
+	decided := map[string]bool{}
+	var wg sync.WaitGroup
+	for i := 0; i < proposers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dc := []string{"A", "B", "C"}[i%3]
+			p := tc.proposer(dc)
+			p.Timeout = 300 * time.Millisecond
+			myVal := []byte{byte('a' + i)}
+			ballot := Ballot(1, i+1)
+			for attempt := 0; attempt < 20; attempt++ {
+				prep := p.Prepare(ctx, "g", 0, ballot, true)
+				if !prep.Quorum() {
+					ballot = NextBallot(prep.MaxSeen, i+1)
+					continue
+				}
+				// Paxos rule: adopt the highest-ballot vote if any exist.
+				val := myVal
+				best := Vote{Ballot: NilBallot}
+				for _, v := range prep.Votes {
+					if !v.IsNull() && v.Ballot > best.Ballot {
+						best = v
+					}
+				}
+				if !best.IsNull() {
+					val = best.Value
+				}
+				acc := p.Accept(ctx, "g", 0, ballot, val)
+				if acc.Quorum() {
+					mu.Lock()
+					decided[string(val)] = true
+					mu.Unlock()
+					return
+				}
+				ballot = NextBallot(acc.MaxSeen, i+1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(decided) > 1 {
+		t.Fatalf("multiple values decided: %v", decided)
+	}
+	if len(decided) == 0 {
+		t.Fatal("no proposer decided despite live majority")
+	}
+}

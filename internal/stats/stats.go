@@ -1,0 +1,232 @@
+// Package stats collects the measurements the paper's evaluation reports:
+// commit/abort counts split by promotion round, transaction latency
+// distributions, and combination/promotion event tallies (§6).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Outcome is the final status of one transaction attempt.
+type Outcome int
+
+// Transaction outcomes.
+const (
+	// Committed means the transaction's value (alone or combined) was
+	// written to the log and the client returned commit.
+	Committed Outcome = iota
+	// Aborted means the client returned abort (lost the position and could
+	// not or may not promote).
+	Aborted
+	// Failed means the protocol could not complete (no majority reachable
+	// before the retry budget was exhausted).
+	Failed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Committed:
+		return "commit"
+	case Aborted:
+		return "abort"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Sample records one finished transaction.
+type Sample struct {
+	Outcome Outcome
+	// Round is the promotion round the transaction finished in: 0 means it
+	// won (or aborted at) its first commit position, r>0 means it was
+	// promoted r times. Basic Paxos always finishes in round 0.
+	Round int
+	// Latency is wall-clock time from commit() invocation to resolution.
+	Latency time.Duration
+	// Origin is the client's local datacenter (per-DC reporting, Fig. 8).
+	Origin string
+	// Combined reports whether the transaction committed as part of a
+	// multi-transaction (combined) log entry.
+	Combined bool
+}
+
+// Collector accumulates samples. The zero value is ready to use and all
+// methods are safe for concurrent use.
+type Collector struct {
+	mu      sync.Mutex
+	samples []Sample
+}
+
+// Record adds one sample.
+func (c *Collector) Record(s Sample) {
+	c.mu.Lock()
+	c.samples = append(c.samples, s)
+	c.mu.Unlock()
+}
+
+// Samples returns a copy of all recorded samples.
+func (c *Collector) Samples() []Sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Sample(nil), c.samples...)
+}
+
+// Reset discards all samples.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.samples = nil
+	c.mu.Unlock()
+}
+
+// Summary aggregates a sample set the way the paper's figures slice it.
+type Summary struct {
+	Total     int
+	Commits   int
+	Aborts    int
+	Failures  int
+	Combined  int
+	MaxRound  int
+	ByRound   []RoundSummary // index = promotion round, commits only
+	AllCommit LatencyStats   // latency over all committed transactions
+	AllTxn    LatencyStats   // latency over every finished transaction
+}
+
+// RoundSummary reports commits and their latency for one promotion round.
+type RoundSummary struct {
+	Round   int
+	Commits int
+	Latency LatencyStats
+}
+
+// LatencyStats holds an empirical latency distribution summary.
+type LatencyStats struct {
+	N    int
+	Mean time.Duration
+	P50  time.Duration
+	P95  time.Duration
+	P99  time.Duration
+	Max  time.Duration
+}
+
+// Summarize computes a Summary over the collector's samples.
+func (c *Collector) Summarize() Summary {
+	return Summarize(c.Samples())
+}
+
+// Summarize computes a Summary over the given samples.
+func Summarize(samples []Sample) Summary {
+	var sum Summary
+	sum.Total = len(samples)
+	var commitLats, allLats []time.Duration
+	roundLats := map[int][]time.Duration{}
+	for _, s := range samples {
+		allLats = append(allLats, s.Latency)
+		switch s.Outcome {
+		case Committed:
+			sum.Commits++
+			commitLats = append(commitLats, s.Latency)
+			roundLats[s.Round] = append(roundLats[s.Round], s.Latency)
+			if s.Round > sum.MaxRound {
+				sum.MaxRound = s.Round
+			}
+			if s.Combined {
+				sum.Combined++
+			}
+		case Aborted:
+			sum.Aborts++
+		case Failed:
+			sum.Failures++
+		}
+	}
+	sum.ByRound = make([]RoundSummary, sum.MaxRound+1)
+	for r := 0; r <= sum.MaxRound; r++ {
+		sum.ByRound[r] = RoundSummary{
+			Round:   r,
+			Commits: len(roundLats[r]),
+			Latency: computeLatency(roundLats[r]),
+		}
+	}
+	sum.AllCommit = computeLatency(commitLats)
+	sum.AllTxn = computeLatency(allLats)
+	return sum
+}
+
+// FilterOrigin returns only the samples originating at dc.
+func FilterOrigin(samples []Sample, dc string) []Sample {
+	var out []Sample
+	for _, s := range samples {
+		if s.Origin == dc {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func computeLatency(lats []time.Duration) LatencyStats {
+	if len(lats) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	return LatencyStats{
+		N:    len(sorted),
+		Mean: total / time.Duration(len(sorted)),
+		P50:  percentile(sorted, 0.50),
+		P95:  percentile(sorted, 0.95),
+		P99:  percentile(sorted, 0.99),
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// percentile returns the p-quantile (0 < p <= 1) of sorted by the
+// nearest-rank method.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// CommitRate returns commits/total, or 0 for an empty summary.
+func (s Summary) CommitRate() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Commits) / float64(s.Total)
+}
+
+// String renders a one-line summary.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "commits=%d/%d (%.1f%%) aborts=%d failures=%d mean=%s",
+		s.Commits, s.Total, 100*s.CommitRate(), s.Aborts, s.Failures, s.AllCommit.Mean)
+	if s.MaxRound > 0 {
+		fmt.Fprintf(&b, " rounds=[")
+		for r, rs := range s.ByRound {
+			if r > 0 {
+				fmt.Fprintf(&b, " ")
+			}
+			fmt.Fprintf(&b, "%d:%d", r, rs.Commits)
+		}
+		fmt.Fprintf(&b, "]")
+	}
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestSummarizeEmpty(t *testing.T) {
+	sum := Summarize(nil)
+	if sum.Total != 0 || sum.Commits != 0 || sum.AllCommit.N != 0 {
+		t.Fatalf("empty summary = %+v", sum)
+	}
+	if sum.CommitRate() != 0 {
+		t.Fatalf("empty CommitRate = %v", sum.CommitRate())
+	}
+}
+
+func TestSummarizeCountsAndRounds(t *testing.T) {
+	samples := []Sample{
+		{Outcome: Committed, Round: 0, Latency: ms(10)},
+		{Outcome: Committed, Round: 0, Latency: ms(20)},
+		{Outcome: Committed, Round: 2, Latency: ms(50), Combined: true},
+		{Outcome: Aborted, Round: 1, Latency: ms(30)},
+		{Outcome: Failed, Latency: ms(5)},
+	}
+	sum := Summarize(samples)
+	if sum.Total != 5 || sum.Commits != 3 || sum.Aborts != 1 || sum.Failures != 1 {
+		t.Fatalf("counts wrong: %+v", sum)
+	}
+	if sum.Combined != 1 {
+		t.Fatalf("combined = %d", sum.Combined)
+	}
+	if sum.MaxRound != 2 || len(sum.ByRound) != 3 {
+		t.Fatalf("rounds: max=%d len=%d", sum.MaxRound, len(sum.ByRound))
+	}
+	if sum.ByRound[0].Commits != 2 || sum.ByRound[1].Commits != 0 || sum.ByRound[2].Commits != 1 {
+		t.Fatalf("ByRound = %+v", sum.ByRound)
+	}
+	if sum.AllCommit.Mean != ms(80)/3 {
+		t.Fatalf("commit mean = %v", sum.AllCommit.Mean)
+	}
+	if got := sum.CommitRate(); got != 0.6 {
+		t.Fatalf("CommitRate = %v", got)
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	var lats []time.Duration
+	for i := 1; i <= 100; i++ {
+		lats = append(lats, ms(i))
+	}
+	st := computeLatency(lats)
+	if st.P50 != ms(50) || st.P95 != ms(95) || st.P99 != ms(99) || st.Max != ms(100) {
+		t.Fatalf("percentiles: %+v", st)
+	}
+	if st.Mean != 5050*time.Millisecond/100 {
+		t.Fatalf("mean = %v", st.Mean)
+	}
+}
+
+func TestPercentileSingleSample(t *testing.T) {
+	st := computeLatency([]time.Duration{ms(7)})
+	if st.P50 != ms(7) || st.P99 != ms(7) || st.Max != ms(7) || st.N != 1 {
+		t.Fatalf("single sample stats: %+v", st)
+	}
+}
+
+func TestFilterOrigin(t *testing.T) {
+	samples := []Sample{
+		{Origin: "V1", Outcome: Committed},
+		{Origin: "O", Outcome: Committed},
+		{Origin: "V1", Outcome: Aborted},
+	}
+	got := FilterOrigin(samples, "V1")
+	if len(got) != 2 {
+		t.Fatalf("FilterOrigin = %d samples", len(got))
+	}
+	for _, s := range got {
+		if s.Origin != "V1" {
+			t.Fatalf("wrong origin %q", s.Origin)
+		}
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	var c Collector
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				c.Record(Sample{Outcome: Committed, Latency: ms(1)})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Summarize(); got.Commits != 1000 {
+		t.Fatalf("commits = %d, want 1000", got.Commits)
+	}
+	c.Reset()
+	if got := c.Summarize(); got.Total != 0 {
+		t.Fatalf("after Reset total = %d", got.Total)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Committed.String() != "commit" || Aborted.String() != "abort" || Failed.String() != "failed" {
+		t.Fatal("Outcome strings wrong")
+	}
+	if Outcome(99).String() != "Outcome(99)" {
+		t.Fatal("unknown outcome string wrong")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	sum := Summarize([]Sample{
+		{Outcome: Committed, Round: 0, Latency: ms(10)},
+		{Outcome: Committed, Round: 1, Latency: ms(20)},
+	})
+	s := sum.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// TestPropPercentileMonotone: for any latency set, P50 <= P95 <= P99 <= Max,
+// and Mean lies within [min, max].
+func TestPropPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var lats []time.Duration
+		min, max := time.Duration(1<<62), time.Duration(0)
+		for _, r := range raw {
+			d := time.Duration(r) * time.Microsecond
+			lats = append(lats, d)
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		st := computeLatency(lats)
+		return st.P50 <= st.P95 && st.P95 <= st.P99 && st.P99 <= st.Max &&
+			st.Mean >= min && st.Mean <= max && st.Max == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropSummaryPartition: commits+aborts+failures == total for any samples.
+func TestPropSummaryPartition(t *testing.T) {
+	f := func(outcomes []uint8) bool {
+		samples := make([]Sample, len(outcomes))
+		for i, o := range outcomes {
+			samples[i] = Sample{Outcome: Outcome(o % 3), Round: int(o % 4), Latency: ms(int(o))}
+		}
+		sum := Summarize(samples)
+		byRound := 0
+		for _, r := range sum.ByRound {
+			byRound += r.Commits
+		}
+		return sum.Commits+sum.Aborts+sum.Failures == sum.Total && byRound == sum.Commits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

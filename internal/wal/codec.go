@@ -1,0 +1,199 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The binary codec serializes Entries for two purposes: as the Paxos value
+// exchanged in accept/apply messages, and as the payload stored in the
+// kvstore's log rows. The format is a compact length-prefixed layout built on
+// encoding/binary (stdlib only):
+//
+//	magic(2) version(1) ntxns(uvarint) txn*
+//	txn: id readpos(varint) origin nreads(uvarint) read* nwrites(uvarint) (k v)*
+//	str: len(uvarint) bytes
+//
+// A nil/empty entry encodes to the no-op entry.
+
+const (
+	codecMagic   = 0x5743 // "WC"
+	codecVersion = 1
+	// maxStrLen caps decoded string lengths to defend against corrupt or
+	// hostile payloads arriving over the UDP transport.
+	maxStrLen = 1 << 20
+	// maxCount caps decoded element counts.
+	maxCount = 1 << 16
+)
+
+// ErrCorrupt is returned by Decode for malformed payloads.
+var ErrCorrupt = errors.New("wal: corrupt entry encoding")
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func writeVarint(buf *bytes.Buffer, v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	writeUvarint(buf, uint64(len(s)))
+	buf.WriteString(s)
+}
+
+// Encode serializes e to the compact binary format.
+func Encode(e Entry) []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.BigEndian, uint16(codecMagic))
+	buf.WriteByte(codecVersion)
+	writeUvarint(&buf, uint64(len(e.Txns)))
+	for _, t := range e.Txns {
+		writeString(&buf, t.ID)
+		writeVarint(&buf, t.ReadPos)
+		writeString(&buf, t.Origin)
+		writeUvarint(&buf, uint64(len(t.ReadSet)))
+		for _, k := range t.ReadSet {
+			writeString(&buf, k)
+		}
+		writeUvarint(&buf, uint64(len(t.Writes)))
+		// Deterministic output: iterate keys in sorted order.
+		keys := make([]string, 0, len(t.Writes))
+		for k := range t.Writes {
+			keys = append(keys, k)
+		}
+		sortStrings(keys)
+		for _, k := range keys {
+			writeString(&buf, k)
+			writeString(&buf, t.Writes[k])
+		}
+	}
+	return buf.Bytes()
+}
+
+// sortStrings is a tiny insertion sort to avoid importing sort in the hot
+// encode path for the typically 1–10 element write sets.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+type reader struct {
+	buf *bytes.Reader
+}
+
+func (r reader) uvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(r.buf)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return v, nil
+}
+
+func (r reader) varint() (int64, error) {
+	v, err := binary.ReadVarint(r.buf)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return v, nil
+}
+
+func (r reader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStrLen {
+		return "", fmt.Errorf("%w: string length %d", ErrCorrupt, n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.buf, b); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return string(b), nil
+}
+
+// Decode parses a payload produced by Encode.
+func Decode(data []byte) (Entry, error) {
+	r := reader{buf: bytes.NewReader(data)}
+	var magic uint16
+	if err := binary.Read(r.buf, binary.BigEndian, &magic); err != nil {
+		return Entry{}, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if magic != codecMagic {
+		return Entry{}, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, magic)
+	}
+	ver, err := r.buf.ReadByte()
+	if err != nil || ver != codecVersion {
+		return Entry{}, fmt.Errorf("%w: bad version", ErrCorrupt)
+	}
+	ntxns, err := r.uvarint()
+	if err != nil {
+		return Entry{}, err
+	}
+	if ntxns > maxCount {
+		return Entry{}, fmt.Errorf("%w: txn count %d", ErrCorrupt, ntxns)
+	}
+	e := Entry{Txns: make([]Txn, 0, ntxns)}
+	for i := uint64(0); i < ntxns; i++ {
+		var t Txn
+		if t.ID, err = r.str(); err != nil {
+			return Entry{}, err
+		}
+		if t.ReadPos, err = r.varint(); err != nil {
+			return Entry{}, err
+		}
+		if t.Origin, err = r.str(); err != nil {
+			return Entry{}, err
+		}
+		nr, err := r.uvarint()
+		if err != nil {
+			return Entry{}, err
+		}
+		if nr > maxCount {
+			return Entry{}, fmt.Errorf("%w: read set size %d", ErrCorrupt, nr)
+		}
+		t.ReadSet = make([]string, 0, nr)
+		for j := uint64(0); j < nr; j++ {
+			k, err := r.str()
+			if err != nil {
+				return Entry{}, err
+			}
+			t.ReadSet = append(t.ReadSet, k)
+		}
+		nw, err := r.uvarint()
+		if err != nil {
+			return Entry{}, err
+		}
+		if nw > maxCount {
+			return Entry{}, fmt.Errorf("%w: write set size %d", ErrCorrupt, nw)
+		}
+		t.Writes = make(map[string]string, nw)
+		for j := uint64(0); j < nw; j++ {
+			k, err := r.str()
+			if err != nil {
+				return Entry{}, err
+			}
+			v, err := r.str()
+			if err != nil {
+				return Entry{}, err
+			}
+			t.Writes[k] = v
+		}
+		e.Txns = append(e.Txns, t)
+	}
+	if r.buf.Len() != 0 {
+		return Entry{}, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.buf.Len())
+	}
+	return e, nil
+}

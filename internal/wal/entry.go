@@ -1,0 +1,179 @@
+// Package wal models the replicated write-ahead log of paper §3.2.
+//
+// Each transaction group has one log. A log position holds one Entry. Under
+// the basic Paxos commit protocol an Entry carries exactly one transaction;
+// under Paxos-CP it carries an ordered list of non-conflicting transactions
+// (the "combination" enhancement, §5). The Entry itself is the value agreed
+// on by one Paxos instance.
+package wal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Txn is a committed (or candidate) read/write transaction: the union of its
+// read set and write set, plus the log position its reads were served at.
+type Txn struct {
+	// ID uniquely identifies the transaction (client-assigned).
+	ID string
+	// Origin is the datacenter the issuing client is local to. Used for the
+	// per-position leader optimization and per-DC reporting (Fig. 8).
+	Origin string
+	// ReadPos is the log position all of the transaction's reads were served
+	// at (paper property A2).
+	ReadPos int64
+	// ReadSet lists the keys read (excluding keys first written inside the
+	// transaction, per property A1).
+	ReadSet []string
+	// Writes maps written keys to their new values.
+	Writes map[string]string
+}
+
+// Clone returns a deep copy of t.
+func (t Txn) Clone() Txn {
+	out := t
+	out.ReadSet = append([]string(nil), t.ReadSet...)
+	out.Writes = make(map[string]string, len(t.Writes))
+	for k, v := range t.Writes {
+		out.Writes[k] = v
+	}
+	return out
+}
+
+// ReadsAny reports whether t reads any key in keys.
+func (t Txn) ReadsAny(keys map[string]struct{}) bool {
+	for _, k := range t.ReadSet {
+		if _, ok := keys[k]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteKeys returns t's written keys as a set.
+func (t Txn) WriteKeys() map[string]struct{} {
+	out := make(map[string]struct{}, len(t.Writes))
+	for k := range t.Writes {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+// IsReadOnly reports whether t contains no writes. Read-only transactions are
+// never written to the log (paper §3.2).
+func (t Txn) IsReadOnly() bool { return len(t.Writes) == 0 }
+
+// String renders a compact human-readable form, e.g. "t1[r:a,b w:c]".
+func (t Txn) String() string {
+	ws := make([]string, 0, len(t.Writes))
+	for k := range t.Writes {
+		ws = append(ws, k)
+	}
+	sort.Strings(ws)
+	rs := append([]string(nil), t.ReadSet...)
+	sort.Strings(rs)
+	return fmt.Sprintf("%s[r:%s w:%s]", t.ID, strings.Join(rs, ","), strings.Join(ws, ","))
+}
+
+// Entry is the value stored in one log position: an ordered list of
+// transactions. Order matters — the list is one-copy equivalent to the serial
+// history that commits its transactions in list order (paper Theorem 3).
+type Entry struct {
+	Txns []Txn
+}
+
+// NewEntry returns an Entry holding the given transactions in order.
+func NewEntry(txns ...Txn) Entry {
+	e := Entry{Txns: make([]Txn, 0, len(txns))}
+	for _, t := range txns {
+		e.Txns = append(e.Txns, t.Clone())
+	}
+	return e
+}
+
+// NoOp returns the empty entry used to fill a log position that is learned to
+// be permanently undecided during explicit recovery. It commits nothing.
+func NoOp() Entry { return Entry{} }
+
+// IsNoOp reports whether e commits no transactions.
+func (e Entry) IsNoOp() bool { return len(e.Txns) == 0 }
+
+// Clone returns a deep copy of e.
+func (e Entry) Clone() Entry {
+	out := Entry{Txns: make([]Txn, 0, len(e.Txns))}
+	for _, t := range e.Txns {
+		out.Txns = append(out.Txns, t.Clone())
+	}
+	return out
+}
+
+// Contains reports whether e includes a transaction with the given ID.
+func (e Entry) Contains(txnID string) bool {
+	for _, t := range e.Txns {
+		if t.ID == txnID {
+			return true
+		}
+	}
+	return false
+}
+
+// Writes returns the union of the write sets of all transactions in e.
+func (e Entry) Writes() map[string]string {
+	out := make(map[string]string)
+	for _, t := range e.Txns {
+		for k, v := range t.Writes {
+			out[k] = v // later txns in the list overwrite earlier ones
+		}
+	}
+	return out
+}
+
+// WriteKeys returns the union of written keys as a set.
+func (e Entry) WriteKeys() map[string]struct{} {
+	out := make(map[string]struct{})
+	for _, t := range e.Txns {
+		for k := range t.Writes {
+			out[k] = struct{}{}
+		}
+	}
+	return out
+}
+
+// SerializableOrder reports whether the list order of e is one-copy
+// serializable on its own: no transaction reads a key written by any
+// preceding transaction in the list (paper §5, Combination). All transactions
+// in a combined entry share the same read position, so a read of a key
+// written earlier in the list would observe a stale version.
+func (e Entry) SerializableOrder() bool {
+	written := make(map[string]struct{})
+	for _, t := range e.Txns {
+		if t.ReadsAny(written) {
+			return false
+		}
+		for k := range t.Writes {
+			written[k] = struct{}{}
+		}
+	}
+	return true
+}
+
+// Conflicts reports whether candidate reads any key written by the
+// transactions already in e, i.e. whether appending candidate would violate
+// SerializableOrder.
+func (e Entry) Conflicts(candidate Txn) bool {
+	return candidate.ReadsAny(e.WriteKeys())
+}
+
+// String renders the entry as "[t1[...] t2[...]]".
+func (e Entry) String() string {
+	if e.IsNoOp() {
+		return "[noop]"
+	}
+	parts := make([]string, len(e.Txns))
+	for i, t := range e.Txns {
+		parts[i] = t.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

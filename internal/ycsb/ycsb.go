@@ -1,0 +1,130 @@
+// Package ycsb generates the transactional workloads of the paper's
+// evaluation (§6): YCSB-style transactions of mixed read/write operations
+// over the attributes of a single entity group, issued by concurrent
+// threads with staggered starts at a target rate.
+//
+// The paper used an extended YCSB with transaction support [12]; this
+// package reproduces the same workload family — each experiment runs 500
+// transactions of 10 operations each, 50% reads / 50% writes, operating on
+// attributes chosen uniformly at random.
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind distinguishes read and write operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	Read OpKind = iota
+	Write
+)
+
+// Op is one operation of a generated transaction.
+type Op struct {
+	Kind  OpKind
+	Key   string
+	Value string // writes only
+}
+
+// Distribution selects how attribute keys are drawn.
+type Distribution int
+
+// Key distributions.
+const (
+	// Uniform draws attributes uniformly at random (the paper's setting).
+	Uniform Distribution = iota
+	// Zipfian draws attributes with a Zipf(1.1) skew, for contention
+	// studies beyond the paper.
+	Zipfian
+)
+
+// Workload describes the transaction mix.
+type Workload struct {
+	// Group is the transaction group key (the paper evaluates a single
+	// entity group).
+	Group string
+	// Attributes is the total number of attributes in the entity group
+	// (the paper sweeps 20–500; default 100).
+	Attributes int
+	// OpsPerTxn is the number of operations per transaction (paper: 10).
+	OpsPerTxn int
+	// ReadFraction is the probability an operation is a read (paper: 0.5).
+	ReadFraction float64
+	// Distribution selects the key distribution (paper: Uniform).
+	Distribution Distribution
+}
+
+// withDefaults fills zero fields with the paper's §6 defaults.
+func (w Workload) withDefaults() Workload {
+	if w.Group == "" {
+		w.Group = "entity-group"
+	}
+	if w.Attributes <= 0 {
+		w.Attributes = 100
+	}
+	if w.OpsPerTxn <= 0 {
+		w.OpsPerTxn = 10
+	}
+	if w.ReadFraction == 0 {
+		w.ReadFraction = 0.5
+	}
+	return w
+}
+
+// Generator produces transactions for one workload from one RNG stream.
+// Not safe for concurrent use; give each thread its own Generator.
+type Generator struct {
+	w    Workload
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	seq  int64
+}
+
+// NewGenerator builds a Generator with deterministic output for a given
+// seed. Zero-valued workload fields assume the paper's defaults.
+func NewGenerator(w Workload, seed int64) *Generator {
+	w = w.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	g := &Generator{w: w, rng: rng}
+	if w.Distribution == Zipfian {
+		g.zipf = rand.NewZipf(rng, 1.1, 1, uint64(w.Attributes-1))
+	}
+	return g
+}
+
+// Workload returns the generator's (defaulted) workload.
+func (g *Generator) Workload() Workload { return g.w }
+
+// AttrName returns the i-th attribute key.
+func AttrName(i int) string { return fmt.Sprintf("attr%d", i) }
+
+func (g *Generator) key() string {
+	if g.zipf != nil {
+		return AttrName(int(g.zipf.Uint64()))
+	}
+	return AttrName(g.rng.Intn(g.w.Attributes))
+}
+
+// NextTxn generates the operation list for the next transaction. Attribute
+// names and written values are random, as in the benchmarking framework
+// ("The attribute names and values are generated randomly", §6).
+func (g *Generator) NextTxn() []Op {
+	g.seq++
+	ops := make([]Op, 0, g.w.OpsPerTxn)
+	for i := 0; i < g.w.OpsPerTxn; i++ {
+		if g.rng.Float64() < g.w.ReadFraction {
+			ops = append(ops, Op{Kind: Read, Key: g.key()})
+			continue
+		}
+		ops = append(ops, Op{
+			Kind:  Write,
+			Key:   g.key(),
+			Value: fmt.Sprintf("v%d-%d-%d", g.seq, i, g.rng.Int63()),
+		})
+	}
+	return ops
+}

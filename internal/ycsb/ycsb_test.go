@@ -1,0 +1,214 @@
+package ycsb
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"paxoscp/internal/cluster"
+	"paxoscp/internal/core"
+	"paxoscp/internal/history"
+	"paxoscp/internal/network"
+	"paxoscp/internal/stats"
+	"paxoscp/internal/wal"
+)
+
+func TestGeneratorDefaults(t *testing.T) {
+	g := NewGenerator(Workload{}, 1)
+	w := g.Workload()
+	if w.Attributes != 100 || w.OpsPerTxn != 10 || w.ReadFraction != 0.5 || w.Group == "" {
+		t.Fatalf("defaults = %+v", w)
+	}
+}
+
+func TestGeneratorOpShape(t *testing.T) {
+	g := NewGenerator(Workload{Attributes: 20, OpsPerTxn: 10}, 42)
+	reads, writes := 0, 0
+	for i := 0; i < 200; i++ {
+		ops := g.NextTxn()
+		if len(ops) != 10 {
+			t.Fatalf("txn has %d ops", len(ops))
+		}
+		for _, op := range ops {
+			if !strings.HasPrefix(op.Key, "attr") {
+				t.Fatalf("bad key %q", op.Key)
+			}
+			switch op.Kind {
+			case Read:
+				reads++
+				if op.Value != "" {
+					t.Fatal("read op carries a value")
+				}
+			case Write:
+				writes++
+				if op.Value == "" {
+					t.Fatal("write op missing value")
+				}
+			}
+		}
+	}
+	total := float64(reads + writes)
+	if frac := float64(reads) / total; frac < 0.45 || frac > 0.55 {
+		t.Fatalf("read fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1 := NewGenerator(Workload{Attributes: 50}, 7)
+	g2 := NewGenerator(Workload{Attributes: 50}, 7)
+	for i := 0; i < 20; i++ {
+		a, b := g1.NextTxn(), g2.NextTxn()
+		if len(a) != len(b) {
+			t.Fatal("diverged in length")
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("txn %d op %d: %+v vs %+v", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestGeneratorKeyRange(t *testing.T) {
+	g := NewGenerator(Workload{Attributes: 5, OpsPerTxn: 4}, 3)
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		for _, op := range g.NextTxn() {
+			seen[op.Key] = true
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("saw %d distinct keys, want 5: %v", len(seen), seen)
+	}
+}
+
+func TestGeneratorZipfianSkewed(t *testing.T) {
+	g := NewGenerator(Workload{Attributes: 100, OpsPerTxn: 10, Distribution: Zipfian}, 5)
+	counts := map[string]int{}
+	total := 0
+	for i := 0; i < 500; i++ {
+		for _, op := range g.NextTxn() {
+			counts[op.Key]++
+			total++
+		}
+	}
+	if frac := float64(counts[AttrName(0)]) / float64(total); frac < 0.2 {
+		t.Fatalf("zipfian head frequency %.3f, want heavy skew", frac)
+	}
+}
+
+func TestRunnerEndToEnd(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Topology:  cluster.MustPaperTopology("VVV"),
+		NetConfig: network.SimConfig{Seed: 2, Scale: 0.002},
+		Timeout:   150 * time.Millisecond,
+	})
+	defer c.Close()
+
+	w := Workload{Group: "g", Attributes: 50, OpsPerTxn: 4}
+	rec := &history.Recorder{}
+	var threads []Thread
+	for i := 0; i < 3; i++ {
+		threads = append(threads, Thread{
+			Client: c.NewClient(c.DCs()[i%3], core.Config{Protocol: core.CP, Seed: int64(i + 1)}),
+			Gen:    NewGenerator(w, int64(i+1)),
+			Count:  8,
+		})
+	}
+	r := &Runner{Threads: threads, Recorder: rec}
+	samples := r.Run(context.Background())
+
+	sum := stats.Summarize(samples)
+	if sum.Total != 24 {
+		t.Fatalf("total = %d, want 24", sum.Total)
+	}
+	if sum.Commits == 0 {
+		t.Fatalf("no commits: %s", sum.String())
+	}
+	// Serializability over the whole run.
+	ctx := context.Background()
+	for _, dc := range c.DCs() {
+		if err := c.Service(dc).Recover(ctx, "g"); err != nil {
+			t.Fatalf("recover %s: %v", dc, err)
+		}
+	}
+	logs := map[string]map[int64]wal.Entry{}
+	for _, dc := range c.DCs() {
+		logs[dc] = c.Service(dc).LogSnapshot("g")
+	}
+	if vs := history.Check(logs, rec.Commits()); len(vs) != 0 {
+		for _, v := range vs {
+			t.Errorf("violation: %s", v)
+		}
+	}
+}
+
+func TestRunnerPacing(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Topology:  cluster.MustPaperTopology("V"),
+		NetConfig: network.SimConfig{Seed: 2, Scale: 0.001},
+		Timeout:   100 * time.Millisecond,
+	})
+	defer c.Close()
+	th := Thread{
+		Client:   c.NewClient("V", core.Config{Seed: 1}),
+		Gen:      NewGenerator(Workload{Group: "g", OpsPerTxn: 2}, 1),
+		Count:    5,
+		Interval: 30 * time.Millisecond,
+	}
+	r := &Runner{Threads: []Thread{th}}
+	start := time.Now()
+	samples := r.Run(context.Background())
+	if len(samples) != 5 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	if el := time.Since(start); el < 4*30*time.Millisecond {
+		t.Fatalf("run finished in %v; pacing not applied", el)
+	}
+}
+
+func TestRunnerContextCancel(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Topology:  cluster.MustPaperTopology("V"),
+		NetConfig: network.SimConfig{Seed: 2, Scale: 0.001},
+		Timeout:   100 * time.Millisecond,
+	})
+	defer c.Close()
+	th := Thread{
+		Client:   c.NewClient("V", core.Config{Seed: 1}),
+		Gen:      NewGenerator(Workload{Group: "g"}, 1),
+		Count:    100000,
+		Interval: 10 * time.Millisecond,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	r := &Runner{Threads: []Thread{th}}
+	done := make(chan struct{})
+	go func() { r.Run(ctx); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("runner did not stop on context cancellation")
+	}
+}
+
+func TestRunnerStaggeredStart(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Topology:  cluster.MustPaperTopology("V"),
+		NetConfig: network.SimConfig{Seed: 2, Scale: 0.001},
+		Timeout:   100 * time.Millisecond,
+	})
+	defer c.Close()
+	th := Thread{
+		Client:     c.NewClient("V", core.Config{Seed: 1}),
+		Gen:        NewGenerator(Workload{Group: "g", OpsPerTxn: 2}, 1),
+		Count:      1,
+		StartDelay: 50 * time.Millisecond,
+	}
+	start := time.Now()
+	(&Runner{Threads: []Thread{th}}).Run(context.Background())
+	if el := time.Since(start); el < 50*time.Millisecond {
+		t.Fatalf("thread started before its stagger delay (%v)", el)
+	}
+}

@@ -1,0 +1,16 @@
+// Package paxoscp is a from-scratch Go implementation of the transactional
+// multi-datacenter datastore of Patterson et al., "Serializability, not
+// Serial: Concurrency Control and Availability in Multi-Datacenter
+// Datastores" (PVLDB 5(11), 2012) — including the basic Paxos commit
+// protocol (the Megastore-style baseline) and the paper's contribution,
+// Paxos-CP (Paxos with Combination and Promotion).
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map); runnable entry points are the examples/ programs, cmd/paxosbench
+// (regenerates every figure in the paper's evaluation), and cmd/txkvd /
+// cmd/txkvctl (a real-UDP deployment). The module-root bench_test.go holds
+// one testing.B benchmark per paper figure plus protocol microbenchmarks.
+package paxoscp
+
+// Version identifies this reproduction.
+const Version = "1.0.0"
