@@ -95,6 +95,7 @@ func main() {
 	log.Printf("txkvd: shutting down")
 	close(stopSaver)
 	transport.Close()
+	service.Close()
 	if *dataPath != "" {
 		if err := store.SaveFile(*dataPath); err != nil {
 			log.Printf("txkvd: final snapshot: %v", err)

@@ -1,0 +1,3 @@
+module paxoscp
+
+go 1.24

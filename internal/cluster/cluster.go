@@ -127,9 +127,13 @@ func (c *Cluster) Recover(ctx context.Context, dc, group string) error {
 	return c.services[dc].Recover(ctx, group)
 }
 
-// Close shuts the cluster down.
+// Close shuts the cluster down: the network first, then each service's
+// replicated-log apply goroutines, then the stores.
 func (c *Cluster) Close() {
 	c.sim.Close()
+	for _, s := range c.services {
+		s.Close()
+	}
 	for _, s := range c.stores {
 		s.Close()
 	}

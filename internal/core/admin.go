@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 
 	"paxoscp/internal/network"
+	"paxoscp/internal/replog"
 )
 
 // Operator-facing administration: replica status inspection and remotely
@@ -31,7 +32,9 @@ type GroupStatus struct {
 	Leader string `json:"leader"`
 }
 
-// Status reports this replica's view of a group.
+// Status reports this replica's view of a group. The applied horizon and
+// compaction horizon come from the replicated log's in-memory watermark
+// state — no meta-row reads.
 func (s *Service) Status(group string) GroupStatus {
 	last := s.lastApplied(group)
 	return GroupStatus{
@@ -40,7 +43,7 @@ func (s *Service) Status(group string) GroupStatus {
 		LastApplied: last,
 		CompactedTo: s.CompactedTo(group),
 		LogEntries:  len(s.LogSnapshot(group)),
-		DataKeys:    len(s.store.KeysWithPrefix("data/" + group + "/")),
+		DataKeys:    len(s.store.KeysWithPrefix(replog.DataPrefix(group))),
 		Leader:      s.Leader(group, last+1),
 	}
 }

@@ -5,10 +5,11 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
-	"strconv"
 
 	"paxoscp/internal/kvstore"
 	"paxoscp/internal/network"
+	"paxoscp/internal/paxos"
+	"paxoscp/internal/replog"
 )
 
 // Log compaction and snapshot transfer. The write-ahead log and the
@@ -23,6 +24,10 @@ import (
 // Compaction trades history for space: multi-version reads below the
 // horizon return kvstore.ErrNotFound afterwards, so the horizon must stay
 // comfortably behind any read position still in use.
+//
+// The log rows and the horizon bookkeeping belong to internal/replog; this
+// file contributes the service-owned per-position rows (Paxos acceptor
+// state, leader claims), data-version GC, and the snapshot wire format.
 
 // errCompacted is the wire marker a service returns for a fetch of a
 // compacted log position.
@@ -33,49 +38,25 @@ const errCompacted = "compacted"
 // claims. The horizon is clamped to the locally applied position. It
 // returns the effective horizon.
 func (s *Service) Compact(group string, horizon int64) (int64, error) {
-	mu := s.groupMu(group)
-	mu.Lock()
-	defer mu.Unlock()
-
-	if last := s.lastApplied(group); horizon > last {
-		horizon = last
-	}
-	if horizon <= s.CompactedTo(group) {
-		return s.CompactedTo(group), nil
-	}
-	// Data rows: drop versions below the horizon (reads at >= horizon are
-	// unaffected, see kvstore.GC).
-	for _, key := range s.store.KeysWithPrefix(fmt.Sprintf("data/%s/", group)) {
-		s.store.GC(key, horizon)
-	}
-	// Log, acceptor, and claim rows strictly below the horizon disappear.
-	for pos := s.CompactedTo(group) + 1; pos < horizon; pos++ {
-		s.store.Delete(logKey(group, pos))
-		s.store.Delete(fmt.Sprintf("paxos/%s/%d", group, pos))
-		s.store.Delete(claimKey(group, pos))
-	}
-	err := s.store.Update(metaKey(group), func(cur kvstore.Value) (kvstore.Value, error) {
-		if cur == nil {
-			cur = kvstore.Value{}
+	return s.log(group).Compact(horizon, func(from, to int64) {
+		// Data rows: drop versions below the horizon (reads at >= horizon
+		// are unaffected, see kvstore.GC).
+		for _, key := range s.store.KeysWithPrefix(replog.DataPrefix(group)) {
+			s.store.GC(key, to)
 		}
-		cur["compacted"] = strconv.FormatInt(horizon, 10)
-		return cur, nil
+		// Acceptor and claim rows strictly below the horizon disappear
+		// (replog drops the log rows themselves).
+		for pos := from; pos < to; pos++ {
+			s.store.Delete(paxos.StateKey(group, pos))
+			s.store.Delete(claimKey(group, pos))
+		}
 	})
-	if err != nil {
-		return 0, err
-	}
-	return horizon, nil
 }
 
 // CompactedTo returns the group's compaction horizon: log entries strictly
 // below it have been scavenged locally. Zero means never compacted.
 func (s *Service) CompactedTo(group string) int64 {
-	v, _, err := s.store.Read(metaKey(group), kvstore.Latest)
-	if err != nil {
-		return 0
-	}
-	n, _ := strconv.ParseInt(v["compacted"], 10, 64)
-	return n
+	return s.log(group).CompactedTo()
 }
 
 // snapshot is the gob-encoded state transferred to a laggard replica: the
@@ -92,20 +73,26 @@ type snapshotRow struct {
 	Val string
 }
 
-// buildSnapshot captures the group's data state at the applied horizon.
+// buildSnapshot captures the group's data state at the applied horizon. The
+// replog watermark only advances after a batch's data writes have landed, so
+// the rows are complete at the horizon; ReadStable excludes a concurrent
+// compaction from GC-ing the versions visible there mid-scan.
 func (s *Service) buildSnapshot(group string) ([]byte, error) {
-	mu := s.groupMu(group)
-	mu.Lock()
-	defer mu.Unlock()
-	horizon := s.lastApplied(group)
-	prefix := fmt.Sprintf("data/%s/", group)
-	snap := snapshot{Group: group, Horizon: horizon}
-	for _, key := range s.store.KeysWithPrefix(prefix) {
-		v, ts, err := s.store.Read(key, horizon)
-		if err != nil {
-			continue // no version at or below the horizon
+	prefix := replog.DataPrefix(group)
+	var snap snapshot
+	err := s.log(group).ReadStable(func(horizon int64) error {
+		snap = snapshot{Group: group, Horizon: horizon}
+		for _, key := range s.store.KeysWithPrefix(prefix) {
+			v, ts, err := s.store.Read(key, horizon)
+			if err != nil {
+				continue // no version at or below the horizon
+			}
+			snap.Rows = append(snap.Rows, snapshotRow{Key: key[len(prefix):], TS: ts, Val: v["v"]})
 		}
-		snap.Rows = append(snap.Rows, snapshotRow{Key: key[len(prefix):], TS: ts, Val: v["v"]})
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
@@ -115,33 +102,28 @@ func (s *Service) buildSnapshot(group string) ([]byte, error) {
 }
 
 // installSnapshot applies a peer's snapshot: data rows land idempotently at
-// their original version timestamps and the applied horizon jumps to the
-// snapshot's. Entries above the horizon continue through normal catch-up.
+// their original version timestamps in one write batch, and the applied
+// watermark jumps to the snapshot's horizon. Entries above the horizon
+// continue through normal catch-up.
 func (s *Service) installSnapshot(blob []byte) error {
 	var snap snapshot
 	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&snap); err != nil {
 		return fmt.Errorf("core: decode snapshot: %w", err)
 	}
-	mu := s.groupMu(snap.Group)
-	mu.Lock()
-	defer mu.Unlock()
-	if s.lastApplied(snap.Group) >= snap.Horizon {
+	lg := s.log(snap.Group)
+	if lg.Applied() >= snap.Horizon {
 		return nil // already ahead
 	}
+	writes := make([]kvstore.BatchWrite, 0, len(snap.Rows))
 	for _, row := range snap.Rows {
-		key := dataKey(snap.Group, row.Key)
-		if err := s.store.WriteIdempotent(key, kvstore.Value{"v": row.Val}, row.TS); err != nil {
-			return fmt.Errorf("core: install %s@%d: %w", row.Key, row.TS, err)
-		}
+		writes = append(writes, kvstore.BatchWrite{
+			Key: dataKey(snap.Group, row.Key), Value: kvstore.Value{"v": row.Val}, TS: row.TS,
+		})
 	}
-	return s.store.Update(metaKey(snap.Group), func(cur kvstore.Value) (kvstore.Value, error) {
-		if cur == nil {
-			cur = kvstore.Value{}
-		}
-		cur["last"] = strconv.FormatInt(snap.Horizon, 10)
-		cur["compacted"] = strconv.FormatInt(snap.Horizon, 10)
-		return cur, nil
-	})
+	if err := s.store.ApplyBatch(writes); err != nil {
+		return fmt.Errorf("core: install snapshot %s: %w", snap.Group, err)
+	}
+	return lg.InstallSnapshot(snap.Horizon)
 }
 
 // handleSnapshot serves a snapshot request.

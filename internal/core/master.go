@@ -76,28 +76,31 @@ func (c *Client) commitMaster(ctx context.Context, t *Tx) (CommitResult, error) 
 const masterConflict = "conflict"
 
 // handleSubmit is the master-side transaction manager. It serializes the
-// conflict check, position assignment, and replication per group.
+// conflict check, position assignment, and replication per group through the
+// replicated log's sequencer lock (distinct from the apply path, so the
+// master's own apply fan-out — which loops back to this service — cannot
+// deadlock against the submit pipeline).
 func (s *Service) handleSubmit(req network.Message) network.Message {
 	entry, err := wal.Decode(req.Payload)
 	if err != nil || len(entry.Txns) != 1 {
 		return network.Status(false, "bad submit payload")
 	}
-	txn := entry.Txns[0]
-	group := req.Group
+	var resp network.Message
+	s.log(req.Group).Sequence(func() {
+		resp = s.submitSequenced(req.Group, entry.Txns[0], req.Payload)
+	})
+	return resp
+}
 
-	// The sequencer lock serializes conflict check, position assignment,
-	// and replication per group. It is distinct from the apply mutex so the
-	// master's own apply fan-out (which loops back to this service) cannot
-	// deadlock against the submit pipeline.
-	mu := s.sequencerMu(group)
-	mu.Lock()
-	defer mu.Unlock()
-
+// submitSequenced runs the master pipeline for one submitted transaction.
+// Caller holds the group's sequencer lock.
+func (s *Service) submitSequenced(group string, txn wal.Txn, payload []byte) network.Message {
+	lg := s.log(group)
 	ctx, cancel := context.WithTimeout(context.Background(), 4*s.timeout)
 	defer cancel()
 
 	for attempt := 0; attempt < 8; attempt++ {
-		last := s.lastApplied(group)
+		last := lg.Applied()
 		if txn.ReadPos > last {
 			// The client read at a position this master has not applied —
 			// possible right after failover. Catch up first.
@@ -107,9 +110,10 @@ func (s *Service) handleSubmit(req network.Message) network.Message {
 			continue
 		}
 		// Fine-grained conflict check: the transaction aborts iff a log
-		// entry after its read position wrote something it read.
+		// entry after its read position wrote something it read. Entries
+		// come decoded from the replog cache — no per-check re-decode.
 		for pos := txn.ReadPos + 1; pos <= last; pos++ {
-			prev, ok := s.DecidedEntry(group, pos)
+			prev, ok := lg.Entry(pos)
 			if !ok {
 				return network.Status(false, fmt.Sprintf("log hole at %d", pos))
 			}
@@ -118,7 +122,7 @@ func (s *Service) handleSubmit(req network.Message) network.Message {
 			}
 		}
 		pos := last + 1
-		decided, committed, err := s.replicateAsMaster(ctx, group, pos, req.Payload)
+		decided, committed, err := s.replicateAsMaster(ctx, group, pos, payload)
 		if err != nil {
 			return network.Status(false, err.Error())
 		}

@@ -4,55 +4,53 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strconv"
-	"sync"
 	"time"
 
 	"paxoscp/internal/kvstore"
 	"paxoscp/internal/network"
 	"paxoscp/internal/paxos"
+	"paxoscp/internal/replog"
 	"paxoscp/internal/wal"
 )
 
 // Key-value store layout used by the Transaction Service. Everything the
 // service knows lives in its datacenter's kvstore, keeping the service
-// processes themselves stateless (§2.2), with the exception of a per-group
-// apply mutex that only serializes local log application.
+// processes themselves stateless (§2.2): the per-group replicated log rows
+// (data/, log/, meta/ — owned by internal/replog, see DESIGN.md §4) plus the
+// protocol rows this package owns:
 //
-//	data/<group>/<key>   data item versions; version timestamp = log position
-//	log/<group>/<pos>    decided log entry (attr "entry" = encoded wal.Entry)
-//	meta/<group>         attr "last" = highest contiguously applied position
 //	claim/<group>/<pos>  leader fast-path claim (attr "owner")
 //	paxos/<group>/<pos>  acceptor state (managed by internal/paxos)
-func dataKey(group, key string) string { return fmt.Sprintf("data/%s/%s", group, key) }
-func logKey(group string, pos int64) string {
-	return fmt.Sprintf("log/%s/%d", group, pos)
-}
-func metaKey(group string) string { return fmt.Sprintf("meta/%s", group) }
+//
+// These run on the commit hot path, so they are built by the allocation-free
+// kvstore.PosKey, not fmt.Sprintf (BenchmarkKeyEncoding in internal/replog
+// guards the technique). Acceptor rows are named by paxos.StateKey.
+func dataKey(group, key string) string { return replog.DataKey(group, key) }
+
 func claimKey(group string, pos int64) string {
-	return fmt.Sprintf("claim/%s/%d", group, pos)
+	return kvstore.PosKey("claim/", group, pos)
 }
 
 // Service is one datacenter's Transaction Service. It owns the datacenter's
 // key-value store, answers Paxos messages through its acceptor, serves reads
-// at a requested log position, applies decided log entries, and catches up
-// missing entries from its peers (fault tolerance and recovery, §4.1).
+// at a requested log position, applies decided log entries through the
+// per-group replicated log (internal/replog), and catches up missing entries
+// from its peers (fault tolerance and recovery, §4.1).
 type Service struct {
 	dc       string
 	store    *kvstore.Store
 	acceptor *paxos.Acceptor
+
+	// logs holds the per-group replicated logs: decided entries, the
+	// applied watermark readers block on, and the batched async apply
+	// pipeline.
+	logs *replog.Set
 
 	// transport reaches peer datacenters for catch-up. It may be nil in
 	// single-DC tests; catch-up then only serves from the local log.
 	transport network.Transport
 	// timeout bounds catch-up message rounds.
 	timeout time.Duration
-
-	// applyMu serializes log application per group; seqMu serializes the
-	// master protocol's submit pipeline per group (see master.go).
-	mu      sync.Mutex
-	applyMu map[string]*sync.Mutex
-	seqMu   map[string]*sync.Mutex
 }
 
 // ServiceOption configures a Service.
@@ -71,10 +69,9 @@ func NewService(dc string, store *kvstore.Store, transport network.Transport, op
 		dc:        dc,
 		store:     store,
 		acceptor:  paxos.NewAcceptor(store),
+		logs:      replog.NewSet(store),
 		transport: transport,
 		timeout:   network.DefaultTimeout,
-		applyMu:   make(map[string]*sync.Mutex),
-		seqMu:     make(map[string]*sync.Mutex),
 	}
 	for _, o := range opts {
 		o(s)
@@ -88,27 +85,12 @@ func (s *Service) DC() string { return s.dc }
 // Store exposes the underlying kvstore (used by examples and tests).
 func (s *Service) Store() *kvstore.Store { return s.store }
 
-func (s *Service) groupMu(group string) *sync.Mutex {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m := s.applyMu[group]
-	if m == nil {
-		m = &sync.Mutex{}
-		s.applyMu[group] = m
-	}
-	return m
-}
+// log returns the group's replicated log.
+func (s *Service) log(group string) *replog.Log { return s.logs.Get(group) }
 
-func (s *Service) sequencerMu(group string) *sync.Mutex {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m := s.seqMu[group]
-	if m == nil {
-		m = &sync.Mutex{}
-		s.seqMu[group] = m
-	}
-	return m
-}
+// Close stops the per-group apply goroutines. Durable state is untouched; a
+// new Service over the same store resumes where this one stopped.
+func (s *Service) Close() { s.logs.Close() }
 
 // Handler returns the network handler that dispatches every protocol
 // message this service understands.
@@ -146,9 +128,6 @@ func (s *Service) Handler() network.Handler {
 
 // handleApply stores a decided entry and advances the applied horizon.
 func (s *Service) handleApply(req network.Message) network.Message {
-	if _, err := wal.Decode(req.Payload); err != nil {
-		return network.Status(false, err.Error())
-	}
 	if err := s.ApplyDecided(req.Group, req.Pos, req.Payload); err != nil {
 		return network.Status(false, err.Error())
 	}
@@ -156,68 +135,31 @@ func (s *Service) handleApply(req network.Message) network.Message {
 }
 
 // ApplyDecided records the decided entry for (group, pos) in the local log
-// and applies every newly contiguous log entry's writes to the data rows.
-// It is idempotent: duplicated apply messages and replays are harmless.
+// and waits until every newly contiguous entry's writes have reached the
+// data rows (the apply goroutine batches them; see internal/replog). It is
+// idempotent: duplicated apply messages and replays are harmless. An entry
+// above a log gap is recorded and queued but not waited for — the gap is
+// filled by catch-up.
 func (s *Service) ApplyDecided(group string, pos int64, entryBytes []byte) error {
 	if pos < 1 {
 		return fmt.Errorf("core: apply at invalid position %d", pos)
 	}
-	mu := s.groupMu(group)
-	mu.Lock()
-	defer mu.Unlock()
-	if err := s.store.WriteIdempotent(logKey(group, pos), kvstore.Value{"entry": string(entryBytes)}, 0); err != nil {
-		return fmt.Errorf("core: store log entry %s/%d: %w", group, pos, err)
+	lg := s.log(group)
+	horizon, err := lg.Append(pos, entryBytes)
+	if err != nil {
+		return fmt.Errorf("core: apply %s/%d: %w", group, pos, err)
 	}
-	return s.advanceLocked(group)
-}
-
-// advanceLocked applies all contiguous decided entries beyond the current
-// horizon. Caller holds the group's apply mutex.
-func (s *Service) advanceLocked(group string) error {
-	last := s.lastApplied(group)
-	for {
-		next := last + 1
-		raw, _, err := s.store.Read(logKey(group, next), kvstore.Latest)
-		if errors.Is(err, kvstore.ErrNotFound) {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		entry, err := wal.Decode([]byte(raw["entry"]))
-		if err != nil {
-			return fmt.Errorf("core: corrupt log entry %s/%d: %w", group, next, err)
-		}
-		// Apply the entry's merged writes with the log position as the
-		// version timestamp (§3.2).
-		for key, val := range entry.Writes() {
-			if err := s.store.WriteIdempotent(dataKey(group, key), kvstore.Value{"v": val}, next); err != nil {
-				return fmt.Errorf("core: apply %s/%s@%d: %w", group, key, next, err)
-			}
-		}
-		last = next
-		if err := s.store.Update(metaKey(group), func(cur kvstore.Value) (kvstore.Value, error) {
-			if cur == nil {
-				cur = kvstore.Value{}
-			}
-			cur["last"] = strconv.FormatInt(last, 10)
-			return cur, nil
-		}); err != nil {
-			return err
-		}
+	if horizon < pos {
+		return nil // gapped: positions below pos are still missing
 	}
-	return nil
+	return lg.WaitApplied(context.Background(), horizon)
 }
 
 // lastApplied returns the highest contiguously applied log position for
-// group; 0 means the log is empty.
+// group; 0 means the log is empty. This is the replog watermark — an
+// in-memory read, no meta-row round trip.
 func (s *Service) lastApplied(group string) int64 {
-	v, _, err := s.store.Read(metaKey(group), kvstore.Latest)
-	if err != nil {
-		return 0
-	}
-	n, _ := strconv.ParseInt(v["last"], 10, 64)
-	return n
+	return s.log(group).Applied()
 }
 
 // LastApplied exposes the applied horizon (tests, tooling, examples).
@@ -226,35 +168,14 @@ func (s *Service) LastApplied(group string) int64 { return s.lastApplied(group) 
 // LogSnapshot returns every decided log entry this datacenter knows for
 // group, keyed by position. Used by the history checker and tooling.
 func (s *Service) LogSnapshot(group string) map[int64]wal.Entry {
-	out := make(map[int64]wal.Entry)
-	prefix := fmt.Sprintf("log/%s/", group)
-	for _, key := range s.store.Keys() {
-		if len(key) <= len(prefix) || key[:len(prefix)] != prefix {
-			continue
-		}
-		pos, err := strconv.ParseInt(key[len(prefix):], 10, 64)
-		if err != nil {
-			continue
-		}
-		if entry, ok := s.DecidedEntry(group, pos); ok {
-			out[pos] = entry
-		}
-	}
-	return out
+	return s.log(group).Snapshot()
 }
 
 // DecidedEntry returns the decided log entry at pos, if this datacenter has
-// learned it.
+// learned it. The entry may be served from the replog cache: treat it as
+// read-only.
 func (s *Service) DecidedEntry(group string, pos int64) (wal.Entry, bool) {
-	raw, _, err := s.store.Read(logKey(group, pos), kvstore.Latest)
-	if err != nil {
-		return wal.Entry{}, false
-	}
-	entry, err := wal.Decode([]byte(raw["entry"]))
-	if err != nil {
-		return wal.Entry{}, false
-	}
-	return entry, true
+	return s.log(group).Entry(pos)
 }
 
 // --- transaction API handlers -------------------------------------------
@@ -267,7 +188,8 @@ func (s *Service) handleReadPos(req network.Message) network.Message {
 
 // handleRead serves a read at the requested read position (transaction
 // protocol step 2). If this datacenter's log lags the position, it first
-// catches up from its peers.
+// catches up from its peers; entries already decided locally are waited on
+// through the replog watermark instead.
 func (s *Service) handleRead(req network.Message) network.Message {
 	if s.lastApplied(req.Group) < req.TS {
 		if err := s.CatchUp(context.Background(), req.Group, req.TS); err != nil {
@@ -288,14 +210,14 @@ func (s *Service) handleRead(req network.Message) network.Message {
 // A position below the local compaction horizon is reported as compacted so
 // the laggard switches to snapshot transfer.
 func (s *Service) handleFetchLog(req network.Message) network.Message {
-	raw, _, err := s.store.Read(logKey(req.Group, req.Pos), kvstore.Latest)
-	if err != nil {
+	raw, ok := s.log(req.Group).EntryBytes(req.Pos)
+	if !ok {
 		if compacted := s.CompactedTo(req.Group); req.Pos < compacted {
 			return network.Message{Kind: network.KindValue, OK: false, Err: errCompacted, TS: compacted}
 		}
 		return network.Message{Kind: network.KindValue, OK: false}
 	}
-	return network.Message{Kind: network.KindValue, OK: true, Payload: []byte(raw["entry"])}
+	return network.Message{Kind: network.KindValue, OK: true, Payload: raw}
 }
 
 // --- leader fast path -----------------------------------------------------
@@ -358,18 +280,17 @@ func (s *Service) Leader(group string, pos int64) string {
 // running a Paxos instance for the position ("If a Transaction Service does
 // not receive all Paxos messages for a log position ... it executes a Paxos
 // instance for the missing log entry to learn the winning value", §4.1).
+// Entries already decided locally are not re-fetched; the caller blocks on
+// the replog watermark until the apply goroutine has landed them.
 func (s *Service) CatchUp(ctx context.Context, group string, target int64) error {
+	lg := s.log(group)
 	for {
-		pos := s.lastApplied(group) + 1
+		pos := lg.Applied() + 1
 		if pos > target {
 			return nil
 		}
-		if _, ok := s.DecidedEntry(group, pos); ok {
-			mu := s.groupMu(group)
-			mu.Lock()
-			err := s.advanceLocked(group)
-			mu.Unlock()
-			if err != nil {
+		if lg.Has(pos) {
+			if err := lg.WaitApplied(ctx, pos); err != nil {
 				return err
 			}
 			continue
@@ -397,7 +318,8 @@ func (s *Service) CatchUp(ctx context.Context, group string, target int64) error
 // peer has decided are resolved by learning; a position nobody voted on is
 // filled with a no-op entry so the log has no permanent holes.
 func (s *Service) Recover(ctx context.Context, group string) error {
-	target := s.lastApplied(group)
+	lg := s.log(group)
+	target := lg.Applied()
 	if s.transport != nil {
 		for _, dc := range s.transport.Peers() {
 			if dc == s.dc {
@@ -412,16 +334,12 @@ func (s *Service) Recover(ctx context.Context, group string) error {
 		}
 	}
 	for {
-		pos := s.lastApplied(group) + 1
+		pos := lg.Applied() + 1
 		if pos > target {
 			break
 		}
-		if _, ok := s.DecidedEntry(group, pos); ok {
-			mu := s.groupMu(group)
-			mu.Lock()
-			err := s.advanceLocked(group)
-			mu.Unlock()
-			if err != nil {
+		if lg.Has(pos) {
+			if err := lg.WaitApplied(ctx, pos); err != nil {
 				return err
 			}
 			continue
@@ -440,13 +358,6 @@ func (s *Service) Recover(ctx context.Context, group string) error {
 			return err
 		}
 	}
-	mu := s.groupMu(group)
-	mu.Lock()
-	if err := s.advanceLocked(group); err != nil {
-		mu.Unlock()
-		return err
-	}
-	mu.Unlock()
 
 	// Probe past every peer's applied horizon: a transaction whose accept
 	// round reached a majority is committed even if every apply message was
@@ -456,7 +367,7 @@ func (s *Service) Recover(ctx context.Context, group string) error {
 	// eventually be completed, either by another client or by a Transaction
 	// Service" — recovery is that service.
 	for {
-		pos := s.lastApplied(group) + 1
+		pos := lg.Applied() + 1
 		entry, err := s.learn(ctx, group, pos, false)
 		if err != nil {
 			if errors.Is(err, errSnapshotRequired) {

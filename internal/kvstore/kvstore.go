@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -116,6 +117,21 @@ type Store struct {
 	closed bool
 }
 
+// PosKey builds the per-position row name "<prefix><group>/<pos>" shared by
+// the log, acceptor, and claim layouts (see DESIGN.md §4). It runs on every
+// commit and apply, so it avoids fmt.Sprintf: the integer renders through
+// strconv.AppendInt into a stack buffer and the result is one allocation.
+// The buffer covers every realistic group name; longer ones spill to the
+// heap but stay correct.
+func PosKey(prefix, group string, pos int64) string {
+	var buf [64]byte
+	b := append(buf[:0], prefix...)
+	b = append(b, group...)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, pos, 10)
+	return string(b)
+}
+
 // New returns an empty Store.
 func New() *Store {
 	s := &Store{}
@@ -211,6 +227,52 @@ func (s *Store) Write(key string, value Value, ts int64) (int64, error) {
 	return ts, nil
 }
 
+// checkIdempotent reports whether applying (ts, value) idempotently would
+// conflict: a version already exists at ts with a different value.
+// Caller must hold r.mu.
+func (r *row) checkIdempotent(ts int64, value Value) error {
+	last := r.latest()
+	if last == nil || last.Timestamp < ts {
+		return nil // appends past the tail never conflict
+	}
+	if v := r.at(ts); v != nil && v.Timestamp == ts && !v.Value.Equal(value) {
+		return fmt.Errorf("%w: conflicting rewrite of ts=%d", ErrStaleWrite, ts)
+	}
+	return nil
+}
+
+// applyIdempotent inserts (ts, value) keeping versions ordered by timestamp.
+// Re-writing an existing timestamp with an identical value is a no-op; a
+// different value is a conflict. When clone is false the row takes ownership
+// of value (the batched apply path hands over freshly built maps; everything
+// else must pass clone=true to preserve the store's copy-on-write contract).
+// Caller must hold r.mu.
+func (r *row) applyIdempotent(ts int64, value Value, clone bool) error {
+	if clone {
+		value = value.Clone()
+	}
+	last := r.latest()
+	if last == nil || last.Timestamp < ts {
+		r.versions = append(r.versions, Version{Timestamp: ts, Value: value})
+		return nil
+	}
+	if v := r.at(ts); v != nil && v.Timestamp == ts {
+		if v.Value.Equal(value) {
+			return nil
+		}
+		return fmt.Errorf("%w: conflicting rewrite of ts=%d", ErrStaleWrite, ts)
+	}
+	// A newer version exists but this exact timestamp was never written:
+	// insert in order to keep historical reads correct.
+	i := sort.Search(len(r.versions), func(i int) bool {
+		return r.versions[i].Timestamp > ts
+	})
+	r.versions = append(r.versions, Version{})
+	copy(r.versions[i+1:], r.versions[i:])
+	r.versions[i] = Version{Timestamp: ts, Value: value}
+	return nil
+}
+
 // WriteIdempotent is Write except that re-writing an existing timestamp with
 // an identical value succeeds silently. The WAL apply path uses this so that
 // replayed log entries (after recovery or duplicated apply messages) are
@@ -225,26 +287,89 @@ func (s *Store) WriteIdempotent(key string, value Value, ts int64) error {
 	r := s.getRow(key, true)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	last := r.latest()
-	if last != nil && last.Timestamp >= ts {
-		if v := r.at(ts); v != nil && v.Timestamp == ts {
-			if v.Value.Equal(value) {
-				return nil
-			}
-			return fmt.Errorf("%w: conflicting rewrite of ts=%d key=%q",
-				ErrStaleWrite, ts, key)
-		}
-		// A newer version exists but this exact timestamp was never
-		// written: insert in order to keep historical reads correct.
-		i := sort.Search(len(r.versions), func(i int) bool {
-			return r.versions[i].Timestamp > ts
-		})
-		r.versions = append(r.versions, Version{})
-		copy(r.versions[i+1:], r.versions[i:])
-		r.versions[i] = Version{Timestamp: ts, Value: value.Clone()}
+	if err := r.applyIdempotent(ts, value, true); err != nil {
+		return fmt.Errorf("%w key=%q", err, key)
+	}
+	return nil
+}
+
+// BatchWrite is one idempotent, explicitly-timestamped write in an
+// ApplyBatch call.
+type BatchWrite struct {
+	Key   string
+	Value Value
+	TS    int64
+}
+
+// ApplyBatch applies a batch of idempotent versioned writes (WriteIdempotent
+// semantics per element) with one shard-lock acquisition per touched shard,
+// instead of the per-key shard lookup that a loop of Write calls pays. The
+// replicated-log apply path (internal/replog) uses it to land all writes of
+// a batch of contiguous decided log entries in one pass.
+//
+// The store takes ownership of each element's Value: unlike every other
+// write operation it is NOT cloned, so callers must hand over maps they will
+// not mutate afterwards (the apply path builds them fresh per batch).
+//
+// Every write is validated before any row is mutated, so a batch that
+// conflicts with the existing state applies nothing. Under concurrent
+// non-identical writers a batch may still fail partway (applied elements are
+// idempotent, so retrying the same batch is harmless); cross-row visibility
+// is never atomic — readers may observe a prefix of the batch. The log layer
+// gates visibility through its applied watermark instead, which only
+// advances after ApplyBatch returns (see internal/replog and DESIGN.md §4).
+func (s *Store) ApplyBatch(writes []BatchWrite) error {
+	if s.isClosed() {
+		return ErrClosed
+	}
+	if len(writes) == 0 {
 		return nil
 	}
-	r.versions = append(r.versions, Version{Timestamp: ts, Value: value.Clone()})
+	var byShard [numShards][]int
+	for i := range writes {
+		if writes[i].TS < 0 {
+			return fmt.Errorf("kvstore: ApplyBatch requires explicit timestamps (key %q)", writes[i].Key)
+		}
+		si := shardFor(writes[i].Key)
+		byShard[si] = append(byShard[si], i)
+	}
+	// Pin (and create) every row up front: one shard-lock acquisition per
+	// touched shard for the whole batch.
+	rows := make([]*row, len(writes))
+	for si := range byShard {
+		idxs := byShard[si]
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := s.shards[si]
+		sh.mu.Lock()
+		for _, i := range idxs {
+			r := sh.rows[writes[i].Key]
+			if r == nil {
+				r = &row{}
+				sh.rows[writes[i].Key] = r
+			}
+			rows[i] = r
+		}
+		sh.mu.Unlock()
+	}
+	// Validate everything first so a conflicting batch mutates nothing.
+	for i := range writes {
+		rows[i].mu.Lock()
+		err := rows[i].checkIdempotent(writes[i].TS, writes[i].Value)
+		rows[i].mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("%w key=%q", err, writes[i].Key)
+		}
+	}
+	for i := range writes {
+		rows[i].mu.Lock()
+		err := rows[i].applyIdempotent(writes[i].TS, writes[i].Value, false)
+		rows[i].mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("%w key=%q", err, writes[i].Key)
+		}
+	}
 	return nil
 }
 

@@ -2,7 +2,6 @@ package paxos
 
 import (
 	"errors"
-	"fmt"
 	"strconv"
 
 	"paxoscp/internal/kvstore"
@@ -31,9 +30,15 @@ func NewAcceptor(store *kvstore.Store) *Acceptor {
 	return &Acceptor{store: store}
 }
 
-// stateKey is the kvstore row that holds Paxos state for (group, pos).
-func stateKey(group string, pos int64) string {
-	return fmt.Sprintf("paxos/%s/%d", group, pos)
+// StatePrefix is the row-name prefix of acceptor state. internal/core
+// scavenges these rows at compaction time via StateKey.
+const StatePrefix = "paxos/"
+
+// StateKey is the kvstore row that holds Paxos state for (group, pos). It
+// runs on every prepare/accept load and CAS, so it is built allocation-free
+// by kvstore.PosKey rather than fmt.Sprintf.
+func StateKey(group string, pos int64) string {
+	return kvstore.PosKey(StatePrefix, group, pos)
 }
 
 // acceptorState is the decoded row.
@@ -56,7 +61,7 @@ func parseBallot(s string) int64 {
 }
 
 func (a *Acceptor) load(group string, pos int64) (acceptorState, error) {
-	v, _, err := a.store.Read(stateKey(group, pos), kvstore.Latest)
+	v, _, err := a.store.Read(StateKey(group, pos), kvstore.Latest)
 	if errors.Is(err, kvstore.ErrNotFound) {
 		return acceptorState{seq: 0, nextBal: NilBallot, voteBal: NilBallot}, nil
 	}
@@ -97,7 +102,7 @@ func (a *Acceptor) cas(group string, pos int64, old acceptorState, next acceptor
 		val["voteBal"] = strconv.FormatInt(next.voteBal, 10)
 		val["voteVal"] = string(next.voteVal)
 	}
-	err := a.store.CheckAndWrite(stateKey(group, pos), "seq", testSeq, val)
+	err := a.store.CheckAndWrite(StateKey(group, pos), "seq", testSeq, val)
 	if errors.Is(err, kvstore.ErrCheckFailed) {
 		return false, nil
 	}

@@ -1,0 +1,31 @@
+package replog
+
+import "paxoscp/internal/kvstore"
+
+// Key construction for the replicated log's kvstore rows. These run on every
+// commit, apply, and read, so they avoid fmt.Sprintf: plain concatenation
+// compiles to a single allocation, and position keys go through
+// kvstore.PosKey (BenchmarkKeyEncoding guards both).
+//
+// The layout is the seed's, unchanged, so persisted stores and snapshots
+// stay compatible (see DESIGN.md §4):
+//
+//	data/<group>/<key>   data item versions; version timestamp = log position
+//	log/<group>/<pos>    decided log entry (attr "entry" = encoded wal.Entry)
+//	meta/<group>         attr "last" = applied watermark, "compacted" = horizon
+
+// DataKey is the row holding versions of one data item of a group.
+func DataKey(group, key string) string { return "data/" + group + "/" + key }
+
+// DataPrefix is the common prefix of a group's data rows.
+func DataPrefix(group string) string { return "data/" + group + "/" }
+
+// LogKey is the row holding the decided log entry at pos.
+func LogKey(group string, pos int64) string { return kvstore.PosKey("log/", group, pos) }
+
+// LogPrefix is the common prefix of a group's log rows.
+func LogPrefix(group string) string { return "log/" + group + "/" }
+
+// MetaKey is the row holding the group's applied watermark and compaction
+// horizon.
+func MetaKey(group string) string { return "meta/" + group }

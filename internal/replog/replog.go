@@ -1,0 +1,559 @@
+// Package replog is the per-group replicated-log subsystem of the
+// transaction tier (DESIGN.md §4). A Log owns one group's decided-entry log,
+// its contiguously-applied watermark, a decoded-entry cache, and a single
+// apply goroutine that drains decided positions and lands their writes as
+// kvstore write batches.
+//
+// The seed kept all of this implicit: string-keyed rows in the datacenter's
+// key-value store, a coarse per-group apply mutex in the Transaction
+// Service, and meta-row round trips on every read-position request. The Log
+// keeps the same durable row layout (see keys.go) — services stay stateless
+// in the paper's sense, a restart rebuilds the Log from the store — but the
+// hot-path state (watermark, pending entries, decoded cache) lives in
+// memory, readers block on the watermark through WaitApplied instead of
+// polling the meta row, and application is batched: one kvstore.ApplyBatch
+// and one meta-row update per drained run of contiguous positions, however
+// many apply messages delivered them.
+package replog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"paxoscp/internal/kvstore"
+	"paxoscp/internal/wal"
+)
+
+// ErrClosed is returned by operations on a closed Log.
+var ErrClosed = errors.New("replog: log closed")
+
+// cacheLimit bounds the decoded-entry cache per group. Entries this far
+// behind the newest cached position are evicted; compaction evicts eagerly.
+const cacheLimit = 4096
+
+// Log is one group's replicated log at one datacenter. All methods are safe
+// for concurrent use. Construct with Open.
+type Log struct {
+	group string
+	store *kvstore.Store
+
+	// seqMu serializes the master protocol's submit pipeline (Sequence).
+	// It is distinct from the apply path so the master's own apply fan-out
+	// cannot deadlock against its submit pipeline.
+	seqMu sync.Mutex
+
+	// compactMu serializes compaction passes.
+	compactMu sync.Mutex
+
+	// ioMu orders bulk store mutations against watermark movement: the
+	// apply goroutine's batch+meta write and snapshot installation.
+	ioMu sync.Mutex
+	// batch is drain's reusable write buffer (guarded by ioMu). The Value
+	// maps inside are handed to the store (ApplyBatch takes ownership);
+	// only the slice header is reused.
+	batch []kvstore.BatchWrite
+
+	// mu guards the fields below. Critical sections are short; the apply
+	// goroutine does its store I/O outside mu.
+	mu        sync.Mutex
+	applied   int64               // contiguously applied watermark
+	compacted int64               // compaction horizon
+	pending   map[int64]wal.Entry // decided but not yet applied (pos > applied)
+	cache     map[int64]wal.Entry // decoded entries (read-only, shared)
+	cacheTop  int64               // highest cached position (eviction anchor)
+	applyErr  error               // sticky apply failure; surfaced by waiters
+	waitCh    chan struct{}       // closed+replaced on every watermark advance
+	notifyCh  chan struct{}       // wakes the apply goroutine (capacity 1)
+	stopCh    chan struct{}
+	stopOnce  sync.Once
+}
+
+// Open returns the Log for (store, group), rebuilding its in-memory state
+// from the store's rows: the watermark and compaction horizon from the meta
+// row, and any decided-but-unapplied entries (written durably before a
+// restart) into the pending set, which the apply goroutine then drains.
+func Open(store *kvstore.Store, group string) *Log {
+	l := &Log{
+		group:    group,
+		store:    store,
+		pending:  make(map[int64]wal.Entry),
+		cache:    make(map[int64]wal.Entry),
+		waitCh:   make(chan struct{}),
+		notifyCh: make(chan struct{}, 1),
+		stopCh:   make(chan struct{}),
+	}
+	if v, _, err := store.Read(MetaKey(group), kvstore.Latest); err == nil {
+		l.applied, _ = strconv.ParseInt(v["last"], 10, 64)
+		l.compacted, _ = strconv.ParseInt(v["compacted"], 10, 64)
+	}
+	// Recover decided entries above the watermark into the pending set.
+	prefix := LogPrefix(group)
+	for _, key := range store.KeysWithPrefix(prefix) {
+		pos, err := strconv.ParseInt(key[len(prefix):], 10, 64)
+		if err != nil || pos <= l.applied {
+			continue
+		}
+		raw, _, err := store.Read(key, kvstore.Latest)
+		if err != nil {
+			continue
+		}
+		if entry, err := wal.Decode([]byte(raw["entry"])); err == nil {
+			l.pending[pos] = entry
+		}
+	}
+	// Drain recovered entries synchronously so a restarted replica surfaces
+	// a fully advanced watermark before it serves its first request.
+	if len(l.pending) > 0 {
+		l.drain()
+	}
+	go l.run()
+	return l
+}
+
+// Group returns the transaction group this log belongs to.
+func (l *Log) Group() string { return l.group }
+
+// Close stops the apply goroutine and fails pending and future waiters with
+// ErrClosed. Durable state is untouched; Open rebuilds from it.
+func (l *Log) Close() {
+	l.stopOnce.Do(func() { close(l.stopCh) })
+}
+
+// Applied returns the contiguously-applied watermark: every log entry at or
+// below it has had its writes applied to the data rows. 0 means empty.
+func (l *Log) Applied() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.applied
+}
+
+// CompactedTo returns the compaction horizon: log entries strictly below it
+// have been scavenged locally. 0 means never compacted.
+func (l *Log) CompactedTo() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.compacted
+}
+
+// Append records the decided entry for pos: the entry bytes are validated,
+// written durably to the log row (idempotently — duplicated apply messages
+// and replays are harmless, a different value for a decided position is
+// refused), and queued for the apply goroutine. It returns the contiguous
+// decided horizon — the highest position h such that every position in
+// (Applied(), h] is decided locally; the watermark will reach h without
+// further appends. When pos is above a gap, h < pos and the caller must
+// catch the gap up before waiting on pos.
+func (l *Log) Append(pos int64, entryBytes []byte) (int64, error) {
+	if pos < 1 {
+		return 0, fmt.Errorf("replog: append at invalid position %d", pos)
+	}
+	entry, err := wal.Decode(entryBytes)
+	if err != nil {
+		return 0, fmt.Errorf("replog: entry %s/%d: %w", l.group, pos, err)
+	}
+	if err := l.store.WriteIdempotent(LogKey(l.group, pos), kvstore.Value{"entry": string(entryBytes)}, 0); err != nil {
+		return 0, fmt.Errorf("replog: store entry %s/%d: %w", l.group, pos, err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.applyErr; err != nil {
+		return 0, err
+	}
+	if pos > l.applied {
+		if _, ok := l.pending[pos]; !ok {
+			l.pending[pos] = entry
+		}
+	}
+	h := l.applied
+	for {
+		if _, ok := l.pending[h+1]; !ok {
+			break
+		}
+		h++
+	}
+	l.notify()
+	return h, nil
+}
+
+// WaitApplied blocks until the watermark reaches pos, ctx is done, or the
+// log fails or closes. The caller is responsible for pos being reachable
+// (decided locally or being caught up); use the horizon Append returns.
+func (l *Log) WaitApplied(ctx context.Context, pos int64) error {
+	for {
+		l.mu.Lock()
+		if l.applied >= pos {
+			l.mu.Unlock()
+			return nil
+		}
+		if err := l.applyErr; err != nil {
+			l.mu.Unlock()
+			return err
+		}
+		ch := l.waitCh
+		l.mu.Unlock()
+		select {
+		case <-ch:
+		case <-l.stopCh:
+			return ErrClosed
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Has reports whether the decided entry at pos is known locally (applied,
+// pending, or durable in the store), without decoding it.
+func (l *Log) Has(pos int64) bool {
+	l.mu.Lock()
+	_, inPending := l.pending[pos]
+	_, inCache := l.cache[pos]
+	l.mu.Unlock()
+	if inPending || inCache {
+		return true
+	}
+	_, _, err := l.store.Read(LogKey(l.group, pos), kvstore.Latest)
+	return err == nil
+}
+
+// Entry returns the decided entry at pos, if known locally. The returned
+// entry may be shared with the cache and other callers: treat it as
+// read-only (Clone before mutating). Serving from the cache avoids
+// re-decoding entry bytes on catch-up, leader computation, and the master's
+// promotion-conflict checks.
+func (l *Log) Entry(pos int64) (wal.Entry, bool) {
+	l.mu.Lock()
+	if e, ok := l.pending[pos]; ok {
+		l.mu.Unlock()
+		return e, true
+	}
+	if e, ok := l.cache[pos]; ok {
+		l.mu.Unlock()
+		return e, true
+	}
+	l.mu.Unlock()
+	raw, _, err := l.store.Read(LogKey(l.group, pos), kvstore.Latest)
+	if err != nil {
+		return wal.Entry{}, false
+	}
+	entry, err := wal.Decode([]byte(raw["entry"]))
+	if err != nil {
+		return wal.Entry{}, false
+	}
+	l.mu.Lock()
+	l.cacheLocked(pos, entry)
+	l.mu.Unlock()
+	return entry, true
+}
+
+// EntryBytes returns the encoded decided entry at pos, for serving catch-up
+// fetches.
+func (l *Log) EntryBytes(pos int64) ([]byte, bool) {
+	raw, _, err := l.store.Read(LogKey(l.group, pos), kvstore.Latest)
+	if err != nil {
+		return nil, false
+	}
+	return []byte(raw["entry"]), true
+}
+
+// Snapshot returns every decided log entry known locally, keyed by position.
+// Entries are deep copies; intended for the history checker and tooling.
+func (l *Log) Snapshot() map[int64]wal.Entry {
+	out := make(map[int64]wal.Entry)
+	prefix := LogPrefix(l.group)
+	for _, key := range l.store.KeysWithPrefix(prefix) {
+		pos, err := strconv.ParseInt(key[len(prefix):], 10, 64)
+		if err != nil {
+			continue
+		}
+		if entry, ok := l.Entry(pos); ok {
+			out[pos] = entry.Clone()
+		}
+	}
+	l.mu.Lock()
+	for pos, entry := range l.pending {
+		if _, ok := out[pos]; !ok {
+			out[pos] = entry.Clone()
+		}
+	}
+	l.mu.Unlock()
+	return out
+}
+
+// Sequence runs fn while holding the group's sequencer lock, serializing the
+// master protocol's conflict check, position assignment, and replication
+// (see DESIGN.md §3).
+func (l *Log) Sequence(fn func()) {
+	l.seqMu.Lock()
+	defer l.seqMu.Unlock()
+	fn()
+}
+
+// ReadStable runs fn with compaction excluded, passing the applied
+// watermark. fn can read every data row at that horizon without a
+// concurrent Compact scavenging the versions it is reading (snapshot
+// building uses this; the watermark itself may still advance, which only
+// adds newer versions).
+func (l *Log) ReadStable(fn func(horizon int64) error) error {
+	l.compactMu.Lock()
+	defer l.compactMu.Unlock()
+	return fn(l.Applied())
+}
+
+// Compact scavenges log rows strictly below horizon and records the new
+// compaction horizon in the meta row. The horizon is clamped to the applied
+// watermark. scavenge, when non-nil, is called with the half-open position
+// range [from, to) being compacted so the caller can drop its own
+// per-position rows (Paxos acceptor state, leader claims) and GC data
+// versions below to. Compact returns the effective horizon.
+//
+// Compact holds ioMu for its whole run so it cannot interleave with a
+// snapshot installation: without that, an install could advance the horizon
+// past ours between our clamp and our meta write, and we would regress the
+// durable horizon below positions whose rows are already scavenged.
+func (l *Log) Compact(horizon int64, scavenge func(from, to int64)) (int64, error) {
+	l.compactMu.Lock()
+	defer l.compactMu.Unlock()
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+
+	l.mu.Lock()
+	if horizon > l.applied {
+		horizon = l.applied
+	}
+	prev := l.compacted
+	l.mu.Unlock()
+	if horizon <= prev {
+		return prev, nil
+	}
+	if scavenge != nil {
+		scavenge(prev+1, horizon)
+	}
+	for pos := prev + 1; pos < horizon; pos++ {
+		l.store.Delete(LogKey(l.group, pos))
+	}
+	err := l.store.Update(MetaKey(l.group), func(cur kvstore.Value) (kvstore.Value, error) {
+		if cur == nil {
+			cur = kvstore.Value{}
+		}
+		cur["compacted"] = strconv.FormatInt(horizon, 10)
+		return cur, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	if horizon > l.compacted {
+		l.compacted = horizon
+	}
+	for pos := range l.cache {
+		if pos < horizon {
+			delete(l.cache, pos)
+		}
+	}
+	l.mu.Unlock()
+	return horizon, nil
+}
+
+// InstallSnapshot jumps the watermark and compaction horizon to a peer
+// snapshot's. The caller must have landed the snapshot's data rows first
+// (kvstore.ApplyBatch); positions above the horizon continue through normal
+// catch-up. A snapshot at or below the current watermark is a no-op.
+func (l *Log) InstallSnapshot(horizon int64) error {
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	l.mu.Lock()
+	if l.applied >= horizon {
+		l.mu.Unlock()
+		return nil
+	}
+	l.mu.Unlock()
+	err := l.store.Update(MetaKey(l.group), func(cur kvstore.Value) (kvstore.Value, error) {
+		if cur == nil {
+			cur = kvstore.Value{}
+		}
+		cur["last"] = strconv.FormatInt(horizon, 10)
+		cur["compacted"] = strconv.FormatInt(horizon, 10)
+		return cur, nil
+	})
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	if l.applied < horizon {
+		l.applied = horizon
+	}
+	if l.compacted < horizon {
+		l.compacted = horizon
+	}
+	for pos := range l.pending {
+		if pos <= l.applied {
+			delete(l.pending, pos)
+		}
+	}
+	l.broadcastLocked()
+	l.mu.Unlock()
+	l.notify()
+	return nil
+}
+
+// --- apply goroutine ------------------------------------------------------
+
+func (l *Log) notify() {
+	select {
+	case l.notifyCh <- struct{}{}:
+	default:
+	}
+}
+
+// broadcastLocked wakes every WaitApplied waiter. Caller holds l.mu.
+func (l *Log) broadcastLocked() {
+	close(l.waitCh)
+	l.waitCh = make(chan struct{})
+}
+
+// cacheLocked inserts a decoded entry, keeping the cache bounded: the
+// position trailing the newest by cacheLimit is dropped eagerly, and when
+// scattered reads (e.g. a full log scan) still push the size over the
+// limit, arbitrary entries are evicted — hot positions simply re-enter on
+// their next read. Caller holds l.mu.
+func (l *Log) cacheLocked(pos int64, entry wal.Entry) {
+	if pos > l.cacheTop {
+		l.cacheTop = pos
+	}
+	delete(l.cache, l.cacheTop-cacheLimit)
+	if len(l.cache) >= cacheLimit {
+		for p := range l.cache {
+			delete(l.cache, p)
+			if len(l.cache) < cacheLimit {
+				break
+			}
+		}
+	}
+	l.cache[pos] = entry
+}
+
+func (l *Log) run() {
+	for {
+		select {
+		case <-l.stopCh:
+			return
+		case <-l.notifyCh:
+			l.drain()
+		}
+	}
+}
+
+// drain applies every run of contiguous pending positions above the
+// watermark: one kvstore.ApplyBatch for all their writes and one meta-row
+// update per run, then a single watermark advance that wakes every waiter.
+// An apply failure (e.g. store closed during shutdown) is sticky and
+// surfaces through WaitApplied and Append.
+func (l *Log) drain() {
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	for {
+		l.mu.Lock()
+		if l.applyErr != nil {
+			l.mu.Unlock()
+			return
+		}
+		start := l.applied
+		pos := start
+		var entries []wal.Entry
+		for {
+			e, ok := l.pending[pos+1]
+			if !ok {
+				break
+			}
+			pos++
+			entries = append(entries, e)
+		}
+		l.mu.Unlock()
+		if pos == start {
+			return
+		}
+
+		writes := l.batch[:0]
+		for i, e := range entries {
+			p := start + 1 + int64(i)
+			for k, v := range e.Writes() {
+				writes = append(writes, kvstore.BatchWrite{
+					Key: DataKey(l.group, k), Value: kvstore.Value{"v": v}, TS: p,
+				})
+			}
+		}
+		l.batch = writes
+		err := l.store.ApplyBatch(writes)
+		if err == nil {
+			err = l.store.Update(MetaKey(l.group), func(cur kvstore.Value) (kvstore.Value, error) {
+				if cur == nil {
+					cur = kvstore.Value{}
+				}
+				cur["last"] = strconv.FormatInt(pos, 10)
+				return cur, nil
+			})
+		}
+
+		l.mu.Lock()
+		if err != nil {
+			l.applyErr = fmt.Errorf("replog: apply %s through %d: %w", l.group, pos, err)
+			l.broadcastLocked()
+			l.mu.Unlock()
+			return
+		}
+		for p := start + 1; p <= pos; p++ {
+			if e, ok := l.pending[p]; ok {
+				l.cacheLocked(p, e)
+				delete(l.pending, p)
+			}
+		}
+		if pos > l.applied {
+			l.applied = pos
+		}
+		l.broadcastLocked()
+		l.mu.Unlock()
+	}
+}
+
+// Set owns the Logs of every group served over one store; the Transaction
+// Service holds one Set in place of the seed's per-group mutex maps.
+type Set struct {
+	store *kvstore.Store
+
+	mu     sync.Mutex
+	logs   map[string]*Log
+	closed bool
+}
+
+// NewSet returns an empty Set over store. Logs open lazily on first Get.
+func NewSet(store *kvstore.Store) *Set {
+	return &Set{store: store, logs: make(map[string]*Log)}
+}
+
+// Get returns group's Log, opening it on first use.
+func (s *Set) Get(group string) *Log {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.logs[group]
+	if l == nil {
+		l = Open(s.store, group)
+		if s.closed {
+			l.Close()
+		}
+		s.logs[group] = l
+	}
+	return l
+}
+
+// Close stops every open Log's apply goroutine.
+func (s *Set) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for _, l := range s.logs {
+		l.Close()
+	}
+}
