@@ -1,0 +1,49 @@
+# Local mirror of .github/workflows/ci.yml: `make check` runs exactly what
+# CI runs (gofmt, vet, race tests, bench smoke + figure smoke), so local
+# runs and CI cannot diverge. Individual targets match the CI job steps.
+
+SHELL := /bin/bash
+GO ?= go
+
+.PHONY: check build fmt vet test race bench-smoke fig-smoke bench-json clean
+
+## check: everything CI gates a PR on
+check: fmt vet race bench-smoke fig-smoke
+
+build:
+	$(GO) build ./...
+
+## fmt: fail if any file needs gofmt (CI "lint" job)
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+## vet: static checks (CI "lint" job)
+vet:
+	$(GO) vet ./...
+
+## test: plain test run (tier-1 verify)
+test:
+	$(GO) test ./...
+
+## race: the CI "test" job
+race:
+	$(GO) test -race ./...
+
+## bench-smoke: one iteration of every benchmark + BENCH_ci.json (CI "bench" job)
+bench-smoke:
+	set -o pipefail; $(GO) test -bench . -benchtime 1x -run '^$$' ./... | tee bench.out
+	$(GO) run ./cmd/paxosbench -benchjson bench.out -o BENCH_ci.json -context local
+
+## fig-smoke: scaled-down full figure regeneration (CI "bench" job)
+fig-smoke:
+	$(GO) run ./cmd/paxosbench -fig all -scale 0.01 -txns 60 -q
+
+## bench-json: convert existing go-bench output (BENCH_IN) to JSON
+bench-json:
+	$(GO) run ./cmd/paxosbench -benchjson $(or $(BENCH_IN),bench.out) -o BENCH_ci.json -context local
+
+clean:
+	rm -f bench.out BENCH_ci.json

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -171,6 +172,64 @@ func benchCommit(b *testing.B, proto core.Protocol) {
 			b.Fatalf("commit %d: %+v %v", i, res, err)
 		}
 	}
+}
+
+// BenchmarkSubmitThroughput measures the master submit path under many
+// concurrent clients hammering one group: the serial baseline (window=1 — a
+// single Paxos position in flight, as the pre-pipeline master behaved) vs
+// the pipelined path (window=8), both with combination on. The commits/sec
+// metric is the figure of merit; the pipelined row must sustain at least 2x
+// the serial baseline (see DESIGN.md §8).
+func BenchmarkSubmitThroughput(b *testing.B) {
+	for _, w := range []int{1, 8} {
+		b.Run(fmt.Sprintf("window=%d", w), func(b *testing.B) {
+			benchSubmitThroughput(b, w)
+		})
+	}
+}
+
+func benchSubmitThroughput(b *testing.B, window int) {
+	const clients = 16
+	c := cluster.New(cluster.Config{
+		Topology:     cluster.MustPaperTopology("VVV"),
+		NetConfig:    network.SimConfig{Seed: 9, Scale: 0.2},
+		Timeout:      200 * time.Millisecond,
+		SubmitWindow: window,
+	})
+	defer c.Close()
+	ctx := context.Background()
+	var next int64
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		cl := c.NewClient(c.DCs()[i%3], core.Config{
+			Protocol: core.Master, MasterDC: "V1", Seed: int64(i + 1),
+		})
+		wg.Add(1)
+		go func(i int, cl *core.Client) {
+			defer wg.Done()
+			for {
+				n := atomic.AddInt64(&next, 1)
+				if n > int64(b.N) {
+					return
+				}
+				tx, err := cl.Begin(ctx, "g")
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				tx.Write(fmt.Sprintf("c%d-k%d", i, n%32), "v")
+				res, err := tx.Commit(ctx)
+				if err != nil || res.Status != stats.Committed {
+					b.Errorf("commit %d: %+v %v", n, res, err)
+					return
+				}
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "commits/sec")
 }
 
 // BenchmarkServiceApplyBurst measures decided-entry application through the

@@ -7,9 +7,14 @@
 //	paxosbench -fig 4a            # Figure 4 (commit counts and latency)
 //	paxosbench -fig 6 -txns 500   # Figure 6 at full paper scale
 //	paxosbench -fig all -scale 0.02
+//	paxosbench -benchjson bench.out -o BENCH_ci.json   # go-bench -> JSON report
 //
-// Figures: 4a, 4b, 5a, 5b, 6, 7, 8, ablation, promo, msgs, all.
-// (4a/4b and 5a/5b run the same experiment; both tables print.)
+// Figures: 4a, 4b, 5a, 5b, 6, 7, 8, ablation, promo, msgs, leader,
+// pipeline, avail, all. (4a/4b and 5a/5b run the same experiment; both
+// tables print.)
+//
+// -benchjson converts `go test -bench` output (a file, or "-" for stdin)
+// into the machine-readable BENCH_ci.json report CI uploads as an artifact.
 //
 // Latencies are simulated at -scale times real time and reported scaled
 // back to paper-equivalent milliseconds.
@@ -27,14 +32,25 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 4a 4b 5a 5b 6 7 8 ablation promo msgs leader all")
-		scale   = flag.Float64("scale", 1.0/15, "latency scale factor (1.0 = paper wall-clock)")
-		txns    = flag.Int("txns", 500, "transactions per experiment (paper: 500)")
-		threads = flag.Int("threads", 4, "concurrent workload threads (paper: 4)")
-		seed    = flag.Int64("seed", 42, "random seed")
-		quiet   = flag.Bool("q", false, "suppress progress output")
+		fig       = flag.String("fig", "all", "figure to regenerate: 4a 4b 5a 5b 6 7 8 ablation promo msgs leader pipeline avail all")
+		scale     = flag.Float64("scale", 1.0/15, "latency scale factor (1.0 = paper wall-clock)")
+		txns      = flag.Int("txns", 500, "transactions per experiment (paper: 500)")
+		threads   = flag.Int("threads", 4, "concurrent workload threads (paper: 4)")
+		seed      = flag.Int64("seed", 42, "random seed")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+		benchJSON = flag.String("benchjson", "", "convert `go test -bench` output (file, or - for stdin) to a JSON report and exit")
+		out       = flag.String("o", "BENCH_ci.json", "output path for -benchjson")
+		benchCtx  = flag.String("context", "ci", "context label recorded in the -benchjson report")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *out, *benchCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "paxosbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := bench.Options{Scale: *scale, Txns: *txns, Threads: *threads, Seed: *seed}
 	if !*quiet {
@@ -57,6 +73,7 @@ func main() {
 		{[]string{"promo"}, bench.PromotionCap},
 		{[]string{"msgs"}, bench.MessageComplexity},
 		{[]string{"leader"}, bench.LeaderComparison},
+		{[]string{"pipeline"}, bench.SubmitPipeline},
 		{[]string{"avail"}, bench.Availability},
 	}
 
@@ -91,4 +108,27 @@ func main() {
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "\ntotal wall time: %.1fs\n", time.Since(start).Seconds())
 	}
+}
+
+// writeBenchJSON converts go-bench output at inPath ("-" = stdin) into the
+// JSON benchmark report at outPath.
+func writeBenchJSON(inPath, outPath, context string) error {
+	in := os.Stdin
+	if inPath != "-" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteBenchJSON(f, in, context); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

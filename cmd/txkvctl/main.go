@@ -39,7 +39,8 @@ func main() {
 		local    = flag.String("local", "", "local datacenter name (required)")
 		peers    = flag.String("peers", "", "comma-separated name=addr peer list (required)")
 		group    = flag.String("group", "default", "transaction group key")
-		protocol = flag.String("protocol", "cp", "commit protocol: basic | cp")
+		protocol = flag.String("protocol", "cp", "commit protocol: basic | cp | master")
+		masterDC = flag.String("master", "", "master datacenter for -protocol master (default: first peer)")
 		clientID = flag.Int("id", os.Getpid()%10000, "unique client id")
 		timeout  = flag.Duration("timeout", network.DefaultTimeout, "message timeout")
 	)
@@ -69,8 +70,15 @@ func main() {
 	defer transport.Close()
 
 	cfg := core.Config{Timeout: *timeout}
-	if strings.EqualFold(*protocol, "cp") {
+	switch strings.ToLower(*protocol) {
+	case "basic":
+	case "cp":
 		cfg.Protocol = core.CP
+	case "master":
+		cfg.Protocol = core.Master
+		cfg.MasterDC = *masterDC
+	default:
+		log.Fatalf("txkvctl: unknown protocol %q (basic | cp | master)", *protocol)
 	}
 	client := core.NewClient(*clientID, *local, transport, cfg)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

@@ -35,6 +35,8 @@ func main() {
 		timeout  = flag.Duration("timeout", network.DefaultTimeout, "message-loss detection timeout")
 		dataPath = flag.String("data", "", "snapshot file for persistence (empty = in-memory only)")
 		saveIvl  = flag.Duration("save-interval", 30*time.Second, "periodic snapshot interval when -data is set")
+		window   = flag.Int("submit-window", core.DefaultSubmitWindow, "master submit pipeline depth (positions in flight per group; 1 = serial)")
+		combine  = flag.Int("submit-combine", core.DefaultSubmitCombine, "max transactions combined per log entry on the master submit path")
 	)
 	flag.Parse()
 	if *dc == "" || *peers == "" {
@@ -66,7 +68,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("txkvd: %v", err)
 	}
-	service = core.NewService(*dc, store, transport, core.WithServiceTimeout(*timeout))
+	service = core.NewService(*dc, store, transport, core.WithServiceTimeout(*timeout),
+		core.WithSubmitWindow(*window), core.WithSubmitCombine(*combine))
 
 	log.Printf("txkvd: datacenter %s serving on %s (%d peers, timeout %v)",
 		*dc, transport.LocalAddr(), len(peerMap), *timeout)

@@ -75,6 +75,10 @@ type runSpec struct {
 	attributes int
 	opsPerTxn  int
 	interval   time.Duration // unscaled per-thread pacing; 0 = paperInterval
+	// submitWindow / submitCombine tune the master submit pipeline
+	// (0 = core defaults; only meaningful for core.Master runs).
+	submitWindow  int
+	submitCombine int
 	// threadDCs optionally places each thread at a specific datacenter;
 	// default puts every thread at the topology's first datacenter (a
 	// single YCSB instance co-located with one node).
@@ -101,9 +105,11 @@ func run(o Options, rs runSpec) (runResult, error) {
 	}
 	timeout := time.Duration(float64(paperTimeout) * o.Scale)
 	c := cluster.New(cluster.Config{
-		Topology:  topo,
-		NetConfig: network.SimConfig{Seed: o.Seed, Scale: o.Scale, Jitter: 0.1},
-		Timeout:   timeout,
+		Topology:      topo,
+		NetConfig:     network.SimConfig{Seed: o.Seed, Scale: o.Scale, Jitter: 0.1},
+		Timeout:       timeout,
+		SubmitWindow:  rs.submitWindow,
+		SubmitCombine: rs.submitCombine,
 	})
 	defer c.Close()
 

@@ -1,7 +1,12 @@
 package bench
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
+	"io"
+	"strconv"
+	"strings"
 	"time"
 
 	"paxoscp/internal/core"
@@ -59,4 +64,68 @@ func RunExperiment(o Options, e Experiment) (stats.Summary, error) {
 			len(res.violations), res.violations[0])
 	}
 	return res.summary, nil
+}
+
+// BenchResult is one parsed `go test -bench` result line: the benchmark
+// name, its iteration count, and every reported metric keyed by unit
+// (ns/op, B/op, allocs/op, plus custom metrics like commits/sec).
+type BenchResult struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// BenchReport is the machine-readable benchmark summary CI uploads as a
+// workflow artifact (BENCH_ci.json) so the performance trajectory is
+// tracked per PR.
+type BenchReport struct {
+	// Context labels the run (e.g. "ci", a commit SHA, a machine name).
+	Context string        `json:"context,omitempty"`
+	Results []BenchResult `json:"results"`
+}
+
+// ParseGoBench reads standard `go test -bench` output and returns one
+// BenchResult per benchmark line. Non-benchmark lines (goos/pkg headers,
+// PASS/ok trailers, test logs) are ignored; malformed metric pairs are
+// skipped rather than failing the parse.
+func ParseGoBench(r io.Reader) ([]BenchResult, error) {
+	var out []BenchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := BenchResult{Name: fields[0], Iters: iters, Metrics: map[string]float64{}}
+		// The remainder is value/unit pairs: "1205174 ns/op 829.8 commits/sec".
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: parse go-bench output: %w", err)
+	}
+	return out, nil
+}
+
+// WriteBenchJSON converts `go test -bench` output read from r into the
+// BENCH_ci.json report on w.
+func WriteBenchJSON(w io.Writer, r io.Reader, context string) error {
+	results, err := ParseGoBench(r)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BenchReport{Context: context, Results: results})
 }

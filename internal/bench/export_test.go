@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: paxoscp
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSubmitThroughput/window=1-8         	     200	   1205174 ns/op	       829.8 commits/sec
+BenchmarkSubmitThroughput/window=8-8         	     200	    404756 ns/op	      2471 commits/sec
+BenchmarkWALEncode-8   	  506980	      2188 ns/op	    1288 B/op	      18 allocs/op
+--- BENCH: BenchmarkSomething
+    some test log line
+PASS
+ok  	paxoscp	0.343s
+`
+
+func TestParseGoBench(t *testing.T) {
+	results, err := ParseGoBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	first := results[0]
+	if first.Name != "BenchmarkSubmitThroughput/window=1-8" || first.Iters != 200 {
+		t.Fatalf("first result = %+v", first)
+	}
+	if got := first.Metrics["commits/sec"]; got != 829.8 {
+		t.Fatalf("commits/sec = %v, want 829.8", got)
+	}
+	if got := first.Metrics["ns/op"]; got != 1205174 {
+		t.Fatalf("ns/op = %v, want 1205174", got)
+	}
+	wal := results[2]
+	if wal.Metrics["B/op"] != 1288 || wal.Metrics["allocs/op"] != 18 {
+		t.Fatalf("wal metrics = %+v", wal.Metrics)
+	}
+}
+
+func TestParseGoBenchEmptyAndGarbage(t *testing.T) {
+	results, err := ParseGoBench(strings.NewReader("FAIL\nBenchmarkBroken notanumber ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("garbage parsed as %+v", results)
+	}
+}
+
+func TestWriteBenchJSONRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, strings.NewReader(sampleBenchOutput), "ci"); err != nil {
+		t.Fatal(err)
+	}
+	var report BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if report.Context != "ci" || len(report.Results) != 3 {
+		t.Fatalf("report = %+v", report)
+	}
+}

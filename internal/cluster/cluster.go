@@ -27,6 +27,14 @@ type Config struct {
 	// the default for clients (paper: 2 s). It is NOT scaled automatically;
 	// pass a scaled value alongside a scaled network.
 	Timeout time.Duration
+	// SubmitWindow sets each service's master submit pipeline depth: how
+	// many Paxos positions stay in flight concurrently per group. 0 means
+	// core.DefaultSubmitWindow; 1 is the serial pre-pipeline master.
+	SubmitWindow int
+	// SubmitCombine caps how many concurrently submitted transactions the
+	// master combines into one log entry. 0 means
+	// core.DefaultSubmitCombine; 1 disables combination.
+	SubmitCombine int
 }
 
 // Cluster is a running multi-datacenter deployment.
@@ -66,7 +74,14 @@ func New(cfg Config) *Cluster {
 			return c.services[dc].Handler()(from, req)
 		})
 		c.endpoints[dc] = ep
-		c.services[dc] = core.NewService(dc, store, ep, core.WithServiceTimeout(cfg.Timeout))
+		opts := []core.ServiceOption{core.WithServiceTimeout(cfg.Timeout)}
+		if cfg.SubmitWindow > 0 {
+			opts = append(opts, core.WithSubmitWindow(cfg.SubmitWindow))
+		}
+		if cfg.SubmitCombine > 0 {
+			opts = append(opts, core.WithSubmitCombine(cfg.SubmitCombine))
+		}
+		c.services[dc] = core.NewService(dc, store, ep, opts...)
 	}
 	return c
 }

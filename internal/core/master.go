@@ -30,7 +30,9 @@ import (
 // and no aborts for non-conflicting transactions, but every commit does a
 // round trip to the master's site and "a greater amount of work [falls] on
 // a single site [which] could possibly be a performance bottleneck". The
-// Master row in the bench ablations quantifies exactly that.
+// Master row in the bench ablations quantifies exactly that; the pipelined
+// submit path (pipeline.go, DESIGN.md §8) removes the per-group
+// serialization that made the bottleneck one Paxos round trip deep.
 
 // Master selects the leader-based commit protocol (§7 design). Configure
 // the master's datacenter with Config.MasterDC.
@@ -64,7 +66,7 @@ func (c *Client) commitMaster(ctx context.Context, t *Tx) (CommitResult, error) 
 	}
 	switch {
 	case resp.OK:
-		return CommitResult{Status: stats.Committed, Pos: resp.TS}, nil
+		return CommitResult{Status: stats.Committed, Pos: resp.TS, Combined: resp.Combined}, nil
 	case resp.Err == masterConflict:
 		return CommitResult{Status: stats.Aborted}, nil
 	default:
@@ -75,67 +77,20 @@ func (c *Client) commitMaster(ctx context.Context, t *Tx) (CommitResult, error) 
 // masterConflict is the wire marker for a conflict abort verdict.
 const masterConflict = "conflict"
 
-// handleSubmit is the master-side transaction manager. It serializes the
-// conflict check, position assignment, and replication per group through the
-// replicated log's sequencer lock (distinct from the apply path, so the
-// master's own apply fan-out — which loops back to this service — cannot
-// deadlock against the submit pipeline).
+// handleSubmit is the master-side entry point: the submitted transaction is
+// handed to the group's pipelined submit path (pipeline.go), which combines
+// it with other concurrently submitted transactions and keeps several Paxos
+// positions in flight. The handler blocks only on this transaction's own
+// verdict — no lock is held across the replication round trip, so the
+// master's own apply fan-out (which loops back to this service) proceeds
+// independently of the submit path even with the window full
+// (TestMasterPipelineWindowFullNoDeadlock).
 func (s *Service) handleSubmit(req network.Message) network.Message {
 	entry, err := wal.Decode(req.Payload)
 	if err != nil || len(entry.Txns) != 1 {
 		return network.Status(false, "bad submit payload")
 	}
-	var resp network.Message
-	s.log(req.Group).Sequence(func() {
-		resp = s.submitSequenced(req.Group, entry.Txns[0], req.Payload)
-	})
-	return resp
-}
-
-// submitSequenced runs the master pipeline for one submitted transaction.
-// Caller holds the group's sequencer lock.
-func (s *Service) submitSequenced(group string, txn wal.Txn, payload []byte) network.Message {
-	lg := s.log(group)
-	ctx, cancel := context.WithTimeout(context.Background(), 4*s.timeout)
-	defer cancel()
-
-	for attempt := 0; attempt < 8; attempt++ {
-		last := lg.Applied()
-		if txn.ReadPos > last {
-			// The client read at a position this master has not applied —
-			// possible right after failover. Catch up first.
-			if err := s.CatchUp(ctx, group, txn.ReadPos); err != nil {
-				return network.Status(false, fmt.Sprintf("master behind client: %v", err))
-			}
-			continue
-		}
-		// Fine-grained conflict check: the transaction aborts iff a log
-		// entry after its read position wrote something it read. Entries
-		// come decoded from the replog cache — no per-check re-decode.
-		for pos := txn.ReadPos + 1; pos <= last; pos++ {
-			prev, ok := lg.Entry(pos)
-			if !ok {
-				return network.Status(false, fmt.Sprintf("log hole at %d", pos))
-			}
-			if txn.ReadsAny(prev.WriteKeys()) {
-				return network.Status(false, masterConflict)
-			}
-		}
-		pos := last + 1
-		decided, committed, err := s.replicateAsMaster(ctx, group, pos, payload)
-		if err != nil {
-			return network.Status(false, err.Error())
-		}
-		if err := s.ApplyDecided(group, pos, decided); err != nil {
-			return network.Status(false, err.Error())
-		}
-		if committed {
-			return network.Message{Kind: network.KindValue, OK: true, TS: pos}
-		}
-		// Another proposer decided this position (e.g. during a failover
-		// race): absorb its entry and retry the next position.
-	}
-	return network.Status(false, "master could not place transaction")
+	return s.pipeline(req.Group).Submit(entry.Txns[0])
 }
 
 // replicateAsMaster replicates value into (group, pos): one fast-ballot

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"paxoscp/internal/network"
+	"paxoscp/internal/replog"
+	"paxoscp/internal/wal"
+)
+
+// This file implements the master's pipelined submit path (DESIGN.md §8).
+// The pre-pipeline master serialized every submitted transaction through a
+// per-group sequencer lock held across the whole replication round trip, so
+// one WAN Paxos round gated the group's entire submit throughput. The
+// pipeline generalizes the paper's two Paxos-CP mechanisms to the
+// leader-based design:
+//
+//   - Combination: transactions queued while earlier positions replicate are
+//     merged into a single multi-transaction log entry (one Paxos instance
+//     commits the whole batch), exactly the paper's §5 combination applied
+//     at the master instead of in the client's value-selection rule.
+//   - Promotion: a batch whose position is decided with a foreign value (a
+//     failover race, recovery interference) is re-queued to compete for the
+//     next position instead of aborting; only transactions whose reads the
+//     foreign entry invalidated abort.
+//
+// Up to Window.Limit() positions replicate concurrently; conflict checks run
+// speculatively against the in-flight window (replog.Window), and replog's
+// out-of-order Append plus watermark apply retire decided positions in
+// order. The pipeline assumes one active master per group at a time (the
+// paper's long-term master, §7); see DESIGN.md §8 for the invariants and the
+// failover analysis.
+
+const (
+	// DefaultSubmitWindow is how many Paxos positions the master keeps in
+	// flight concurrently per group. 1 reproduces the serial master.
+	DefaultSubmitWindow = 8
+	// DefaultSubmitCombine caps how many queued transactions are combined
+	// into one multi-transaction log entry.
+	DefaultSubmitCombine = 4
+	// submitAttempts caps how many positions one submission may compete for
+	// (promotion budget, mirroring the serial path's retry cap).
+	submitAttempts = 8
+)
+
+// pendingSubmit is one submitted transaction waiting in the pipeline. It
+// lives in exactly one place at a time — the queue, a dispatch batch, or an
+// in-flight entry's member list — so it receives exactly one verdict.
+type pendingSubmit struct {
+	txn      wal.Txn
+	attempts int                  // positions competed for so far
+	done     chan network.Message // buffered(1); carries the verdict
+}
+
+// reply delivers the verdict. The buffer keeps a verdict for a waiter that
+// already timed out from blocking the pipeline.
+func (ps *pendingSubmit) reply(m network.Message) {
+	select {
+	case ps.done <- m:
+	default:
+	}
+}
+
+// pipeline is one group's submit path at the master: a queue of waiting
+// submissions drained by a single dispatcher goroutine that combines them
+// into entries and launches one replication goroutine per position, bounded
+// by the in-flight window.
+type pipeline struct {
+	svc        *Service
+	group      string
+	lg         *replog.Log
+	win        *replog.Window
+	maxCombine int
+
+	mu      sync.Mutex
+	queue   []*pendingSubmit
+	running bool // dispatcher goroutine live
+	closed  bool
+}
+
+// pipeline returns group's submit pipeline, creating it on first use.
+func (s *Service) pipeline(group string) *pipeline {
+	s.pipeMu.Lock()
+	defer s.pipeMu.Unlock()
+	p := s.pipelines[group]
+	if p == nil {
+		p = &pipeline{
+			svc:        s,
+			group:      group,
+			lg:         s.log(group),
+			win:        replog.NewWindow(s.submitWindow),
+			maxCombine: s.submitCombine,
+		}
+		if s.pipeClosed {
+			p.closed = true
+			p.win.Close()
+		}
+		s.pipelines[group] = p
+	}
+	return p
+}
+
+// Submit queues the transaction and blocks until the pipeline delivers its
+// verdict or the master-side budget (4 message timeouts, as the serial path
+// allowed) expires.
+func (p *pipeline) Submit(txn wal.Txn) network.Message {
+	ps := &pendingSubmit{txn: txn, done: make(chan network.Message, 1)}
+	if !p.enqueue(false, ps) {
+		return network.Status(false, "master shutting down")
+	}
+	t := time.NewTimer(4 * p.svc.timeout)
+	defer t.Stop()
+	select {
+	case resp := <-ps.done:
+		return resp
+	case <-t.C:
+		return network.Status(false, "master: submit timed out in pipeline")
+	}
+}
+
+// enqueue adds batch to the queue — at the front, preserving batch order,
+// for a promoted batch re-competing — and ensures the dispatcher goroutine
+// is running. It reports false when the pipeline is closed.
+func (p *pipeline) enqueue(front bool, batch ...*pendingSubmit) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	if front {
+		q := make([]*pendingSubmit, 0, len(batch)+len(p.queue))
+		q = append(q, batch...)
+		p.queue = append(q, p.queue...)
+	} else {
+		p.queue = append(p.queue, batch...)
+	}
+	if !p.running {
+		p.running = true
+		go p.dispatch()
+	}
+	return true
+}
+
+// close fails every queued and future submission. In-flight replication
+// goroutines run to completion on their own contexts.
+func (p *pipeline) close() {
+	p.mu.Lock()
+	queued := p.queue
+	p.queue = nil
+	p.closed = true
+	p.mu.Unlock()
+	p.win.Close()
+	for _, ps := range queued {
+		ps.reply(network.Status(false, "master shutting down"))
+	}
+}
+
+// dispatch drains the queue: one batch per iteration, each placed at its own
+// log position. Exits when the queue empties (enqueue restarts it).
+func (p *pipeline) dispatch() {
+	for {
+		batch := p.take()
+		if len(batch) == 0 {
+			return
+		}
+		p.place(batch)
+	}
+}
+
+// take removes up to maxCombine submissions from the queue head, or marks
+// the dispatcher stopped and returns nil when there is nothing to do.
+func (p *pipeline) take() []*pendingSubmit {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.queue) == 0 || p.closed {
+		p.running = false
+		return nil
+	}
+	n := len(p.queue)
+	if n > p.maxCombine {
+		n = p.maxCombine
+	}
+	batch := make([]*pendingSubmit, n)
+	copy(batch, p.queue)
+	p.queue = append(p.queue[:0], p.queue[n:]...)
+	return batch
+}
+
+// place admits a batch at the next log position — speculative conflict
+// check, combination into one entry — and launches its replication.
+func (p *pipeline) place(batch []*pendingSubmit) {
+	ctx, cancel := context.WithTimeout(context.Background(), 4*p.svc.timeout)
+	defer cancel()
+
+	// A client may have read at a position this master has not applied —
+	// possible right after failover. Catch up before conflict checking.
+	var maxRead int64
+	for _, ps := range batch {
+		if ps.txn.ReadPos > maxRead {
+			maxRead = ps.txn.ReadPos
+		}
+	}
+	if maxRead > p.lg.Applied() {
+		if err := p.svc.CatchUp(ctx, p.group, maxRead); err != nil {
+			p.fail(batch, fmt.Sprintf("master behind client: %v", err))
+			return
+		}
+	}
+
+	// Wait for window room before picking the position: resolutions while
+	// we wait can move the decided ceiling, and the new position must sit
+	// above everything issued or decided so far (invariant W1).
+	if err := p.win.Reserve(ctx); err != nil {
+		p.fail(batch, err.Error())
+		return
+	}
+	pos := p.nextPos()
+
+	// Admission and combination, in arrival order: each transaction is
+	// checked against the full log suffix after its read position —
+	// applied, decided-pending, and in-flight speculative entries alike —
+	// and against the entry under construction (invariant W2). Admitted
+	// transactions merge into one multi-transaction entry; the list order
+	// is serializable by construction.
+	var entry wal.Entry
+	var members []*pendingSubmit
+	for _, ps := range batch {
+		ok, err := p.admit(ctx, ps.txn, pos, entry)
+		switch {
+		case err != nil:
+			ps.reply(network.Status(false, err.Error()))
+		case !ok:
+			ps.reply(network.Status(false, masterConflict))
+		default:
+			entry.Txns = append(entry.Txns, ps.txn.Clone())
+			members = append(members, ps)
+		}
+	}
+	if len(members) == 0 {
+		return
+	}
+	p.win.Start(pos, entry)
+	go p.replicate(pos, entry, members)
+}
+
+// nextPos returns the next position to propose at: above every position this
+// window ever issued and every position known decided locally (so a fresh
+// entry is never placed below one the master has not absorbed).
+func (p *pipeline) nextPos() int64 {
+	pos := p.win.IssuedMax()
+	if d := p.lg.DecidedMax(); d > pos {
+		pos = d
+	}
+	return pos + 1
+}
+
+// admit runs the speculative fine-grained conflict check for txn competing
+// at pos with entrySoFar admitted ahead of it in the same entry: the
+// transaction aborts iff some entry after its read position — or an earlier
+// transaction in its own entry — wrote a key it read. A hole below the
+// decided ceiling is resolved before checking so admission never runs
+// against unknown history.
+func (p *pipeline) admit(ctx context.Context, txn wal.Txn, pos int64, entrySoFar wal.Entry) (bool, error) {
+	for q := txn.ReadPos + 1; q < pos; q++ {
+		prev, ok := p.win.Entry(q)
+		if !ok {
+			prev, ok = p.lg.Entry(q)
+		}
+		if !ok {
+			var err error
+			if prev, err = p.resolveHole(ctx, q); err != nil {
+				return false, fmt.Errorf("log hole at %d: %v", q, err)
+			}
+		}
+		if txn.ReadsAny(prev.WriteKeys()) {
+			return false, nil
+		}
+	}
+	if txn.ReadsAny(entrySoFar.WriteKeys()) {
+		return false, nil
+	}
+	return true, nil
+}
+
+// resolveHole learns the decided value at a position below the decided
+// ceiling that is missing locally — a foreign proposer's entry whose apply
+// message was lost, or one of this master's own positions whose replication
+// outcome stayed unknown. Learning drives a partially accepted value to
+// decision and fills a genuinely undecided position with a no-op, so new
+// transactions are never placed above an unresolved gap (invariant W4).
+func (p *pipeline) resolveHole(ctx context.Context, pos int64) (wal.Entry, error) {
+	entry, err := p.svc.learn(ctx, p.group, pos, true)
+	if err != nil {
+		return wal.Entry{}, err
+	}
+	if err := p.svc.ApplyDecided(p.group, pos, wal.Encode(entry)); err != nil {
+		return wal.Entry{}, err
+	}
+	return entry, nil
+}
+
+// replicate drives one position's entry to decision (fast accept round,
+// full Paxos fallback), lands it in the local log, retires the window slot,
+// and settles every member: commit on a won race, promotion or conflict
+// abort on a lost one, failure when the outcome is unknown.
+func (p *pipeline) replicate(pos int64, entry wal.Entry, members []*pendingSubmit) {
+	ctx, cancel := context.WithTimeout(context.Background(), 4*p.svc.timeout)
+	defer cancel()
+	decided, committed, err := p.svc.replicateAsMaster(ctx, p.group, pos, wal.Encode(entry))
+	if err != nil {
+		// No quorum: the position's fate is unknown. Report failure — NOT
+		// promotion: re-queueing could commit the same transaction twice
+		// if the original proposal later completes — and leave the hole
+		// for resolveHole or recovery to settle (invariant W4).
+		p.win.Resolve(pos)
+		p.fail(members, err.Error())
+		return
+	}
+	if aerr := p.svc.ApplyDecided(p.group, pos, decided); aerr != nil {
+		p.win.Resolve(pos)
+		p.fail(members, aerr.Error())
+		return
+	}
+	// Resolve only after ApplyDecided: the log covers pos before the window
+	// stops answering for it, so admission checks never see a gap.
+	p.win.Resolve(pos)
+	if committed {
+		combined := len(entry.Txns) > 1
+		for _, ps := range members {
+			ps.reply(network.Message{Kind: network.KindValue, OK: true, TS: pos, Combined: combined})
+		}
+		return
+	}
+	// Lost the Paxos race: a foreign proposal was decided at pos (failover
+	// or recovery interference). Promote the members to compete for the
+	// next position instead of aborting (invariant W3) — except those whose
+	// reads the decided entry invalidated, the paper's §5 promotion rule,
+	// and those whose attempt budget is spent.
+	decEntry, derr := wal.Decode(decided)
+	if derr != nil {
+		p.fail(members, "decided value corrupt: "+derr.Error())
+		return
+	}
+	var promote []*pendingSubmit
+	for _, ps := range members {
+		ps.attempts++
+		switch {
+		case ps.txn.ReadsAny(decEntry.WriteKeys()):
+			ps.reply(network.Status(false, masterConflict))
+		case ps.attempts >= submitAttempts:
+			ps.reply(network.Status(false, "master could not place transaction"))
+		default:
+			promote = append(promote, ps)
+		}
+	}
+	// Re-queue the survivors as one block in arrival order: reversing them
+	// could turn an intra-entry reader/writer pair into a spurious abort on
+	// the next placement.
+	if len(promote) > 0 && !p.enqueue(true, promote...) {
+		p.fail(promote, "master shutting down")
+	}
+}
+
+// fail reports one failure message to every submission in batch.
+func (p *pipeline) fail(batch []*pendingSubmit, msg string) {
+	for _, ps := range batch {
+		ps.reply(network.Status(false, msg))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"paxoscp/internal/kvstore"
@@ -51,6 +52,18 @@ type Service struct {
 	transport network.Transport
 	// timeout bounds catch-up message rounds.
 	timeout time.Duration
+
+	// submitWindow and submitCombine tune the master's pipelined submit
+	// path (pipeline.go): positions in flight per group, and transactions
+	// combined per log entry.
+	submitWindow  int
+	submitCombine int
+
+	// pipelines holds the per-group master submit pipelines, created
+	// lazily on first submit.
+	pipeMu     sync.Mutex
+	pipelines  map[string]*pipeline
+	pipeClosed bool
 }
 
 // ServiceOption configures a Service.
@@ -62,16 +75,41 @@ func WithServiceTimeout(d time.Duration) ServiceOption {
 	return func(s *Service) { s.timeout = d }
 }
 
+// WithSubmitWindow sets how many Paxos positions the master submit pipeline
+// keeps in flight concurrently per group (default DefaultSubmitWindow; 1
+// reproduces the serial pre-pipeline master).
+func WithSubmitWindow(n int) ServiceOption {
+	return func(s *Service) {
+		if n > 0 {
+			s.submitWindow = n
+		}
+	}
+}
+
+// WithSubmitCombine caps how many concurrently submitted transactions the
+// master combines into one multi-transaction log entry (default
+// DefaultSubmitCombine; 1 disables combination).
+func WithSubmitCombine(n int) ServiceOption {
+	return func(s *Service) {
+		if n > 0 {
+			s.submitCombine = n
+		}
+	}
+}
+
 // NewService creates the Transaction Service for datacenter dc, backed by
 // store, using transport to reach peer services during catch-up.
 func NewService(dc string, store *kvstore.Store, transport network.Transport, opts ...ServiceOption) *Service {
 	s := &Service{
-		dc:        dc,
-		store:     store,
-		acceptor:  paxos.NewAcceptor(store),
-		logs:      replog.NewSet(store),
-		transport: transport,
-		timeout:   network.DefaultTimeout,
+		dc:            dc,
+		store:         store,
+		acceptor:      paxos.NewAcceptor(store),
+		logs:          replog.NewSet(store),
+		transport:     transport,
+		timeout:       network.DefaultTimeout,
+		submitWindow:  DefaultSubmitWindow,
+		submitCombine: DefaultSubmitCombine,
+		pipelines:     make(map[string]*pipeline),
 	}
 	for _, o := range opts {
 		o(s)
@@ -88,9 +126,22 @@ func (s *Service) Store() *kvstore.Store { return s.store }
 // log returns the group's replicated log.
 func (s *Service) log(group string) *replog.Log { return s.logs.Get(group) }
 
-// Close stops the per-group apply goroutines. Durable state is untouched; a
-// new Service over the same store resumes where this one stopped.
-func (s *Service) Close() { s.logs.Close() }
+// Close stops the per-group submit pipelines (queued submissions fail) and
+// apply goroutines. Durable state is untouched; a new Service over the same
+// store resumes where this one stopped.
+func (s *Service) Close() {
+	s.pipeMu.Lock()
+	s.pipeClosed = true
+	pipes := make([]*pipeline, 0, len(s.pipelines))
+	for _, p := range s.pipelines {
+		pipes = append(pipes, p)
+	}
+	s.pipeMu.Unlock()
+	for _, p := range pipes {
+		p.close()
+	}
+	s.logs.Close()
+}
 
 // Handler returns the network handler that dispatches every protocol
 // message this service understands.

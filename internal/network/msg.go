@@ -66,6 +66,10 @@ type Message struct {
 	Value string `json:"val,omitempty"` // data item value in read replies
 	Found bool   `json:"f,omitempty"`   // read reply: key existed
 	Err   string `json:"e,omitempty"`   // error detail in failure replies
+
+	// Combined marks a submit reply whose transaction committed inside a
+	// multi-transaction log entry (the master's combination path).
+	Combined bool `json:"cb,omitempty"`
 }
 
 // Status constructs a generic success/failure reply.

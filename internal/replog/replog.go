@@ -40,11 +40,6 @@ type Log struct {
 	group string
 	store *kvstore.Store
 
-	// seqMu serializes the master protocol's submit pipeline (Sequence).
-	// It is distinct from the apply path so the master's own apply fan-out
-	// cannot deadlock against its submit pipeline.
-	seqMu sync.Mutex
-
 	// compactMu serializes compaction passes.
 	compactMu sync.Mutex
 
@@ -58,17 +53,18 @@ type Log struct {
 
 	// mu guards the fields below. Critical sections are short; the apply
 	// goroutine does its store I/O outside mu.
-	mu        sync.Mutex
-	applied   int64               // contiguously applied watermark
-	compacted int64               // compaction horizon
-	pending   map[int64]wal.Entry // decided but not yet applied (pos > applied)
-	cache     map[int64]wal.Entry // decoded entries (read-only, shared)
-	cacheTop  int64               // highest cached position (eviction anchor)
-	applyErr  error               // sticky apply failure; surfaced by waiters
-	waitCh    chan struct{}       // closed+replaced on every watermark advance
-	notifyCh  chan struct{}       // wakes the apply goroutine (capacity 1)
-	stopCh    chan struct{}
-	stopOnce  sync.Once
+	mu         sync.Mutex
+	applied    int64               // contiguously applied watermark
+	decidedMax int64               // highest position known decided locally
+	compacted  int64               // compaction horizon
+	pending    map[int64]wal.Entry // decided but not yet applied (pos > applied)
+	cache      map[int64]wal.Entry // decoded entries (read-only, shared)
+	cacheTop   int64               // highest cached position (eviction anchor)
+	applyErr   error               // sticky apply failure; surfaced by waiters
+	waitCh     chan struct{}       // closed+replaced on every watermark advance
+	notifyCh   chan struct{}       // wakes the apply goroutine (capacity 1)
+	stopCh     chan struct{}
+	stopOnce   sync.Once
 }
 
 // Open returns the Log for (store, group), rebuilding its in-memory state
@@ -89,6 +85,7 @@ func Open(store *kvstore.Store, group string) *Log {
 		l.applied, _ = strconv.ParseInt(v["last"], 10, 64)
 		l.compacted, _ = strconv.ParseInt(v["compacted"], 10, 64)
 	}
+	l.decidedMax = l.applied
 	// Recover decided entries above the watermark into the pending set.
 	prefix := LogPrefix(group)
 	for _, key := range store.KeysWithPrefix(prefix) {
@@ -102,6 +99,9 @@ func Open(store *kvstore.Store, group string) *Log {
 		}
 		if entry, err := wal.Decode([]byte(raw["entry"])); err == nil {
 			l.pending[pos] = entry
+			if pos > l.decidedMax {
+				l.decidedMax = pos
+			}
 		}
 	}
 	// Drain recovered entries synchronously so a restarted replica surfaces
@@ -128,6 +128,17 @@ func (l *Log) Applied() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.applied
+}
+
+// DecidedMax returns the highest position known decided locally: applied,
+// pending behind a gap, or learned through an apply message — 0 means none.
+// The master's pipelined submit path assigns fresh positions above it so a
+// new entry is never placed below a decided one it has not absorbed
+// (DESIGN.md §8, invariant W1).
+func (l *Log) DecidedMax() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.decidedMax
 }
 
 // CompactedTo returns the compaction horizon: log entries strictly below it
@@ -161,6 +172,9 @@ func (l *Log) Append(pos int64, entryBytes []byte) (int64, error) {
 	defer l.mu.Unlock()
 	if err := l.applyErr; err != nil {
 		return 0, err
+	}
+	if pos > l.decidedMax {
+		l.decidedMax = pos
 	}
 	if pos > l.applied {
 		if _, ok := l.pending[pos]; !ok {
@@ -282,15 +296,6 @@ func (l *Log) Snapshot() map[int64]wal.Entry {
 	return out
 }
 
-// Sequence runs fn while holding the group's sequencer lock, serializing the
-// master protocol's conflict check, position assignment, and replication
-// (see DESIGN.md §3).
-func (l *Log) Sequence(fn func()) {
-	l.seqMu.Lock()
-	defer l.seqMu.Unlock()
-	fn()
-}
-
 // ReadStable runs fn with compaction excluded, passing the applied
 // watermark. fn can read every data row at that horizon without a
 // concurrent Compact scavenging the versions it is reading (snapshot
@@ -384,6 +389,9 @@ func (l *Log) InstallSnapshot(horizon int64) error {
 	l.mu.Lock()
 	if l.applied < horizon {
 		l.applied = horizon
+	}
+	if l.decidedMax < horizon {
+		l.decidedMax = horizon
 	}
 	if l.compacted < horizon {
 		l.compacted = horizon

@@ -1,0 +1,132 @@
+package replog
+
+import (
+	"context"
+	"sync"
+
+	"paxoscp/internal/wal"
+)
+
+// Window is the in-flight accounting for a master's pipelined submit path
+// (DESIGN.md §8): the set of log positions the master has proposed but whose
+// Paxos instances have not yet resolved. The pipeline keeps up to limit
+// positions in flight concurrently; each carries the entry the master
+// speculatively expects to be decided there, so conflict checks for later
+// submissions can run against the whole in-flight suffix without waiting for
+// any replication round trip.
+//
+// A Window is owned by one dispatcher goroutine (Reserve/Start are called
+// only by it); Resolve is called by the per-position replication goroutines.
+// All methods are safe for concurrent use.
+type Window struct {
+	limit int
+
+	mu      sync.Mutex
+	entries map[int64]wal.Entry // in-flight: position -> speculative entry
+	issued  int64               // highest position ever issued
+	waitCh  chan struct{}       // closed+replaced on every resolve/close
+	closed  bool
+}
+
+// NewWindow returns a Window admitting up to limit concurrent in-flight
+// positions. A limit below 1 means 1 (the serial baseline: one Paxos
+// position in flight at a time, as the pre-pipeline master behaved).
+func NewWindow(limit int) *Window {
+	if limit < 1 {
+		limit = 1
+	}
+	return &Window{
+		limit:   limit,
+		entries: make(map[int64]wal.Entry),
+		waitCh:  make(chan struct{}),
+	}
+}
+
+// Limit returns the window size.
+func (w *Window) Limit() int { return w.limit }
+
+// Reserve blocks until the window has room for one more in-flight position,
+// ctx is done, or the window closes.
+func (w *Window) Reserve(ctx context.Context) error {
+	for {
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			return ErrClosed
+		}
+		if len(w.entries) < w.limit {
+			w.mu.Unlock()
+			return nil
+		}
+		ch := w.waitCh
+		w.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Start registers pos as in flight with the entry the master proposed for
+// it. The caller must hold a Reserve slot (the single dispatcher goroutine
+// makes Reserve→Start effectively atomic).
+func (w *Window) Start(pos int64, e wal.Entry) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.entries[pos] = e
+	if pos > w.issued {
+		w.issued = pos
+	}
+}
+
+// Resolve retires pos from the window — its Paxos instance reached an
+// outcome (decided with any value, or definitively failed) — and wakes
+// Reserve waiters. Resolving an unknown position is a no-op.
+func (w *Window) Resolve(pos int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.entries[pos]; !ok {
+		return
+	}
+	delete(w.entries, pos)
+	close(w.waitCh)
+	w.waitCh = make(chan struct{})
+}
+
+// Entry returns the speculative entry in flight at pos, if any.
+func (w *Window) Entry(pos int64) (wal.Entry, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	e, ok := w.entries[pos]
+	return e, ok
+}
+
+// InFlight returns the number of unresolved positions.
+func (w *Window) InFlight() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.entries)
+}
+
+// IssuedMax returns the highest position ever issued through the window (0
+// if none): new positions are assigned above it so two in-flight proposals
+// never collide.
+func (w *Window) IssuedMax() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.issued
+}
+
+// Close fails current and future Reserve calls with ErrClosed. In-flight
+// positions stay registered; their replication goroutines resolve them.
+func (w *Window) Close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.closed = true
+	close(w.waitCh)
+	w.waitCh = make(chan struct{})
+}
