@@ -5,7 +5,7 @@
 SHELL := /bin/bash
 GO ?= go
 
-.PHONY: check build fmt vet test race bench-smoke fig-smoke bench-json clean
+.PHONY: check build fmt vet test race bench-smoke fig-smoke bench-json bench-compare clean
 
 ## check: everything CI gates a PR on
 check: fmt vet race bench-smoke fig-smoke
@@ -45,5 +45,14 @@ fig-smoke:
 bench-json:
 	$(GO) run ./cmd/paxosbench -benchjson $(or $(BENCH_IN),bench.out) -o BENCH_ci.json -context local
 
+## bench-compare: rerun the read-path benchmarks and diff against the
+## committed BENCH_3.json baseline, flagging >20% regressions. A reporting
+## aid, not a gate: it always exits 0 (pass STRICT=1 to gate).
+bench-compare:
+	set -o pipefail; $(GO) test -run '^$$' -bench 'BenchmarkReadThroughput|BenchmarkMessageCodec$$|BenchmarkReadMulti' \
+		-benchtime 500x . ./internal/network ./internal/kvstore | tee bench-compare.out
+	$(GO) run ./cmd/paxosbench -benchjson bench-compare.out -o BENCH_compare.json -context compare
+	$(GO) run ./cmd/paxosbench -compare BENCH_3.json -against BENCH_compare.json $(if $(STRICT),-strict)
+
 clean:
-	rm -f bench.out BENCH_ci.json
+	rm -f bench.out BENCH_ci.json bench-compare.out BENCH_compare.json

@@ -265,6 +265,143 @@ func BenchmarkServiceApplyBurst(b *testing.B) {
 	}
 }
 
+// --- Read path: batched multi-key reads (DESIGN.md §9) -------------------
+
+// readBenchKeys is the 8-key batch BenchmarkReadThroughput reads per
+// transaction.
+var readBenchKeys = []string{"attr1", "attr2", "attr3", "attr4", "attr5", "attr6", "attr7", "attr8"}
+
+// seedReadBench commits one transaction writing every benchmark key.
+func seedReadBench(b *testing.B, cl *core.Client) {
+	b.Helper()
+	ctx := context.Background()
+	tx, err := cl.Begin(ctx, "g")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range readBenchKeys {
+		tx.Write(k, "value-"+k)
+	}
+	if res, err := tx.Commit(ctx); err != nil || res.Status != stats.Committed {
+		b.Fatalf("seed: %+v %v", res, err)
+	}
+}
+
+// benchReadTxns runs b.N read-only transactions of 8 keys each, either as 8
+// per-key RPCs (the seed read path) or as one ReadMulti round trip, and
+// reports keys/sec. The multi rows must sustain at least 2x the per-key
+// rows (BENCH_3.json records the measured ratio).
+func benchReadTxns(b *testing.B, cl *core.Client, multi bool) {
+	b.Helper()
+	ctx := context.Background()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		tx, err := cl.Begin(ctx, "g")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if multi {
+			vals, _, err := tx.ReadMulti(ctx, readBenchKeys...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if vals[0] != "value-attr1" {
+				b.Fatalf("vals = %v", vals)
+			}
+		} else {
+			for _, k := range readBenchKeys {
+				if v, _, err := tx.Read(ctx, k); err != nil || v != "value-"+k {
+					b.Fatalf("read %s = %q %v", k, v, err)
+				}
+			}
+		}
+		tx.Abort()
+	}
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(b.N*len(readBenchKeys))/elapsed.Seconds(), "keys/sec")
+}
+
+// newUDPBenchServices wires three Transaction Services over the real UDP
+// transport on localhost (binary wire codec end to end) plus a client
+// transport homed at V1 — the same shape cmd/txkvd + cmd/txkvctl deploy.
+func newUDPBenchServices(b *testing.B) *network.UDP {
+	b.Helper()
+	dcs := []string{"V1", "V2", "V3"}
+	services := make(map[string]*core.Service, len(dcs))
+	var mu sync.Mutex
+	transports := make(map[string]*network.UDP, len(dcs))
+	for _, dc := range dcs {
+		dc := dc
+		tr, err := network.NewUDP(dc, "127.0.0.1:0", nil, func(from string, req network.Message) network.Message {
+			mu.Lock()
+			svc := services[dc]
+			mu.Unlock()
+			if svc == nil {
+				return network.Status(false, "not ready")
+			}
+			return svc.Handler()(from, req)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		transports[dc] = tr
+	}
+	for _, tr := range transports {
+		for peer, ptr := range transports {
+			if err := tr.SetPeer(peer, ptr.LocalAddr()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	mu.Lock()
+	for _, dc := range dcs {
+		services[dc] = core.NewService(dc, kvstore.New(), transports[dc],
+			core.WithServiceTimeout(500*time.Millisecond))
+	}
+	mu.Unlock()
+	client, err := network.NewUDP("client", "127.0.0.1:0", nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for dc, tr := range transports {
+		if err := client.SetPeer(dc, tr.LocalAddr()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Cleanup(func() {
+		client.Close()
+		for _, svc := range services {
+			svc.Close()
+		}
+		for _, tr := range transports {
+			tr.Close()
+		}
+	})
+	return client
+}
+
+// BenchmarkReadThroughput measures the read hot path: 8-key read-only
+// transactions over the simulated WAN and over real UDP loopback datagrams,
+// per-key vs batched. Begin is messageless (lazy read positions), so each
+// iteration costs 8 RPCs in per-key mode and 1 in multi mode.
+func BenchmarkReadThroughput(b *testing.B) {
+	b.Run("sim", func(b *testing.B) {
+		c := newBenchCluster(b)
+		cl := c.NewClient("V1", core.Config{Seed: 1})
+		seedReadBench(b, cl)
+		b.Run("perkey", func(b *testing.B) { benchReadTxns(b, cl, false) })
+		b.Run("multi", func(b *testing.B) { benchReadTxns(b, cl, true) })
+	})
+	b.Run("udp", func(b *testing.B) {
+		client := newUDPBenchServices(b)
+		cl := core.NewClient(1, "V1", client, core.Config{Seed: 1, Timeout: 500 * time.Millisecond})
+		seedReadBench(b, cl)
+		b.Run("perkey", func(b *testing.B) { benchReadTxns(b, cl, false) })
+		b.Run("multi", func(b *testing.B) { benchReadTxns(b, cl, true) })
+	})
+}
+
 // BenchmarkRead measures a served read at the read position.
 func BenchmarkRead(b *testing.B) {
 	c := newBenchCluster(b)

@@ -8,19 +8,24 @@
 //	paxosbench -fig 6 -txns 500   # Figure 6 at full paper scale
 //	paxosbench -fig all -scale 0.02
 //	paxosbench -benchjson bench.out -o BENCH_ci.json   # go-bench -> JSON report
+//	paxosbench -compare BENCH_3.json -against BENCH_ci.json   # regression diff
 //
 // Figures: 4a, 4b, 5a, 5b, 6, 7, 8, ablation, promo, msgs, leader,
-// pipeline, avail, all. (4a/4b and 5a/5b run the same experiment; both
-// tables print.)
+// pipeline, reads, avail, all. (4a/4b and 5a/5b run the same experiment;
+// both tables print.)
 //
 // -benchjson converts `go test -bench` output (a file, or "-" for stdin)
 // into the machine-readable BENCH_ci.json report CI uploads as an artifact.
+// -compare diffs two such reports and flags metrics that moved more than
+// -threshold (default 20%) in the wrong direction; it exits zero unless
+// -strict is set, so CI can surface the diff without blocking.
 //
 // Latencies are simulated at -scale times real time and reported scaled
 // back to paper-equivalent milliseconds.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +46,10 @@ func main() {
 		benchJSON = flag.String("benchjson", "", "convert `go test -bench` output (file, or - for stdin) to a JSON report and exit")
 		out       = flag.String("o", "BENCH_ci.json", "output path for -benchjson")
 		benchCtx  = flag.String("context", "ci", "context label recorded in the -benchjson report")
+		compare   = flag.String("compare", "", "baseline JSON report to diff -against (exit 0 unless -strict)")
+		against   = flag.String("against", "BENCH_ci.json", "fresh JSON report compared to the -compare baseline")
+		threshold = flag.Float64("threshold", 0.20, "relative change flagged as a regression by -compare")
+		strict    = flag.Bool("strict", false, "exit 1 when -compare finds regressions")
 	)
 	flag.Parse()
 
@@ -48,6 +57,22 @@ func main() {
 		if err := writeBenchJSON(*benchJSON, *out, *benchCtx); err != nil {
 			fmt.Fprintf(os.Stderr, "paxosbench: %v\n", err)
 			os.Exit(1)
+		}
+		return
+	}
+	if *compare != "" {
+		regressions, err := compareReports(*compare, *against, *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paxosbench: %v\n", err)
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			fmt.Printf("\n%d metric(s) regressed more than %.0f%% vs %s\n", regressions, *threshold*100, *compare)
+			if *strict {
+				os.Exit(1)
+			}
+		} else {
+			fmt.Printf("\nno regressions beyond %.0f%% vs %s\n", *threshold*100, *compare)
 		}
 		return
 	}
@@ -74,6 +99,7 @@ func main() {
 		{[]string{"msgs"}, bench.MessageComplexity},
 		{[]string{"leader"}, bench.LeaderComparison},
 		{[]string{"pipeline"}, bench.SubmitPipeline},
+		{[]string{"reads"}, bench.Reads},
 		{[]string{"avail"}, bench.Availability},
 	}
 
@@ -108,6 +134,36 @@ func main() {
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "\ntotal wall time: %.1fs\n", time.Since(start).Seconds())
 	}
+}
+
+// compareReports diffs the fresh report against the baseline and prints the
+// delta table; it returns the number of regressions beyond threshold.
+func compareReports(basePath, freshPath string, threshold float64) (int, error) {
+	load := func(path string) (bench.BenchReport, error) {
+		var r bench.BenchReport
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return r, err
+		}
+		if err := json.Unmarshal(data, &r); err != nil {
+			return r, fmt.Errorf("%s: %w", path, err)
+		}
+		return r, nil
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return 0, err
+	}
+	fresh, err := load(freshPath)
+	if err != nil {
+		return 0, err
+	}
+	deltas := bench.CompareReports(base, fresh, threshold)
+	if len(deltas) == 0 {
+		fmt.Printf("no overlapping benchmarks between %s and %s\n", basePath, freshPath)
+		return 0, nil
+	}
+	return bench.WriteCompareReport(os.Stdout, deltas), nil
 }
 
 // writeBenchJSON converts go-bench output at inPath ("-" = stdin) into the

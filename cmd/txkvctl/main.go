@@ -10,7 +10,8 @@
 //
 // Subcommands:
 //
-//	get KEY            read one key (read-only transaction)
+//	get KEY...         read keys (read-only transaction; several keys are
+//	                   fetched in one batched round trip at one snapshot)
 //	set KEY VALUE      write one key (read/write transaction)
 //	txn OP...          run a multi-operation transaction; each OP is
 //	                   "get KEY" or "set KEY VALUE"
@@ -86,10 +87,10 @@ func main() {
 
 	switch args[0] {
 	case "get":
-		if len(args) != 2 {
-			log.Fatal("txkvctl: get KEY")
+		if len(args) < 2 {
+			log.Fatal("txkvctl: get KEY...")
 		}
-		runTxn(ctx, client, *group, []string{"get " + args[1]})
+		runGet(ctx, client, *group, args[1:])
 	case "set":
 		if len(args) != 3 {
 			log.Fatal("txkvctl: set KEY VALUE")
@@ -136,6 +137,27 @@ func main() {
 	default:
 		log.Fatalf("txkvctl: unknown subcommand %q", args[0])
 	}
+}
+
+// runGet reads one or more keys in a single read-only transaction; multiple
+// keys travel as one batched ReadMulti round trip served at one snapshot.
+func runGet(ctx context.Context, client *core.Client, group string, keys []string) {
+	tx, err := client.Begin(ctx, group)
+	if err != nil {
+		log.Fatalf("txkvctl: begin: %v", err)
+	}
+	vals, found, err := tx.ReadMulti(ctx, keys...)
+	if err != nil {
+		log.Fatalf("txkvctl: read: %v", err)
+	}
+	for i, k := range keys {
+		if found[i] {
+			fmt.Printf("%s = %q\n", k, vals[i])
+		} else {
+			fmt.Printf("%s = (unset)\n", k)
+		}
+	}
+	fmt.Printf("read position %d\n", tx.ReadPos())
 }
 
 func runTxn(ctx context.Context, client *core.Client, group string, ops []string) {

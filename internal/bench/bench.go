@@ -74,7 +74,12 @@ type runSpec struct {
 
 	attributes int
 	opsPerTxn  int
-	interval   time.Duration // unscaled per-thread pacing; 0 = paperInterval
+	// readFraction overrides the workload's read probability (0 = the
+	// paper's 0.5); batchReads issues each transaction's consecutive reads
+	// as one Tx.ReadMulti round trip.
+	readFraction float64
+	batchReads   bool
+	interval     time.Duration // unscaled per-thread pacing; 0 = paperInterval
 	// submitWindow / submitCombine tune the master submit pipeline
 	// (0 = core defaults; only meaningful for core.Master runs).
 	submitWindow  int
@@ -121,9 +126,10 @@ func run(o Options, rs runSpec) (runResult, error) {
 
 	group := "entity-group"
 	w := ycsb.Workload{
-		Group:      group,
-		Attributes: rs.attributes,
-		OpsPerTxn:  rs.opsPerTxn,
+		Group:        group,
+		Attributes:   rs.attributes,
+		OpsPerTxn:    rs.opsPerTxn,
+		ReadFraction: rs.readFraction,
 	}
 
 	perThread := o.Txns / o.Threads
@@ -154,6 +160,7 @@ func run(o Options, rs runSpec) (runResult, error) {
 			Count:      count,
 			Interval:   interval,
 			StartDelay: time.Duration(i) * interval / time.Duration(o.Threads),
+			BatchReads: rs.batchReads,
 		})
 	}
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -116,6 +117,85 @@ func ParseGoBench(r io.Reader) ([]BenchResult, error) {
 		return nil, fmt.Errorf("bench: parse go-bench output: %w", err)
 	}
 	return out, nil
+}
+
+// lowerIsBetter reports whether a metric improves by decreasing. Go's
+// standard per-op metrics shrink as code gets faster; custom throughput
+// metrics (commits/sec, reads/sec, ...) grow.
+func lowerIsBetter(unit string) bool {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op", "ns/read", "binary-bytes", "json-bytes":
+		return true
+	}
+	return strings.HasSuffix(unit, "/op")
+}
+
+// Delta is one metric's change between a baseline and a fresh benchmark run.
+type Delta struct {
+	Name string  `json:"name"`
+	Unit string  `json:"unit"`
+	Base float64 `json:"base"`
+	New  float64 `json:"new"`
+	// Ratio is New/Base. Regression reports whether the change exceeds the
+	// comparison threshold in the unit's worse direction.
+	Ratio      float64 `json:"ratio"`
+	Regression bool    `json:"regression"`
+}
+
+// CompareReports diffs a fresh report against a baseline: every
+// (benchmark, metric) pair present in both is compared, and a change worse
+// than threshold (e.g. 0.2 = 20%) in the metric's bad direction is flagged
+// as a regression. Benchmarks present on only one side are skipped —
+// comparisons survive benchmark additions and removals. Iteration counts
+// are ignored (CI smoke runs use -benchtime 1x).
+func CompareReports(base, fresh BenchReport, threshold float64) []Delta {
+	baseline := make(map[string]BenchResult, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+	var out []Delta
+	for _, r := range fresh.Results {
+		b, ok := baseline[r.Name]
+		if !ok {
+			continue
+		}
+		units := make([]string, 0, len(r.Metrics))
+		for unit := range r.Metrics {
+			if _, ok := b.Metrics[unit]; ok {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			d := Delta{Name: r.Name, Unit: unit, Base: b.Metrics[unit], New: r.Metrics[unit]}
+			if d.Base != 0 {
+				d.Ratio = d.New / d.Base
+				if lowerIsBetter(unit) {
+					d.Regression = d.Ratio > 1+threshold
+				} else {
+					d.Regression = d.Ratio < 1-threshold
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// WriteCompareReport renders a CompareReports diff as a text table on w and
+// returns the number of flagged regressions.
+func WriteCompareReport(w io.Writer, deltas []Delta) int {
+	regressions := 0
+	fmt.Fprintf(w, "%-60s %-12s %14s %14s %8s\n", "benchmark", "metric", "baseline", "current", "ratio")
+	for _, d := range deltas {
+		mark := ""
+		if d.Regression {
+			mark = "  << REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-60s %-12s %14.2f %14.2f %7.2fx%s\n", d.Name, d.Unit, d.Base, d.New, d.Ratio, mark)
+	}
+	return regressions
 }
 
 // WriteBenchJSON converts `go test -bench` output read from r into the

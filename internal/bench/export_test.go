@@ -67,3 +67,70 @@ func TestWriteBenchJSONRoundTrips(t *testing.T) {
 		t.Fatalf("report = %+v", report)
 	}
 }
+
+func TestCompareReports(t *testing.T) {
+	base := BenchReport{Results: []BenchResult{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 100, "commits/sec": 50}},
+		{Name: "BenchmarkGone", Metrics: map[string]float64{"ns/op": 10}},
+	}}
+	fresh := BenchReport{Results: []BenchResult{
+		// ns/op up 30% (regression), commits/sec up 30% (improvement).
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 130, "commits/sec": 65}},
+		{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 5}},
+	}}
+	deltas := CompareReports(base, fresh, 0.20)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	byUnit := map[string]Delta{}
+	for _, d := range deltas {
+		if d.Name != "BenchmarkA" {
+			t.Fatalf("unmatched benchmark compared: %+v", d)
+		}
+		byUnit[d.Unit] = d
+	}
+	if d := byUnit["ns/op"]; !d.Regression || d.Ratio < 1.29 || d.Ratio > 1.31 {
+		t.Fatalf("ns/op delta = %+v", d)
+	}
+	if d := byUnit["commits/sec"]; d.Regression {
+		t.Fatalf("throughput improvement flagged as regression: %+v", d)
+	}
+}
+
+func TestCompareReportsDirections(t *testing.T) {
+	base := BenchReport{Results: []BenchResult{
+		{Name: "B", Metrics: map[string]float64{"commits/sec": 100, "allocs/op": 4}},
+	}}
+	fresh := BenchReport{Results: []BenchResult{
+		{Name: "B", Metrics: map[string]float64{"commits/sec": 70, "allocs/op": 3}},
+	}}
+	deltas := CompareReports(base, fresh, 0.20)
+	for _, d := range deltas {
+		switch d.Unit {
+		case "commits/sec": // 30% drop in throughput: regression
+			if !d.Regression {
+				t.Fatalf("throughput drop not flagged: %+v", d)
+			}
+		case "allocs/op": // fewer allocations: improvement
+			if d.Regression {
+				t.Fatalf("alloc improvement flagged: %+v", d)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if n := WriteCompareReport(&buf, deltas); n != 1 {
+		t.Fatalf("reported %d regressions, want 1\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("table missing regression marker:\n%s", buf.String())
+	}
+}
+
+func TestCompareReportsZeroBaseline(t *testing.T) {
+	base := BenchReport{Results: []BenchResult{{Name: "B", Metrics: map[string]float64{"ns/op": 0}}}}
+	fresh := BenchReport{Results: []BenchResult{{Name: "B", Metrics: map[string]float64{"ns/op": 10}}}}
+	deltas := CompareReports(base, fresh, 0.2)
+	if len(deltas) != 1 || deltas[0].Regression {
+		t.Fatalf("zero baseline mishandled: %+v", deltas)
+	}
+}

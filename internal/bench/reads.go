@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"paxoscp/internal/core"
+)
+
+// Reads measures the read hot path rebuilt in DESIGN.md §9: a read-heavy
+// unpaced workload (90% reads, 8 ops/txn) on VVV under Paxos-CP, comparing
+// per-key reads (one synchronous RPC per operation, the seed shape) against
+// batched multi-key reads (consecutive reads collapse into one
+// Tx.ReadMulti), at increasing thread counts. Lazy read positions apply to
+// both rows — Begin never messages — so the delta isolates the batching win.
+// Every run feeds the serializability checker; the reads/sec column is the
+// figure of merit behind the module-root BenchmarkReadThroughput.
+func Reads(o Options) ([]Table, error) {
+	o = o.withDefaults()
+	t := Table{
+		Title: "Read path: per-key reads vs batched ReadMulti (VVV, paxos-cp, 90% reads, 8 ops/txn, unpaced)",
+		Note:  "reads/sec counts read operations served; batched rows collapse consecutive reads into one RPC",
+		Columns: []string{"threads", "mode", "commits", "reads/sec", "txn/sec",
+			"mean-latency-ms", "check"},
+	}
+	const readFraction = 0.9
+	const opsPerTxn = 8
+	for _, threads := range []int{2, 4, 8} {
+		for _, batched := range []bool{false, true} {
+			ro := o
+			ro.Threads = threads
+			mode := "per-key"
+			if batched {
+				mode = "multi"
+			}
+			res, err := run(ro, runSpec{
+				name:         fmt.Sprintf("reads t=%d %s", threads, mode),
+				topology:     "VVV",
+				protocol:     core.CP,
+				attributes:   200,
+				opsPerTxn:    opsPerTxn,
+				readFraction: readFraction,
+				batchReads:   batched,
+				interval:     time.Nanosecond, // unpaced
+				threadDCs:    []string{"V1", "V2", "V3"},
+			})
+			if err != nil {
+				return nil, err
+			}
+			sum := res.summary
+			readsPerSec, txnPerSec := "-", "-"
+			if res.wall > 0 {
+				// Approximate served reads: committed and OCC-aborted
+				// transactions executed their full operation list; Failed
+				// ones (transport errors) stopped mid-list and are excluded.
+				reads := float64(sum.Commits+sum.Aborts) * opsPerTxn * readFraction
+				readsPerSec = fmt.Sprintf("%.0f", reads/res.wall.Seconds())
+				txnPerSec = fmt.Sprintf("%.0f", float64(sum.Total)/res.wall.Seconds())
+			}
+			t.AddRow(fmt.Sprint(threads), mode, fmt.Sprint(sum.Commits),
+				readsPerSec, txnPerSec,
+				fmtMS(sum.AllCommit.Mean, o.Scale), violationsCell(res.violations))
+		}
+	}
+	return []Table{t}, nil
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -28,6 +29,14 @@ type Client struct {
 	proposer *paxos.Proposer
 	rng      *lockedRand
 	txnSeq   atomic.Int64
+
+	// sendOrder is the datacenter preference order for transaction API
+	// requests (local first, then every peer): precomputed once because
+	// sendPreferLocal runs on the per-read hot path.
+	sendOrder []string
+	// txnPrefix is the "<dc>-<id>-" prefix of every transaction ID this
+	// client mints; newTx appends only the sequence number.
+	txnPrefix string
 
 	// Collector, when set, receives one sample per finished read/write
 	// transaction (commit or abort), as the paper's evaluation measures.
@@ -63,6 +72,15 @@ func NewClient(id int, dc string, transport network.Transport, cfg Config) *Clie
 		transport: transport,
 		cfg:       cfg,
 		rng:       newLockedRand(cfg.Seed),
+		txnPrefix: dc + "-" + strconv.Itoa(id) + "-",
+	}
+	c.sendOrder = []string{dc}
+	if transport != nil {
+		for _, peer := range transport.Peers() {
+			if peer != dc {
+				c.sendOrder = append(c.sendOrder, peer)
+			}
+		}
 	}
 	c.proposer = &paxos.Proposer{Transport: transport, Timeout: cfg.Timeout}
 	return c
@@ -84,14 +102,11 @@ var errAllServicesUnavailable = errors.New("core: no transaction service reachab
 // sendPreferLocal sends req to the local service first and falls back to the
 // other datacenters in order ("If the local Transaction Service is not
 // available, the library contacts Transaction Services in other datacenters
-// until a response is received", §4).
+// until a response is received", §4). The order is precomputed at NewClient:
+// this runs on the per-read hot path, and peer sets are fixed for a client's
+// lifetime (cluster topology changes mint new clients).
 func (c *Client) sendPreferLocal(ctx context.Context, req network.Message) (network.Message, error) {
-	order := []string{c.dc}
-	for _, dc := range c.transport.Peers() {
-		if dc != c.dc {
-			order = append(order, dc)
-		}
-	}
+	order := c.sendOrder
 	timeout := c.cfg.Timeout
 	if timeout <= 0 {
 		timeout = network.DefaultTimeout
@@ -114,6 +129,10 @@ func (c *Client) sendPreferLocal(ctx context.Context, req network.Message) (netw
 	return network.Message{}, lastErr
 }
 
+// unresolvedPos marks a transaction whose read position has not been fixed
+// yet (lazy read positions; DESIGN.md §9).
+const unresolvedPos int64 = -1
+
 // Tx is one active transaction. It buffers writes locally and tracks the
 // read set; nothing reaches the datastore until Commit (optimistic
 // concurrency control, §2.2). A Tx is not safe for concurrent use.
@@ -121,22 +140,24 @@ type Tx struct {
 	client  *Client
 	group   string
 	id      string
-	readPos int64
+	readPos int64 // unresolvedPos until the first read (or commit) fixes it
 
 	reads  map[string]string // key -> value observed (read set + values)
+	misses map[string]bool   // keys read as missing (found=false) at the read position
 	writes map[string]string // key -> pending value
 	done   bool
 }
 
-// Begin starts a transaction on the given transaction group: it obtains the
-// read position from the local (or any reachable) Transaction Service
-// (transaction protocol step 1).
+// Begin starts a transaction on the given transaction group. The read
+// position (transaction protocol step 1) is obtained lazily: it piggybacks
+// on the transaction's first read, or — for transactions that commit writes
+// without ever reading — is fetched at commit time. Begin itself sends no
+// messages, so a transaction that is begun and aborted (or a read-only
+// transaction that never reads) costs nothing on the wire. Service
+// unavailability therefore surfaces at the first read or at commit, not
+// here.
 func (c *Client) Begin(ctx context.Context, group string) (*Tx, error) {
-	resp, err := c.sendPreferLocal(ctx, network.Message{Kind: network.KindReadPos, Group: group})
-	if err != nil {
-		return nil, fmt.Errorf("core: begin: %w", err)
-	}
-	return c.newTx(group, resp.TS), nil
+	return c.newTx(group, unresolvedPos), nil
 }
 
 // BeginAt starts a transaction that reads at an explicit log position — a
@@ -155,10 +176,15 @@ func (c *Client) BeginAt(ctx context.Context, group string, pos int64) (*Tx, err
 
 func (c *Client) newTx(group string, readPos int64) *Tx {
 	seq := c.txnSeq.Add(1)
+	// Transaction IDs are minted per transaction on the commit hot path, so
+	// build them with one append+convert instead of fmt.Sprintf
+	// (TestTxnIDAllocs guards the technique).
+	var buf [32]byte
+	id := c.txnPrefix + string(strconv.AppendInt(buf[:0], seq, 10))
 	return &Tx{
 		client:  c,
 		group:   group,
-		id:      fmt.Sprintf("%s-%d-%d", c.dc, c.id, seq),
+		id:      id,
 		readPos: readPos,
 		reads:   make(map[string]string),
 		writes:  make(map[string]string),
@@ -168,8 +194,29 @@ func (c *Client) newTx(group string, readPos int64) *Tx {
 // ID returns the transaction's unique identifier.
 func (t *Tx) ID() string { return t.id }
 
-// ReadPos returns the log position the transaction reads at.
+// ReadPos returns the log position the transaction reads at, or -1 while
+// the position is still unresolved (no read has happened yet; lazy read
+// positions fix it on first contact with a service).
 func (t *Tx) ReadPos() int64 { return t.readPos }
+
+// resolved reports whether the transaction's read position has been fixed.
+func (t *Tx) resolved() bool { return t.readPos != unresolvedPos }
+
+// resolveReadPos fixes the transaction's read position if it is still
+// unresolved: the explicit readpos round trip of transaction protocol step
+// 1, used only when no read ever piggybacked the resolution (write-only
+// transactions at commit time).
+func (t *Tx) resolveReadPos(ctx context.Context) error {
+	if t.resolved() {
+		return nil
+	}
+	resp, err := t.client.sendPreferLocal(ctx, network.Message{Kind: network.KindReadPos, Group: t.group})
+	if err != nil {
+		return fmt.Errorf("core: read position: %w", err)
+	}
+	t.readPos = resp.TS
+	return nil
+}
 
 // errTxDone reports use of a finished transaction.
 var errTxDone = errors.New("core: transaction already finished")
@@ -178,6 +225,11 @@ var errTxDone = errors.New("core: transaction already finished")
 // returns the written value (property A1); otherwise the read is served at
 // the transaction's read position (property A2). A key that has never been
 // written reads as the empty string with found=false.
+//
+// The transaction's first read also resolves its read position: the request
+// carries network.ResolvePos and the service serves the read at its applied
+// watermark, returning that position in the reply — the readpos round trip
+// that Begin used to spend is folded into this message (DESIGN.md §9).
 func (t *Tx) Read(ctx context.Context, key string) (string, bool, error) {
 	if t.done {
 		return "", false, errTxDone
@@ -186,21 +238,111 @@ func (t *Tx) Read(ctx context.Context, key string) (string, bool, error) {
 		return v, true, nil
 	}
 	if v, ok := t.reads[key]; ok {
-		// Repeated read within the transaction: same position, same value.
-		return v, true, nil
+		// Repeated read within the transaction: same position, same value
+		// (and the same found-ness — a key read as missing stays missing).
+		return v, !t.misses[key], nil
 	}
+	ts := t.readPos // unresolvedPos == network.ResolvePos on the wire
 	resp, err := t.client.sendPreferLocal(ctx, network.Message{
-		Kind: network.KindRead, Group: t.group, Key: key, TS: t.readPos,
+		Kind: network.KindRead, Group: t.group, Key: key, TS: ts,
 	})
 	if err != nil {
 		return "", false, fmt.Errorf("core: read %q: %w", key, err)
+	}
+	if !t.resolved() {
+		t.readPos = resp.TS
 	}
 	val := ""
 	if resp.Found {
 		val = resp.Value
 	}
 	t.reads[key] = val
+	if !resp.Found {
+		t.markMiss(key)
+	}
 	return val, resp.Found, nil
+}
+
+// markMiss records that key was read as missing at the read position.
+func (t *Tx) markMiss(key string) {
+	if t.misses == nil {
+		t.misses = make(map[string]bool)
+	}
+	t.misses[key] = true
+}
+
+// ReadMulti reads many keys in one round trip, all served at the
+// transaction's read position (one snapshot). Results are returned parallel
+// to keys, with the same per-key semantics as Read: keys written earlier in
+// the transaction return the buffered value (A1), keys already read repeat
+// their observed value, and only the remainder goes on the wire as a single
+// KindReadMulti request whose server side does one watermark check and one
+// multi-key store pass. Like the first Read, the first ReadMulti of a
+// transaction also resolves its read position.
+func (t *Tx) ReadMulti(ctx context.Context, keys ...string) ([]string, []bool, error) {
+	if t.done {
+		return nil, nil, errTxDone
+	}
+	vals := make([]string, len(keys))
+	found := make([]bool, len(keys))
+	var fetch []string                  // deduplicated keys that must go to the service
+	var slotOf map[string]int           // key -> slot in fetch, built on first miss
+	fetchSlot := make([]int, len(keys)) // result index -> fetch slot (-1 = satisfied locally)
+	for i, key := range keys {
+		fetchSlot[i] = -1
+		if v, ok := t.writes[key]; ok {
+			vals[i], found[i] = v, true
+			continue
+		}
+		if v, ok := t.reads[key]; ok {
+			vals[i], found[i] = v, !t.misses[key]
+			continue
+		}
+		if slotOf == nil {
+			slotOf = make(map[string]int)
+		}
+		slot, dup := slotOf[key]
+		if !dup {
+			slot = len(fetch)
+			slotOf[key] = slot
+			fetch = append(fetch, key)
+		}
+		fetchSlot[i] = slot
+	}
+	if len(fetch) == 0 {
+		return vals, found, nil
+	}
+	resp, err := t.client.sendPreferLocal(ctx, network.Message{
+		Kind: network.KindReadMulti, Group: t.group, Keys: fetch, TS: t.readPos,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: read %d keys: %w", len(fetch), err)
+	}
+	if len(resp.Vals) != len(fetch) || len(resp.Founds) != len(fetch) {
+		return nil, nil, fmt.Errorf("core: readmulti reply shape: %d keys, %d vals, %d founds",
+			len(fetch), len(resp.Vals), len(resp.Founds))
+	}
+	if !t.resolved() {
+		t.readPos = resp.TS
+	}
+	for fi, key := range fetch {
+		val := ""
+		if resp.Founds[fi] {
+			val = resp.Vals[fi]
+		} else {
+			t.markMiss(key)
+		}
+		t.reads[key] = val
+	}
+	for i, slot := range fetchSlot {
+		if slot < 0 {
+			continue
+		}
+		if resp.Founds[slot] {
+			vals[i], found[i] = resp.Vals[slot], true
+		}
+	}
+	return vals, found, nil
 }
 
 // Write buffers (key, value); it is applied only if the transaction commits.
@@ -249,8 +391,19 @@ func (t *Tx) Commit(ctx context.Context) (CommitResult, error) {
 	var err error
 	if len(t.writes) == 0 {
 		// Read-only transactions commit with no messaging (§2.2); they
-		// serialize immediately after their read position.
-		res = CommitResult{Status: stats.Committed, Pos: t.readPos}
+		// serialize immediately after their read position. A transaction
+		// that never read either has no position to resolve — it observed
+		// nothing and commits trivially at the log origin.
+		pos := t.readPos
+		if !t.resolved() {
+			pos = 0
+		}
+		res = CommitResult{Status: stats.Committed, Pos: pos}
+	} else if err = t.resolveReadPos(ctx); err != nil {
+		// A write-only transaction reaches commit with its read position
+		// still unresolved; fetch it now (the one readpos round trip lazy
+		// Begin deferred).
+		res = CommitResult{Status: stats.Failed}
 	} else {
 		switch t.client.cfg.Protocol {
 		case CP:
@@ -273,10 +426,14 @@ func (t *Tx) Commit(ctx context.Context) (CommitResult, error) {
 		})
 	}
 	if res.Status == stats.Committed && t.client.OnCommit != nil {
+		readPos := t.readPos
+		if !t.resolved() {
+			readPos = res.Pos // never-read transaction: trivial origin position
+		}
 		t.client.OnCommit(res.Pos, CommittedTxn{
 			ID:       t.id,
 			Origin:   t.client.dc,
-			ReadPos:  t.readPos,
+			ReadPos:  readPos,
 			Pos:      res.Pos,
 			Reads:    cloneMap(t.reads),
 			Writes:   cloneMap(t.writes),

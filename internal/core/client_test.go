@@ -276,13 +276,23 @@ func TestSendPreferLocalFallsBack(t *testing.T) {
 	// checking the remote order instead: B and C both down leaves only A.
 	sim.SetDown("B", true)
 	sim.SetDown("C", true)
-	if _, err := cl.Begin(ctx, "g"); err != nil {
+	tx, err := cl.Begin(ctx, "g")
+	if err != nil {
 		t.Fatalf("begin with only local up: %v", err)
 	}
-	// All down: Begin must fail with a useful error.
+	if _, _, err := tx.Read(ctx, "k"); err != nil {
+		t.Fatalf("read with only local up: %v", err)
+	}
+	// All down: Begin itself is messageless under lazy read positions, so
+	// unavailability surfaces at the transaction's first service contact —
+	// the first read — with a useful error.
 	sim.SetDown("A", true)
-	if _, err := cl.Begin(ctx, "g"); err == nil {
-		t.Fatal("begin succeeded with every service down")
+	tx2, err := cl.Begin(ctx, "g")
+	if err != nil {
+		t.Fatalf("lazy begin must not message: %v", err)
+	}
+	if _, _, err := tx2.Read(ctx, "k"); err == nil {
+		t.Fatal("read succeeded with every service down")
 	}
 }
 

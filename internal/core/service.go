@@ -157,6 +157,8 @@ func (s *Service) Handler() network.Handler {
 			return s.handleReadPos(req)
 		case network.KindRead:
 			return s.handleRead(req)
+		case network.KindReadMulti:
+			return s.handleReadMulti(req)
 		case network.KindClaimLeader:
 			return s.handleClaim(req)
 		case network.KindFetchLog:
@@ -237,24 +239,75 @@ func (s *Service) handleReadPos(req network.Message) network.Message {
 	return network.Message{Kind: network.KindValue, OK: true, TS: s.lastApplied(req.Group)}
 }
 
+// resolveReadTS turns a request's TS into the position the read is served
+// at. TS = network.ResolvePos means "serve at the current applied watermark
+// and tell me where" — the lazy read-position piggyback (DESIGN.md §9). A
+// position ahead of the local log triggers catch-up, bounded by the service
+// timeout so a laggard read cannot hang a handler goroutine indefinitely.
+func (s *Service) resolveReadTS(group string, ts int64) (int64, error) {
+	if ts < 0 {
+		return s.lastApplied(group), nil
+	}
+	if s.lastApplied(group) < ts {
+		ctx, cancel := context.WithTimeout(context.Background(), s.timeout)
+		defer cancel()
+		if err := s.CatchUp(ctx, group, ts); err != nil {
+			return 0, err
+		}
+	}
+	return ts, nil
+}
+
 // handleRead serves a read at the requested read position (transaction
 // protocol step 2). If this datacenter's log lags the position, it first
 // catches up from its peers; entries already decided locally are waited on
 // through the replog watermark instead.
 func (s *Service) handleRead(req network.Message) network.Message {
-	if s.lastApplied(req.Group) < req.TS {
-		if err := s.CatchUp(context.Background(), req.Group, req.TS); err != nil {
-			return network.Status(false, err.Error())
-		}
+	ts, err := s.resolveReadTS(req.Group, req.TS)
+	if err != nil {
+		return network.Status(false, err.Error())
 	}
-	v, _, err := s.store.Read(dataKey(req.Group, req.Key), req.TS)
+	v, _, err := s.store.Read(dataKey(req.Group, req.Key), ts)
 	if errors.Is(err, kvstore.ErrNotFound) {
-		return network.Message{Kind: network.KindValue, OK: true, Found: false}
+		return network.Message{Kind: network.KindValue, OK: true, Found: false, TS: ts}
 	}
 	if err != nil {
 		return network.Status(false, err.Error())
 	}
-	return network.Message{Kind: network.KindValue, OK: true, Found: true, Value: v["v"]}
+	return network.Message{Kind: network.KindValue, OK: true, Found: true, Value: v["v"], TS: ts}
+}
+
+// handleReadMulti serves a batched multi-key read at one log position: one
+// watermark check (plus at most one catch-up round) and one multi-key store
+// pass, instead of the per-key lock round a loop of single reads pays. All
+// keys are served at the same position, so the batch observes one snapshot
+// (the replog watermark only advances after a batch of entries fully
+// lands).
+func (s *Service) handleReadMulti(req network.Message) network.Message {
+	ts, err := s.resolveReadTS(req.Group, req.TS)
+	if err != nil {
+		return network.Status(false, err.Error())
+	}
+	keys := make([]string, len(req.Keys))
+	for i, k := range req.Keys {
+		keys[i] = dataKey(req.Group, k)
+	}
+	results, err := s.store.ReadMulti(keys, ts)
+	if err != nil {
+		return network.Status(false, err.Error())
+	}
+	resp := network.Message{
+		Kind: network.KindValue, OK: true, TS: ts,
+		Vals:   make([]string, len(results)),
+		Founds: make([]bool, len(results)),
+	}
+	for i, r := range results {
+		if r.Found {
+			resp.Vals[i] = r.Value["v"]
+			resp.Founds[i] = true
+		}
+	}
+	return resp
 }
 
 // handleFetchLog returns the decided entry at a position, if known locally.

@@ -15,7 +15,7 @@ import (
 // udpCluster runs three full Transaction Services over the real UDP
 // transport on localhost — the same wiring cmd/txkvd uses — and returns
 // client transports. This exercises the protocols over actual datagrams:
-// JSON codec, correlation, concurrent sockets.
+// binary wire codec, correlation, concurrent sockets.
 type udpCluster struct {
 	services   map[string]*Service
 	transports map[string]*network.UDP

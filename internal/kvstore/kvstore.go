@@ -200,6 +200,73 @@ func (s *Store) Read(key string, ts int64) (Value, int64, error) {
 // version of a row.
 const Latest int64 = -1
 
+// MultiResult is one key's outcome in a ReadMulti call.
+type MultiResult struct {
+	// Value is a copy of the version's contents; nil when !Found.
+	Value Value
+	// TS is the found version's timestamp.
+	TS int64
+	// Found reports whether a version existed at or before the requested
+	// timestamp.
+	Found bool
+}
+
+// ReadMulti reads many keys at one timestamp with one shard-lock acquisition
+// per touched shard (instead of the per-key shard lookup a loop of Read
+// calls pays) and returns one result per key, in key order. Pass Latest (or
+// any negative ts) for most-recent-version reads. Per-key semantics match
+// Read exactly; a missing key is reported as !Found rather than an error.
+//
+// Like Read, cross-row atomicity is not provided by the store: the
+// transaction tier serves multi-key reads at an applied-watermark position,
+// which only advances after a batch fully lands (see internal/replog), so a
+// ReadMulti at position <= watermark observes one consistent snapshot.
+func (s *Store) ReadMulti(keys []string, ts int64) ([]MultiResult, error) {
+	if s.isClosed() {
+		return nil, ErrClosed
+	}
+	out := make([]MultiResult, len(keys))
+	if len(keys) == 0 {
+		return out, nil
+	}
+	// Pin every row with one shard-lock round per touched shard.
+	var byShard [numShards][]int
+	for i, k := range keys {
+		si := shardFor(k)
+		byShard[si] = append(byShard[si], i)
+	}
+	rows := make([]*row, len(keys))
+	for si := range byShard {
+		idxs := byShard[si]
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := s.shards[si]
+		sh.mu.RLock()
+		for _, i := range idxs {
+			rows[i] = sh.rows[keys[i]]
+		}
+		sh.mu.RUnlock()
+	}
+	for i, r := range rows {
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		var v *Version
+		if ts < 0 {
+			v = r.latest()
+		} else {
+			v = r.at(ts)
+		}
+		if v != nil {
+			out[i] = MultiResult{Value: v.Value.Clone(), TS: v.Timestamp, Found: true}
+		}
+		r.mu.Unlock()
+	}
+	return out, nil
+}
+
 // Write creates a new version of key with the given timestamp. If a version
 // with a timestamp >= ts already exists, ErrStaleWrite is returned, matching
 // the paper's write(key, value, timestamp) contract. Pass a negative ts to

@@ -1,0 +1,379 @@
+package network
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary wire codec for Message and the UDP transport's envelope. The
+// format is a compact length-prefixed layout in the same style as
+// wal/codec.go (see DESIGN.md §9):
+//
+//	envelope: wireVersion(1) flags(1) id(uvarint) from(str) message
+//	message:  kind(1 | 0xFF+str) bools(1) group(str) pos(varint)
+//	          ballot(varint) ts(varint) key(str) value(str) err(str)
+//	          payload(bytes) keys([]str) vals([]str) founds(bitmap)
+//	str:      len(uvarint) bytes;  []str: count(uvarint) str*
+//	bitmap:   count(uvarint) ceil(count/8) bytes, LSB first
+//
+// The leading wireVersion byte (0xB1) can never be the first byte of a JSON
+// envelope ('{'), so a receiver distinguishes binary from legacy JSON
+// datagrams by sniffing the first byte — the UDP transport answers each
+// request in the encoding it arrived in, keeping mixed-version clusters
+// talking during a rolling upgrade.
+
+const (
+	// wireVersion is the leading byte of every binary envelope.
+	wireVersion = 0xB1
+	// jsonFirstByte is the first byte of every JSON envelope.
+	jsonFirstByte = '{'
+
+	// wireMaxStr caps decoded string lengths; wireMaxCount caps element
+	// counts. Both defend against corrupt or hostile datagrams.
+	wireMaxStr   = 1 << 20
+	wireMaxCount = 1 << 16
+)
+
+// ErrBadWire is returned when a binary datagram cannot be decoded.
+var ErrBadWire = errors.New("network: corrupt binary message")
+
+// kindTable fixes the on-wire byte for every known Kind. Order is part of
+// the wire format: never reorder or remove entries, only append.
+var kindTable = []Kind{
+	KindPrepare, KindAccept, KindApply,
+	KindReadPos, KindRead, KindReadMulti,
+	KindClaimLeader, KindFetchLog, KindSubmit, KindSnapshot,
+	KindStats, KindCompact,
+	KindLastVote, KindStatus, KindValue,
+}
+
+// kindOther marks a Kind outside kindTable, encoded as a string.
+const kindOther = 0xFF
+
+var kindCode = func() map[Kind]byte {
+	m := make(map[Kind]byte, len(kindTable))
+	for i, k := range kindTable {
+		m[k] = byte(i)
+	}
+	return m
+}()
+
+// Message bool flags, packed into one byte.
+const (
+	flagOK       = 1 << 0
+	flagFound    = 1 << 1
+	flagCombined = 1 << 2
+)
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendStrs(b []byte, ss []string) []byte {
+	b = appendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendStr(b, s)
+	}
+	return b
+}
+
+func appendBools(b []byte, bs []bool) []byte {
+	b = appendUvarint(b, uint64(len(bs)))
+	var cur byte
+	for i, v := range bs {
+		if v {
+			cur |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			b = append(b, cur)
+			cur = 0
+		}
+	}
+	if len(bs)%8 != 0 {
+		b = append(b, cur)
+	}
+	return b
+}
+
+// AppendMessage appends m's binary encoding to dst and returns the extended
+// slice.
+func AppendMessage(dst []byte, m Message) []byte {
+	if code, ok := kindCode[m.Kind]; ok {
+		dst = append(dst, code)
+	} else {
+		dst = append(dst, kindOther)
+		dst = appendStr(dst, string(m.Kind))
+	}
+	var bools byte
+	if m.OK {
+		bools |= flagOK
+	}
+	if m.Found {
+		bools |= flagFound
+	}
+	if m.Combined {
+		bools |= flagCombined
+	}
+	dst = append(dst, bools)
+	dst = appendStr(dst, m.Group)
+	dst = appendVarint(dst, m.Pos)
+	dst = appendVarint(dst, m.Ballot)
+	dst = appendVarint(dst, m.TS)
+	dst = appendStr(dst, m.Key)
+	dst = appendStr(dst, m.Value)
+	dst = appendStr(dst, m.Err)
+	dst = appendUvarint(dst, uint64(len(m.Payload)))
+	dst = append(dst, m.Payload...)
+	dst = appendStrs(dst, m.Keys)
+	dst = appendStrs(dst, m.Vals)
+	dst = appendBools(dst, m.Founds)
+	return dst
+}
+
+// wireReader decodes the binary layout from a byte slice without copying.
+type wireReader struct {
+	buf []byte
+}
+
+func (r *wireReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint", ErrBadWire)
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+func (r *wireReader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint", ErrBadWire)
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+func (r *wireReader) byte() (byte, error) {
+	if len(r.buf) == 0 {
+		return 0, fmt.Errorf("%w: short buffer", ErrBadWire)
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b, nil
+}
+
+func (r *wireReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > wireMaxStr {
+		return "", fmt.Errorf("%w: string length %d", ErrBadWire, n)
+	}
+	if uint64(len(r.buf)) < n {
+		return "", fmt.Errorf("%w: short string", ErrBadWire)
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s, nil
+}
+
+func (r *wireReader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > wireMaxStr {
+		return nil, fmt.Errorf("%w: payload length %d", ErrBadWire, n)
+	}
+	if uint64(len(r.buf)) < n {
+		return nil, fmt.Errorf("%w: short payload", ErrBadWire)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf)
+	r.buf = r.buf[n:]
+	return out, nil
+}
+
+func (r *wireReader) strs() ([]string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > wireMaxCount {
+		return nil, fmt.Errorf("%w: list length %d", ErrBadWire, n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		s, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (r *wireReader) bools() ([]bool, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > wireMaxCount {
+		return nil, fmt.Errorf("%w: bitmap length %d", ErrBadWire, n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	nbytes := (n + 7) / 8
+	if uint64(len(r.buf)) < nbytes {
+		return nil, fmt.Errorf("%w: short bitmap", ErrBadWire)
+	}
+	out := make([]bool, n)
+	for i := uint64(0); i < n; i++ {
+		out[i] = r.buf[i/8]&(1<<(i%8)) != 0
+	}
+	r.buf = r.buf[nbytes:]
+	return out, nil
+}
+
+// readMessage decodes one Message from the reader.
+func (r *wireReader) readMessage() (Message, error) {
+	var m Message
+	kb, err := r.byte()
+	if err != nil {
+		return Message{}, err
+	}
+	switch {
+	case kb == kindOther:
+		s, err := r.str()
+		if err != nil {
+			return Message{}, err
+		}
+		m.Kind = Kind(s)
+	case int(kb) < len(kindTable):
+		m.Kind = kindTable[kb]
+	default:
+		return Message{}, fmt.Errorf("%w: unknown kind code %#x", ErrBadWire, kb)
+	}
+	bools, err := r.byte()
+	if err != nil {
+		return Message{}, err
+	}
+	m.OK = bools&flagOK != 0
+	m.Found = bools&flagFound != 0
+	m.Combined = bools&flagCombined != 0
+	if m.Group, err = r.str(); err != nil {
+		return Message{}, err
+	}
+	if m.Pos, err = r.varint(); err != nil {
+		return Message{}, err
+	}
+	if m.Ballot, err = r.varint(); err != nil {
+		return Message{}, err
+	}
+	if m.TS, err = r.varint(); err != nil {
+		return Message{}, err
+	}
+	if m.Key, err = r.str(); err != nil {
+		return Message{}, err
+	}
+	if m.Value, err = r.str(); err != nil {
+		return Message{}, err
+	}
+	if m.Err, err = r.str(); err != nil {
+		return Message{}, err
+	}
+	if m.Payload, err = r.bytes(); err != nil {
+		return Message{}, err
+	}
+	if m.Keys, err = r.strs(); err != nil {
+		return Message{}, err
+	}
+	if m.Vals, err = r.strs(); err != nil {
+		return Message{}, err
+	}
+	if m.Founds, err = r.bools(); err != nil {
+		return Message{}, err
+	}
+	return m, nil
+}
+
+// MarshalBinary encodes m in the compact binary message format (without an
+// envelope header).
+func MarshalBinary(m Message) []byte {
+	return AppendMessage(make([]byte, 0, 64), m)
+}
+
+// UnmarshalBinary decodes a message produced by MarshalBinary. Corrupt or
+// truncated input returns ErrBadWire; it never panics.
+func UnmarshalBinary(data []byte) (Message, error) {
+	r := wireReader{buf: data}
+	m, err := r.readMessage()
+	if err != nil {
+		return Message{}, err
+	}
+	if len(r.buf) != 0 {
+		return Message{}, fmt.Errorf("%w: %d trailing bytes", ErrBadWire, len(r.buf))
+	}
+	return m, nil
+}
+
+// Envelope flag bits.
+const envFlagResp = 1 << 0
+
+// appendEnvelope appends the binary envelope encoding to dst.
+func appendEnvelope(dst []byte, env envelope) []byte {
+	dst = append(dst, wireVersion)
+	var flags byte
+	if env.Resp {
+		flags |= envFlagResp
+	}
+	dst = append(dst, flags)
+	dst = appendUvarint(dst, env.ID)
+	dst = appendStr(dst, env.From)
+	return AppendMessage(dst, env.Msg)
+}
+
+// decodeEnvelope decodes a binary envelope (the wireVersion byte included).
+func decodeEnvelope(data []byte) (envelope, error) {
+	var env envelope
+	if len(data) == 0 || data[0] != wireVersion {
+		return envelope{}, fmt.Errorf("%w: bad wire version", ErrBadWire)
+	}
+	r := wireReader{buf: data[1:]}
+	flags, err := r.byte()
+	if err != nil {
+		return envelope{}, err
+	}
+	env.Resp = flags&envFlagResp != 0
+	if env.ID, err = r.uvarint(); err != nil {
+		return envelope{}, err
+	}
+	if env.From, err = r.str(); err != nil {
+		return envelope{}, err
+	}
+	if env.Msg, err = r.readMessage(); err != nil {
+		return envelope{}, err
+	}
+	if len(r.buf) != 0 {
+		return envelope{}, fmt.Errorf("%w: %d trailing bytes", ErrBadWire, len(r.buf))
+	}
+	return env, nil
+}

@@ -1,0 +1,285 @@
+package network
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// allKinds covers every protocol kind plus an unknown one (string-encoded).
+var allKinds = append(append([]Kind(nil), kindTable...), Kind("future-kind"))
+
+// randMessage builds a random Message exercising every field.
+func randMessage(rng *rand.Rand, kind Kind) Message {
+	randStr := func(n int) string {
+		const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789-/"
+		b := make([]byte, rng.Intn(n))
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(b)
+	}
+	m := Message{
+		Kind:     kind,
+		Group:    randStr(12),
+		Pos:      rng.Int63n(1 << 40),
+		Ballot:   rng.Int63n(1<<40) - (1 << 20),
+		TS:       rng.Int63n(1<<40) - 2,
+		Key:      randStr(20),
+		Value:    randStr(40),
+		Err:      randStr(10),
+		OK:       rng.Intn(2) == 0,
+		Found:    rng.Intn(2) == 0,
+		Combined: rng.Intn(2) == 0,
+	}
+	if n := rng.Intn(64); n > 0 {
+		m.Payload = make([]byte, n)
+		rng.Read(m.Payload)
+	}
+	for i, n := 0, rng.Intn(10); i < n; i++ {
+		m.Keys = append(m.Keys, randStr(16))
+		m.Vals = append(m.Vals, randStr(16))
+		m.Founds = append(m.Founds, rng.Intn(2) == 0)
+	}
+	return m
+}
+
+// msgEqual compares messages treating nil and empty slices as equal (the
+// codec does not preserve that distinction).
+func msgEqual(a, b Message) bool {
+	norm := func(m *Message) {
+		if len(m.Payload) == 0 {
+			m.Payload = nil
+		}
+		if len(m.Keys) == 0 {
+			m.Keys = nil
+		}
+		if len(m.Vals) == 0 {
+			m.Vals = nil
+		}
+		if len(m.Founds) == 0 {
+			m.Founds = nil
+		}
+	}
+	norm(&a)
+	norm(&b)
+	return reflect.DeepEqual(a, b)
+}
+
+// TestBinaryCodecRoundTrip round-trips random messages of every kind.
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, kind := range allKinds {
+		for i := 0; i < 50; i++ {
+			m := randMessage(rng, kind)
+			got, err := UnmarshalBinary(MarshalBinary(m))
+			if err != nil {
+				t.Fatalf("kind %s: decode: %v", kind, err)
+			}
+			if !msgEqual(m, got) {
+				t.Fatalf("kind %s round trip:\n in: %+v\nout: %+v", kind, m, got)
+			}
+		}
+	}
+}
+
+// TestBinaryEnvelopeRoundTrip round-trips full envelopes.
+func TestBinaryEnvelopeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		env := envelope{
+			ID:   rng.Uint64(),
+			From: "dc-1",
+			Resp: rng.Intn(2) == 0,
+			Msg:  randMessage(rng, allKinds[rng.Intn(len(allKinds))]),
+		}
+		got, err := decodeEnvelope(appendEnvelope(nil, env))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.ID != env.ID || got.From != env.From || got.Resp != env.Resp || !msgEqual(got.Msg, env.Msg) {
+			t.Fatalf("envelope round trip:\n in: %+v\nout: %+v", env, got)
+		}
+	}
+}
+
+// TestBinaryCodecTruncation checks that every prefix of a valid encoding
+// errors rather than panicking or decoding silently.
+func TestBinaryCodecTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randMessage(rng, KindReadMulti)
+	data := MarshalBinary(m)
+	for n := 0; n < len(data); n++ {
+		if _, err := UnmarshalBinary(data[:n]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded silently", n, len(data))
+		}
+	}
+	env := appendEnvelope(nil, envelope{ID: 7, From: "A", Msg: m})
+	for n := 0; n < len(env); n++ {
+		if _, err := decodeEnvelope(env[:n]); err == nil {
+			t.Fatalf("envelope truncation at %d/%d decoded silently", n, len(env))
+		}
+	}
+}
+
+// TestBinaryCodecCorruption flips bytes and random garbage through the
+// decoder; it must error or produce some message, never panic.
+func TestBinaryCodecCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	base := MarshalBinary(randMessage(rng, KindAccept))
+	for i := 0; i < 2000; i++ {
+		data := append([]byte(nil), base...)
+		for flips := rng.Intn(4) + 1; flips > 0; flips-- {
+			data[rng.Intn(len(data))] ^= byte(1 << rng.Intn(8))
+		}
+		UnmarshalBinary(data) // must not panic
+	}
+	for i := 0; i < 2000; i++ {
+		data := make([]byte, rng.Intn(96))
+		rng.Read(data)
+		UnmarshalBinary(data) // must not panic
+		decodeEnvelope(data)  // must not panic
+		if len(data) > 0 {
+			data[0] = wireVersion
+			decodeEnvelope(data) // forced version byte; must not panic
+		}
+	}
+}
+
+// TestBinaryCodecTrailingBytes rejects valid encodings with appended junk.
+func TestBinaryCodecTrailingBytes(t *testing.T) {
+	m := Message{Kind: KindStatus, OK: true}
+	data := append(MarshalBinary(m), 0x00)
+	if _, err := UnmarshalBinary(data); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestBinaryCodecOversizedCounts rejects length fields beyond the caps
+// without allocating unboundedly.
+func TestBinaryCodecOversizedCounts(t *testing.T) {
+	var data []byte
+	data = append(data, byte(kindCode[KindRead]), 0)
+	data = appendUvarint(data, uint64(wireMaxStr)+1) // group longer than cap
+	if _, err := UnmarshalBinary(data); err == nil {
+		t.Fatal("oversized string length accepted")
+	}
+}
+
+// TestUDPMixedVersionPeers checks the rolling-upgrade path: a legacy peer
+// speaking JSON envelopes sends a request to a binary transport and gets a
+// JSON reply it can decode, while binary peers keep talking binary.
+func TestUDPMixedVersionPeers(t *testing.T) {
+	srv, err := NewUDP("S", "127.0.0.1:0", nil, func(from string, req Message) Message {
+		return Message{Kind: KindStatus, OK: true, Err: "S<-" + from, Pos: req.Pos}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Legacy JSON peer: a raw socket speaking the old JSON envelope format.
+	conn, err := net.Dial("udp", srv.LocalAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	reqEnv := envelope{ID: 42, From: "legacy", Msg: Message{Kind: KindRead, Pos: 7}}
+	data, err := json.Marshal(reqEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, maxDatagram)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatalf("legacy peer got no reply: %v", err)
+	}
+	var respEnv envelope
+	if err := json.Unmarshal(buf[:n], &respEnv); err != nil {
+		t.Fatalf("reply to JSON peer is not JSON: %v (% x)", err, buf[:n])
+	}
+	if !respEnv.Resp || respEnv.ID != 42 || respEnv.Msg.Err != "S<-legacy" || respEnv.Msg.Pos != 7 {
+		t.Fatalf("legacy reply = %+v", respEnv)
+	}
+
+	// Binary peer on the same server: normal transport round trip.
+	cli, err := NewUDP("C", "127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.SetPeer("S", srv.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cli.Send(context.Background(), "S", Message{Kind: KindRead, Pos: 9})
+	if err != nil {
+		t.Fatalf("binary peer: %v", err)
+	}
+	if resp.Err != "S<-C" || resp.Pos != 9 {
+		t.Fatalf("binary reply = %+v", resp)
+	}
+}
+
+// benchEnvelope is a representative read-path envelope for codec benchmarks.
+func benchEnvelope() envelope {
+	return envelope{
+		ID:   123456789,
+		From: "V1",
+		Msg: Message{
+			Kind:  KindReadMulti,
+			Group: "entity-group",
+			TS:    98765,
+			Keys:  []string{"attr1", "attr17", "attr42", "attr63", "attr80", "attr91", "attr7", "attr33"},
+		},
+	}
+}
+
+// BenchmarkMessageCodec compares the binary wire codec against the legacy
+// JSON envelope for one encode+decode cycle of a representative multi-key
+// read request. The binary row must be at least 3x faster (DESIGN.md §9).
+func BenchmarkMessageCodec(b *testing.B) {
+	env := benchEnvelope()
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			data := appendEnvelope(make([]byte, 0, 128), env)
+			if _, err := decodeEnvelope(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("json", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			data, err := json.Marshal(env)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var out envelope
+			if err := json.Unmarshal(data, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMessageCodecSize is not a speed benchmark: it reports the encoded
+// sizes of the representative envelope under both codecs.
+func BenchmarkMessageCodecSize(b *testing.B) {
+	env := benchEnvelope()
+	bin := appendEnvelope(nil, env)
+	js, _ := json.Marshal(env)
+	for i := 0; i < b.N; i++ {
+		_ = bin
+	}
+	b.ReportMetric(float64(len(bin)), "binary-bytes")
+	b.ReportMetric(float64(len(js)), "json-bytes")
+}

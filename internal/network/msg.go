@@ -22,6 +22,11 @@ const (
 	// Transaction API (transaction protocol steps 1–2).
 	KindReadPos Kind = "readpos" // ask for last written log position
 	KindRead    Kind = "read"    // Key at TS=read position
+	// KindReadMulti reads Keys at one log position in a single round trip;
+	// the reply carries parallel Vals/Founds slices. With TS=ResolvePos the
+	// service serves at its applied watermark and reports the position in
+	// the reply's TS (the lazy read-position piggyback; DESIGN.md §9).
+	KindReadMulti Kind = "readmulti"
 
 	// Leader optimization (§4.1 "Paxos Optimizations").
 	KindClaimLeader Kind = "claim" // first claimant of Pos gets fast path
@@ -48,6 +53,12 @@ const (
 	KindValue    Kind = "value"    // read/readpos/fetchlog reply
 )
 
+// ResolvePos, sent as the TS of a read or readmulti request, asks the
+// service to serve the read at its current applied watermark and return that
+// position in the reply's TS. Clients use it to piggyback the transaction's
+// read-position fetch on its first read (DESIGN.md §9).
+const ResolvePos int64 = -1
+
 // Message is the single wire unit exchanged between Transaction Clients and
 // Transaction Services. One flat struct (rather than per-kind types) keeps
 // the UDP codec trivial and mirrors the loosely-typed RPC of the prototype.
@@ -70,6 +81,12 @@ type Message struct {
 	// Combined marks a submit reply whose transaction committed inside a
 	// multi-transaction log entry (the master's combination path).
 	Combined bool `json:"cb,omitempty"`
+
+	// Multi-key read (KindReadMulti): the request lists Keys; the reply
+	// carries Vals and Founds parallel to the request's Keys.
+	Keys   []string `json:"keys,omitempty"`
+	Vals   []string `json:"vals,omitempty"`
+	Founds []bool   `json:"fnds,omitempty"`
 }
 
 // Status constructs a generic success/failure reply.

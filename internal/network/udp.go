@@ -18,11 +18,16 @@ type envelope struct {
 	Msg  Message `json:"msg"`
 }
 
-// UDP is a real UDP transport: one socket per datacenter, JSON datagrams, no
-// retransmission or acknowledgement below the request/response layer. The
-// paper's prototype used UDP with a 2-second loss-detection timeout; this
-// transport reproduces those semantics faithfully — a dropped datagram in
-// either direction simply surfaces as ErrTimeout.
+// UDP is a real UDP transport: one socket per datacenter, binary datagrams
+// (codec.go), no retransmission or acknowledgement below the request/response
+// layer. The paper's prototype used UDP with a 2-second loss-detection
+// timeout; this transport reproduces those semantics faithfully — a dropped
+// datagram in either direction simply surfaces as ErrTimeout.
+//
+// Datagrams are encoded with the compact binary codec behind a version byte;
+// legacy JSON envelopes (which start with '{') are still accepted and
+// answered in JSON, so binary and JSON peers interoperate during a rolling
+// upgrade (DESIGN.md §9).
 type UDP struct {
 	local   string
 	conn    *net.UDPConn
@@ -111,8 +116,21 @@ func (u *UDP) readLoop() {
 			return // closed
 		}
 		var env envelope
-		if err := json.Unmarshal(buf[:n], &env); err != nil {
-			continue // drop malformed datagrams, as real UDP services must
+		var legacyJSON bool
+		switch {
+		case n > 0 && buf[0] == wireVersion:
+			var err error
+			if env, err = decodeEnvelope(buf[:n]); err != nil {
+				continue // drop malformed datagrams, as real UDP services must
+			}
+		case n > 0 && buf[0] == jsonFirstByte:
+			// Legacy peer: JSON envelope. Remember so the reply matches.
+			if err := json.Unmarshal(buf[:n], &env); err != nil {
+				continue
+			}
+			legacyJSON = true
+		default:
+			continue
 		}
 		if env.Resp {
 			u.mu.RLock()
@@ -128,15 +146,21 @@ func (u *UDP) readLoop() {
 		}
 		// Inbound request: serve in its own goroutine (stateless service
 		// processes, §2.2) and reply to the observed source address.
-		go u.serve(env, raddr)
+		go u.serve(env, raddr, legacyJSON)
 	}
 }
 
-func (u *UDP) serve(env envelope, raddr *net.UDPAddr) {
+func (u *UDP) serve(env envelope, raddr *net.UDPAddr, legacyJSON bool) {
 	resp := u.handler(env.From, env.Msg)
-	out, err := json.Marshal(envelope{ID: env.ID, From: u.local, Resp: true, Msg: resp})
-	if err != nil {
-		return
+	reply := envelope{ID: env.ID, From: u.local, Resp: true, Msg: resp}
+	var out []byte
+	if legacyJSON {
+		var err error
+		if out, err = json.Marshal(reply); err != nil {
+			return
+		}
+	} else {
+		out = appendEnvelope(make([]byte, 0, 128), reply)
 	}
 	u.conn.WriteToUDP(out, raddr) // best effort; loss is the failure model
 }
@@ -170,10 +194,7 @@ func (u *UDP) Send(ctx context.Context, to string, req Message) (Message, error)
 		u.mu.Unlock()
 	}()
 
-	out, err := json.Marshal(envelope{ID: id, From: u.local, Msg: req})
-	if err != nil {
-		return Message{}, fmt.Errorf("network: marshal: %w", err)
-	}
+	out := appendEnvelope(make([]byte, 0, 128), envelope{ID: id, From: u.local, Msg: req})
 	if _, err := u.conn.WriteToUDP(out, addr); err != nil {
 		// Treat send failure like loss: wait out the timeout so callers see
 		// uniform behaviour, unless the context is already done.

@@ -212,3 +212,49 @@ func TestRunnerStaggeredStart(t *testing.T) {
 		t.Fatalf("thread started before its stagger delay (%v)", el)
 	}
 }
+
+// TestRunnerBatchReads runs the workload with multi-key read batching and
+// checks the full serializability battery: a ReadMulti observes every key at
+// one log position, so batching must not introduce violations.
+func TestRunnerBatchReads(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Topology:  cluster.MustPaperTopology("VVV"),
+		NetConfig: network.SimConfig{Seed: 5, Scale: 0.002},
+		Timeout:   150 * time.Millisecond,
+	})
+	defer c.Close()
+
+	w := Workload{Group: "g", Attributes: 30, OpsPerTxn: 8, ReadFraction: 0.7}
+	rec := &history.Recorder{}
+	var threads []Thread
+	for i := 0; i < 3; i++ {
+		threads = append(threads, Thread{
+			Client:     c.NewClient(c.DCs()[i%3], core.Config{Protocol: core.CP, Seed: int64(i + 1)}),
+			Gen:        NewGenerator(w, int64(i+1)),
+			Count:      8,
+			BatchReads: true,
+		})
+	}
+	r := &Runner{Threads: threads, Recorder: rec}
+	samples := r.Run(context.Background())
+
+	sum := stats.Summarize(samples)
+	if sum.Total != 24 || sum.Commits == 0 {
+		t.Fatalf("summary: %s", sum.String())
+	}
+	ctx := context.Background()
+	for _, dc := range c.DCs() {
+		if err := c.Service(dc).Recover(ctx, "g"); err != nil {
+			t.Fatalf("recover %s: %v", dc, err)
+		}
+	}
+	logs := map[string]map[int64]wal.Entry{}
+	for _, dc := range c.DCs() {
+		logs[dc] = c.Service(dc).LogSnapshot("g")
+	}
+	if vs := history.Check(logs, rec.Commits()); len(vs) != 0 {
+		for _, v := range vs {
+			t.Errorf("violation: %s", v)
+		}
+	}
+}
