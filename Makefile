@@ -5,13 +5,23 @@
 SHELL := /bin/bash
 GO ?= go
 
-.PHONY: check build fmt vet test race bench-smoke fig-smoke bench-json bench-compare clean
+.PHONY: check build fmt vet mdcheck examples test race bench-smoke fig-smoke bench-json bench-compare clean
 
 ## check: everything CI gates a PR on
-check: fmt vet race bench-smoke fig-smoke
+check: fmt vet mdcheck examples race bench-smoke fig-smoke
 
 build:
 	$(GO) build ./...
+
+## mdcheck: markdown link check over README.md/DESIGN.md/examples/README.md
+## and friends (CI "lint" job; the checker is docs_test.go)
+mdcheck:
+	$(GO) test -run 'TestMarkdownLinks' .
+
+## examples: build every example program (CI "lint" job; keeps examples
+## from rotting — go build discards the binaries)
+examples:
+	$(GO) build ./examples/...
 
 ## fmt: fail if any file needs gofmt (CI "lint" job)
 fmt:

@@ -111,8 +111,12 @@ func main() {
 			if err != nil {
 				log.Fatalf("txkvctl: bad status payload: %v", err)
 			}
-			fmt.Printf("%-6s applied=%-6d compacted=%-6d logEntries=%-6d dataKeys=%-6d leader=%s\n",
-				st.DC, st.LastApplied, st.CompactedTo, st.LogEntries, st.DataKeys, st.Leader)
+			lease := ""
+			if st.Master != "" {
+				lease = fmt.Sprintf(" epoch=%d master=%s lease=%v", st.Epoch, st.Master, st.LeaseValid)
+			}
+			fmt.Printf("%-6s applied=%-6d compacted=%-6d logEntries=%-6d dataKeys=%-6d leader=%s%s\n",
+				st.DC, st.LastApplied, st.CompactedTo, st.LogEntries, st.DataKeys, st.Leader, lease)
 		}
 	case "compact":
 		if len(args) != 2 {

@@ -37,6 +37,7 @@ func main() {
 		saveIvl  = flag.Duration("save-interval", 30*time.Second, "periodic snapshot interval when -data is set")
 		window   = flag.Int("submit-window", core.DefaultSubmitWindow, "master submit pipeline depth (positions in flight per group; 1 = serial)")
 		combine  = flag.Int("submit-combine", core.DefaultSubmitCombine, "max transactions combined per log entry on the master submit path")
+		lease    = flag.Duration("lease", 0, "master lease duration for epoch-fenced mastership (0 = 4x timeout)")
 	)
 	flag.Parse()
 	if *dc == "" || *peers == "" {
@@ -68,8 +69,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("txkvd: %v", err)
 	}
-	service = core.NewService(*dc, store, transport, core.WithServiceTimeout(*timeout),
-		core.WithSubmitWindow(*window), core.WithSubmitCombine(*combine))
+	opts := []core.ServiceOption{
+		core.WithServiceTimeout(*timeout),
+		core.WithSubmitWindow(*window), core.WithSubmitCombine(*combine),
+	}
+	if *lease > 0 {
+		opts = append(opts, core.WithLeaseDuration(*lease))
+	}
+	service = core.NewService(*dc, store, transport, opts...)
 
 	log.Printf("txkvd: datacenter %s serving on %s (%d peers, timeout %v)",
 		*dc, transport.LocalAddr(), len(peerMap), *timeout)

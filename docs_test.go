@@ -1,0 +1,119 @@
+package paxoscp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestMarkdownLinks is the documentation link check the lint job runs: every
+// markdown link in the user-facing docs must resolve — relative file targets
+// must exist, and intra-document anchors must match a heading (GitHub-style
+// slugs). External http(s) links are not fetched (CI must not depend on the
+// network); they are only checked for obvious malformation.
+func TestMarkdownLinks(t *testing.T) {
+	docs := []string{"README.md", "DESIGN.md", "examples/README.md", "CHANGES.md", "ROADMAP.md"}
+	for _, doc := range docs {
+		doc := doc
+		t.Run(doc, func(t *testing.T) {
+			data, err := os.ReadFile(doc)
+			if err != nil {
+				t.Fatalf("doc missing: %v", err)
+			}
+			for _, link := range markdownLinks(string(data)) {
+				if err := checkLink(doc, link); err != nil {
+					t.Errorf("%s: link %q: %v", doc, link, err)
+				}
+			}
+		})
+	}
+}
+
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// markdownLinks extracts every inline link target, skipping fenced code
+// blocks (tables and shell snippets contain parens that are not links).
+func markdownLinks(src string) []string {
+	var out []string
+	inFence := false
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			out = append(out, m[1])
+		}
+	}
+	return out
+}
+
+func checkLink(doc, link string) error {
+	switch {
+	case strings.HasPrefix(link, "http://"), strings.HasPrefix(link, "https://"), strings.HasPrefix(link, "mailto:"):
+		if strings.ContainsAny(link, " <>") {
+			return fmt.Errorf("malformed external link")
+		}
+		return nil
+	}
+	target, frag, _ := strings.Cut(link, "#")
+	base := filepath.Dir(doc)
+	path := doc // fragment-only link: anchor in the same document
+	if target != "" {
+		path = filepath.Join(base, target)
+		if _, err := os.Stat(path); err != nil {
+			return fmt.Errorf("target does not exist: %v", err)
+		}
+	}
+	if frag == "" {
+		return nil
+	}
+	if !strings.HasSuffix(path, ".md") {
+		return nil // anchors into non-markdown targets are not checked
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	for _, h := range headingSlugs(string(data)) {
+		if h == frag {
+			return nil
+		}
+	}
+	return fmt.Errorf("no heading with anchor %q in %s", frag, path)
+}
+
+// headingSlugs returns the GitHub-style anchor slug of every heading:
+// lowercase, spaces to dashes, punctuation (except dashes/underscores)
+// dropped.
+func headingSlugs(src string) []string {
+	var out []string
+	inFence := false
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		var b strings.Builder
+		for _, r := range strings.ToLower(text) {
+			switch {
+			case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-':
+				b.WriteRune(r)
+			case r == ' ':
+				b.WriteByte('-')
+			}
+		}
+		out = append(out, b.String())
+	}
+	return out
+}

@@ -1,13 +1,3 @@
-// Package bench regenerates every figure of the paper's evaluation (§6).
-// Each Fig* function runs the corresponding experiment against the simulated
-// multi-datacenter cluster and returns the series the paper plots as text
-// tables. cmd/paxosbench is the CLI front end; bench_test.go at the module
-// root exposes each experiment as a testing.B benchmark.
-//
-// Latencies are scaled by Options.Scale (default 1/15) so a full
-// reproduction runs in minutes. Reported latencies are scaled back up to
-// paper-equivalent milliseconds. Every run feeds the one-copy-
-// serializability checker; violations fail the experiment.
 package bench
 
 import (

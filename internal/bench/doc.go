@@ -1,0 +1,24 @@
+// Package bench regenerates every figure of the paper's evaluation (§6)
+// plus the figures this reproduction added for its own mechanisms. Each
+// exported experiment runs against the simulated multi-datacenter cluster
+// and returns the series the paper plots as text tables. cmd/paxosbench is
+// the CLI front end; bench_test.go at the module root exposes each
+// experiment as a testing.B benchmark.
+//
+// Paper figures: Fig4 (commits/latency by replica count), Fig5 (by
+// transaction size), Fig6 (by contention), Fig7 (promotion rounds), Fig8
+// (per-datacenter fairness), plus Ablation, PromotionCap,
+// MessageComplexity, LeaderComparison, and Availability.
+//
+// Reproduction figures: SubmitPipeline (the pipelined master's window sweep,
+// DESIGN.md §8), Reads (batched multi-key reads vs per-key, DESIGN.md §9),
+// and Failover (commits/sec through a forced, epoch-fenced master change,
+// DESIGN.md §11).
+//
+// Latencies are scaled by Options.Scale (default 1/15) so a full
+// reproduction runs in minutes. Reported latencies are scaled back up to
+// paper-equivalent milliseconds. Every run feeds the one-copy-
+// serializability checker; violations fail the experiment. export.go parses
+// `go test -bench` output into the BENCH_*.json format CI tracks, and
+// CompareReports diffs two such files (make bench-compare).
+package bench

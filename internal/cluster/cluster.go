@@ -1,8 +1,3 @@
-// Package cluster assembles a complete multi-datacenter deployment of the
-// transactional datastore (paper Figure 1): one key-value store, Paxos
-// acceptor, and Transaction Service per datacenter, wired together over a
-// simulated network with the paper's testbed topologies, plus fault
-// injection (datacenter outages, message loss, partitions).
 package cluster
 
 import (
@@ -35,6 +30,12 @@ type Config struct {
 	// master combines into one log entry. 0 means
 	// core.DefaultSubmitCombine; 1 disables combination.
 	SubmitCombine int
+	// LeaseDuration is the master lease duration for epoch-fenced
+	// mastership (DESIGN.md §11): how long a prospective master waits for
+	// the prevailing holder's lease to fall silent before claiming the next
+	// epoch. 0 means core.DefaultLeaseFactor times Timeout. Like Timeout,
+	// it is NOT scaled automatically.
+	LeaseDuration time.Duration
 }
 
 // Cluster is a running multi-datacenter deployment.
@@ -80,6 +81,9 @@ func New(cfg Config) *Cluster {
 		}
 		if cfg.SubmitCombine > 0 {
 			opts = append(opts, core.WithSubmitCombine(cfg.SubmitCombine))
+		}
+		if cfg.LeaseDuration > 0 {
+			opts = append(opts, core.WithLeaseDuration(cfg.LeaseDuration))
 		}
 		c.services[dc] = core.NewService(dc, store, ep, opts...)
 	}

@@ -1,0 +1,17 @@
+// Package cluster assembles a complete multi-datacenter deployment of the
+// transactional datastore (paper Figure 1): one key-value store, Paxos
+// acceptor, and Transaction Service per datacenter, wired together over a
+// simulated network with the paper's testbed topologies, plus fault
+// injection (datacenter outages, message loss, partitions).
+//
+// Config carries the deployment knobs a test or benchmark tunes: the
+// topology (PaperTopology specs like "VVV" or "COV"), simulated-network
+// scale/jitter/loss, the message-loss detection timeout, the master submit
+// pipeline's window and combination cap (DESIGN.md §8), and the master
+// lease duration for epoch-fenced failover (DESIGN.md §11).
+//
+// The fault-injection surface (SetDown, Partition, Heal, Recover) is what
+// the nemesis and failover test batteries drive; every such test ends by
+// recovering all replicas and running the package history checker over the
+// merged logs.
+package cluster

@@ -31,17 +31,22 @@ func TestMasterSingleCommit(t *testing.T) {
 	}
 	tx.Write("k", "v")
 	res, err := tx.Commit(ctx)
-	if err != nil || res.Status != stats.Committed || res.Pos != 1 {
+	// Position 1 holds the master's auto-claim entry (epoch 1); the first
+	// transaction commits at 2, stamped with the epoch.
+	if err != nil || res.Status != stats.Committed || res.Pos != 2 || res.Epoch != 1 {
 		t.Fatalf("master commit: %+v %v", res, err)
 	}
 	// Replicated everywhere. Apply fan-out returns at local + majority, so
 	// bring stragglers up deterministically before asserting.
 	for _, dc := range c.DCs() {
-		if err := c.Service(dc).CatchUp(ctx, "g", 1); err != nil {
+		if err := c.Service(dc).CatchUp(ctx, "g", 2); err != nil {
 			t.Fatalf("catch up %s: %v", dc, err)
 		}
-		if _, ok := c.Service(dc).DecidedEntry("g", 1); !ok {
+		if _, ok := c.Service(dc).DecidedEntry("g", 2); !ok {
 			t.Fatalf("entry missing at %s", dc)
+		}
+		if st, _ := c.Service(dc).Mastership("g"); st.Epoch != 1 || st.Master != "V1" {
+			t.Fatalf("%s observed mastership %+v, want epoch 1 at V1", dc, st)
 		}
 	}
 	checkHistory(t, c, "g", rec)
@@ -153,7 +158,8 @@ func TestMasterUnreachableFails(t *testing.T) {
 }
 
 // TestMasterFailover: after the master dies, a new master (another DC)
-// recovers the log and takes over sequencing.
+// claims the next epoch — waiting out the dead master's lease — and takes
+// over sequencing.
 func TestMasterFailover(t *testing.T) {
 	c := fastCluster(t, "VVV")
 	ctx := context.Background()
@@ -164,15 +170,22 @@ func TestMasterFailover(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		tx, _ := cl.Begin(ctx, "g")
 		tx.Write(fmt.Sprintf("k%d", i), "v")
-		if res, err := tx.Commit(ctx); err != nil || res.Status != stats.Committed {
+		if res, err := tx.Commit(ctx); err != nil || res.Status != stats.Committed || res.Epoch != 1 {
 			t.Fatalf("pre-failover commit %d: %+v %v", i, res, err)
 		}
 	}
 
-	// V1 dies. Promote V2: it catches up and then sequences.
+	// V1 dies. Promote V2: ClaimMastership waits out V1's lease, catches
+	// up, and commits the epoch-2 claim through the log.
 	c.SetDown("V1", true)
-	if err := c.Service("V2").Recover(ctx, "g"); err != nil {
+	cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	epoch, err := c.Service("V2").ClaimMastership(cctx, "g")
+	if err != nil {
 		t.Fatalf("promote V2: %v", err)
+	}
+	if epoch != 2 {
+		t.Fatalf("takeover epoch = %d, want 2", epoch)
 	}
 	cl2 := c.NewClient("V3", core.Config{Protocol: core.Master, MasterDC: "V2", Seed: 2})
 	attachRecorder(cl2, rec)
@@ -182,7 +195,8 @@ func TestMasterFailover(t *testing.T) {
 	}
 	tx.Write("post-failover", "v")
 	res, err := tx.Commit(ctx)
-	if err != nil || res.Status != stats.Committed || res.Pos != 4 {
+	// Log layout: claim(1), k0..k2 (2..4), takeover claim (5), this txn (6).
+	if err != nil || res.Status != stats.Committed || res.Pos != 6 || res.Epoch != 2 {
 		t.Fatalf("post-failover commit: %+v %v", res, err)
 	}
 	checkHistory(t, c, "g", rec)

@@ -154,7 +154,12 @@ func TestServiceRestartFromSnapshot(t *testing.T) {
 	}
 
 	// Snapshot V2's store, then "restart" it: a fresh Service over the
-	// loaded store, re-registered at the same network endpoint.
+	// loaded store, re-registered at the same network endpoint. Apply
+	// fan-out returns at local + majority, so bring V2 up to the last
+	// commit deterministically before saving.
+	if err := c.Service("V2").CatchUp(ctx, "g", 4); err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := c.Store("V2").Save(&buf); err != nil {
 		t.Fatal(err)

@@ -313,6 +313,14 @@ func TestMasterPipelineNemesis(t *testing.T) {
 	if err := c.Service("V2").Recover(ctx, "g"); err != nil {
 		t.Fatalf("promote V2: %v", err)
 	}
+	// Epoch-fenced promotion: V2 waits out V1's lease and claims the next
+	// epoch before its pipeline accepts the phase-2 load.
+	cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	if _, err := c.Service("V2").ClaimMastership(cctx, "g"); err != nil {
+		cancel()
+		t.Fatalf("claim V2: %v", err)
+	}
+	cancel()
 	phase2 := run("V2", 200)
 
 	// Phase 3: heal the old master; it rejoins as a replica.

@@ -30,6 +30,13 @@ type GroupStatus struct {
 	// Leader is the computed leader for the next log position ("" if
 	// unknown).
 	Leader string `json:"leader"`
+	// Epoch and Master report the prevailing master epoch state for the
+	// group as this replica has observed it (0/"" before any claim), and
+	// LeaseValid whether the holder's lease is still live locally
+	// (DESIGN.md §11).
+	Epoch      int64  `json:"epoch,omitempty"`
+	Master     string `json:"master,omitempty"`
+	LeaseValid bool   `json:"leaseValid,omitempty"`
 }
 
 // Status reports this replica's view of a group. The applied horizon and
@@ -37,6 +44,7 @@ type GroupStatus struct {
 // state — no meta-row reads.
 func (s *Service) Status(group string) GroupStatus {
 	last := s.lastApplied(group)
+	epoch, leaseValid := s.Mastership(group)
 	return GroupStatus{
 		DC:          s.dc,
 		Group:       group,
@@ -45,6 +53,9 @@ func (s *Service) Status(group string) GroupStatus {
 		LogEntries:  len(s.LogSnapshot(group)),
 		DataKeys:    len(s.store.KeysWithPrefix(replog.DataPrefix(group))),
 		Leader:      s.Leader(group, last+1),
+		Epoch:       epoch.Epoch,
+		Master:      epoch.Master,
+		LeaseValid:  leaseValid,
 	}
 }
 

@@ -57,6 +57,9 @@ type CommittedTxn struct {
 	Writes   map[string]string
 	Round    int
 	Combined bool
+	// Epoch is the master epoch the transaction committed under (0 for the
+	// Basic and CP protocols, and with fencing off).
+	Epoch int64
 }
 
 // NewClient creates a Transaction Client local to datacenter dc. id must be
@@ -373,6 +376,9 @@ type CommitResult struct {
 	// Combined reports whether the transaction shared its log position with
 	// others (Paxos-CP combination).
 	Combined bool
+	// Epoch is the master epoch the transaction committed under (Master
+	// protocol with fencing on; 0 otherwise). See DESIGN.md §11.
+	Epoch int64
 	// Latency is the wall-clock duration of the commit call.
 	Latency time.Duration
 }
@@ -439,6 +445,7 @@ func (t *Tx) Commit(ctx context.Context) (CommitResult, error) {
 			Writes:   cloneMap(t.writes),
 			Round:    res.Round,
 			Combined: res.Combined,
+			Epoch:    res.Epoch,
 		})
 	}
 	return res, err

@@ -71,11 +71,22 @@ func (c *Client) chooseBasic(prep paxos.PrepareOutcome, own wal.Entry) []byte {
 	return wal.Encode(own)
 }
 
-// maxBallotVote returns the non-null vote with the highest ballot.
+// maxBallotVote returns the non-null vote with the highest ballot. Equal
+// ballots — possible only at the fast ballot, when two proposers raced the
+// prepare-skipping path — tie-break on the encoded value, so every recoverer
+// that sees the same vote pair completes the same value. Safe because a
+// fast-ballot value is only ever *chosen* at unanimity (see
+// paxos.AcceptOutcome.Unanimous): a tie in any view proves neither value was
+// fast-chosen, and the deterministic pick keeps recoverers from completing
+// different values.
 func maxBallotVote(votes []paxos.Vote) (paxos.Vote, bool) {
 	best := paxos.Vote{Ballot: paxos.NilBallot}
 	for _, v := range votes {
-		if !v.IsNull() && v.Ballot > best.Ballot {
+		if v.IsNull() {
+			continue
+		}
+		if v.Ballot > best.Ballot ||
+			(v.Ballot == best.Ballot && string(v.Value) < string(best.Value)) {
 			best = v
 		}
 	}
@@ -105,8 +116,11 @@ func (c *Client) runInstance(ctx context.Context, group string, pos int64, txn w
 	// fault-injection test).
 	if !c.cfg.DisableFastPath {
 		if c.claimFastPath(ctx, group, pos, txn.ID) {
-			acc := c.proposer.Accept(ctx, group, pos, paxos.FastBallot, ownBytes)
-			if acc.Quorum() {
+			// Unanimity, not majority: a ballot-0 decision must be visible
+			// in every majority view for collision recovery to be
+			// unambiguous (see replicateAsMaster and DESIGN.md §11).
+			acc := c.proposer.AcceptUnanimous(ctx, group, pos, paxos.FastBallot, ownBytes)
+			if acc.Unanimous() {
 				c.proposer.Apply(ctx, group, pos, paxos.FastBallot, ownBytes)
 				return own, nil
 			}

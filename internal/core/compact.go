@@ -60,11 +60,16 @@ func (s *Service) CompactedTo(group string) int64 {
 }
 
 // snapshot is the gob-encoded state transferred to a laggard replica: the
-// newest surviving version of every data item at or below the horizon.
+// newest surviving version of every data item at or below the horizon, plus
+// the prevailing master epoch state at the horizon — without it a restored
+// replica whose establishing claim entry lies below the horizon could not
+// fence later entries (DESIGN.md §11). Blobs from pre-epoch peers decode
+// with a zero Epoch, which installs as "no epoch observed".
 type snapshot struct {
 	Group   string
 	Horizon int64
 	Rows    []snapshotRow
+	Epoch   replog.EpochState
 }
 
 type snapshotRow struct {
@@ -80,8 +85,8 @@ type snapshotRow struct {
 func (s *Service) buildSnapshot(group string) ([]byte, error) {
 	prefix := replog.DataPrefix(group)
 	var snap snapshot
-	err := s.log(group).ReadStable(func(horizon int64) error {
-		snap = snapshot{Group: group, Horizon: horizon}
+	err := s.log(group).ReadStable(func(horizon int64, epoch replog.EpochState) error {
+		snap = snapshot{Group: group, Horizon: horizon, Epoch: epoch}
 		for _, key := range s.store.KeysWithPrefix(prefix) {
 			v, ts, err := s.store.Read(key, horizon)
 			if err != nil {
@@ -123,7 +128,7 @@ func (s *Service) installSnapshot(blob []byte) error {
 	if err := s.store.ApplyBatch(writes); err != nil {
 		return fmt.Errorf("core: install snapshot %s: %w", snap.Group, err)
 	}
-	return lg.InstallSnapshot(snap.Horizon)
+	return lg.InstallSnapshot(snap.Horizon, snap.Epoch)
 }
 
 // handleSnapshot serves a snapshot request.

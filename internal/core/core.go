@@ -1,21 +1,3 @@
-// Package core implements the paper's transaction tier (§2.2, §4, §5): the
-// Transaction Service that fronts each datacenter's key-value store and the
-// Transaction Client library that applications use to run transactions.
-//
-// Two commit protocols are provided behind one API:
-//
-//   - Basic: the basic Paxos commit protocol of §4.1 (Algorithms 1 and 2),
-//     modeled on Megastore — one transaction per log position; concurrent
-//     transactions competing for a position abort even when they do not
-//     conflict ("concurrency prevention").
-//   - CP: Paxos-CP (§5) — the paper's contribution. Non-conflicting
-//     concurrent transactions are combined into a single log position when
-//     no value can yet have a majority, and a transaction that loses a
-//     position to a non-conflicting winner is promoted to compete for the
-//     next position instead of aborting.
-//
-// The transaction tier guarantees one-copy serializability (Theorems 2 and
-// 3); package history provides the checker the tests use to verify it.
 package core
 
 import (

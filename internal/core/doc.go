@@ -1,0 +1,49 @@
+// Package core implements the paper's transaction tier (§2.2, §4, §5): the
+// Transaction Service that fronts each datacenter's key-value store and the
+// Transaction Client library that applications link to run transactions.
+//
+// # Commit protocols
+//
+// Three commit protocols hide behind one Client API (select with
+// Config.Protocol):
+//
+//   - Basic: the basic Paxos commit protocol of §4.1 (Algorithms 1 and 2),
+//     modeled on Megastore — one transaction per log position; concurrent
+//     transactions competing for a position abort even when they do not
+//     conflict ("concurrency prevention").
+//   - CP: Paxos-CP (§5) — the paper's contribution. Non-conflicting
+//     concurrent transactions are combined into a single log position when
+//     no value can yet have a majority, and a transaction that loses a
+//     position to a non-conflicting winner is promoted to compete for the
+//     next position instead of aborting.
+//   - Master: the leader-based design the paper sketches in §7. One
+//     long-term master per group sequences transactions through the
+//     pipelined, windowed submit path (pipeline.go, DESIGN.md §8), with
+//     combination at the master and promotion on lost races.
+//
+// # Service
+//
+// Service answers the whole wire protocol (Handler): Paxos prepare/accept/
+// apply, reads (single and batched multi-key, at explicit positions or the
+// lazy watermark), log fetch and snapshot transfer for catch-up, submit for
+// the master path, and the admin plane (stats, compaction). Decided entries
+// land through the per-group replicated log (package replog), which owns
+// the applied watermark readers block on.
+//
+// # Master leases and epoch fencing
+//
+// Mastership is epoch-fenced (lease.go, DESIGN.md §11): a master claims a
+// per-group monotonic epoch by committing a claim entry through the group's
+// own Paxos log, stamps every entry it proposes with that epoch, and renews
+// a time-bounded lease through its own committed traffic. Apply-time
+// fencing voids entries from superseded epochs, so two datacenters that
+// both believe they are master — the split-brain window of a partition —
+// can never both commit. ClaimMastership is the takeover entry point;
+// clients that submit to a deposed master are redirected by hint
+// (ErrNotMaster). The epoch machinery is on by default; Basic and CP
+// clients are unaffected (their entries are unstamped and never fenced).
+//
+// The transaction tier guarantees one-copy serializability (Theorems 2 and
+// 3); package history provides the checker the tests use to verify it,
+// including the fencing rules.
+package core

@@ -43,7 +43,10 @@ const Master Protocol = 2
 const masterClientID = paxos.MaxClients - 2
 
 // commitMaster submits the transaction to the group's master and waits for
-// its verdict.
+// its verdict. A service that is not the master refuses with ErrNotMaster
+// and a hint naming the prevailing holder; the client follows the hint —
+// the retry-to-new-master path after an epoch-fenced failover (DESIGN.md
+// §11) — for a bounded number of hops.
 func (c *Client) commitMaster(ctx context.Context, t *Tx) (CommitResult, error) {
 	master := c.cfg.MasterDC
 	if master == "" {
@@ -54,23 +57,28 @@ func (c *Client) commitMaster(ctx context.Context, t *Tx) (CommitResult, error) 
 	if timeout <= 0 {
 		timeout = network.DefaultTimeout
 	}
-	// The submit round trip covers the master's replication work, so give
-	// it two message timeouts.
-	cctx, cancel := context.WithTimeout(ctx, 2*timeout)
-	defer cancel()
-	resp, err := c.transport.Send(cctx, master, network.Message{
-		Kind: network.KindSubmit, Group: t.group, Payload: payload,
-	})
-	if err != nil {
-		return CommitResult{Status: stats.Failed}, fmt.Errorf("core: submit to master %s: %w", master, err)
-	}
-	switch {
-	case resp.OK:
-		return CommitResult{Status: stats.Committed, Pos: resp.TS, Combined: resp.Combined}, nil
-	case resp.Err == masterConflict:
-		return CommitResult{Status: stats.Aborted}, nil
-	default:
-		return CommitResult{Status: stats.Failed}, fmt.Errorf("core: master %s: %s", master, resp.Err)
+	const maxHops = 3
+	for hop := 0; ; hop++ {
+		// The submit round trip covers the master's replication work, so
+		// give it two message timeouts.
+		cctx, cancel := context.WithTimeout(ctx, 2*timeout)
+		resp, err := c.transport.Send(cctx, master, network.Message{
+			Kind: network.KindSubmit, Group: t.group, Payload: payload,
+		})
+		cancel()
+		if err != nil {
+			return CommitResult{Status: stats.Failed}, fmt.Errorf("core: submit to master %s: %w", master, err)
+		}
+		switch {
+		case resp.OK:
+			return CommitResult{Status: stats.Committed, Pos: resp.TS, Combined: resp.Combined, Epoch: resp.Epoch}, nil
+		case resp.Err == masterConflict:
+			return CommitResult{Status: stats.Aborted}, nil
+		case resp.Err == ErrNotMaster && resp.Value != "" && resp.Value != master && hop < maxHops:
+			master = resp.Value // follow the hint to the prevailing master
+		default:
+			return CommitResult{Status: stats.Failed}, fmt.Errorf("core: master %s: %s", master, resp.Err)
+		}
 	}
 }
 
@@ -96,18 +104,62 @@ func (s *Service) handleSubmit(req network.Message) network.Message {
 // replicateAsMaster replicates value into (group, pos): one fast-ballot
 // accept round in the common case, a full Paxos instance as fallback. It
 // returns the decided bytes and whether they are the submitted value.
+//
+// The fast round is taken only at unanimity (AcceptOutcome.Unanimous): with
+// a mere majority, two masters dueling through a partition — the split-brain
+// window epoch fencing exists for — can each assemble a majority view
+// holding both ballot-0 votes, and no recovery rule can tell which value
+// was chosen. Unanimity makes ballot-0 decisions unambiguous in every
+// majority view; anything less falls back to classic Paxos, whose unique
+// per-proposer ballots serialize the duel (DESIGN.md §11).
 func (s *Service) replicateAsMaster(ctx context.Context, group string, pos int64, value []byte) ([]byte, bool, error) {
+	decided, ours, _, err := s.replicateMaster(ctx, group, pos, value, false)
+	return decided, ours, err
+}
+
+// fastOutcome classifies the fast round of one master replication, so the
+// pipeline's breaker reacts to unreachable peers without punishing ordinary
+// per-position contention.
+type fastOutcome int
+
+const (
+	// fastSkipped: the caller asked for no fast round (breaker open).
+	fastSkipped fastOutcome = iota
+	// fastDecided: unanimous — the value is decided in one round trip.
+	fastDecided
+	// fastContended: an acceptor refused the ballot-0 vote (someone else
+	// touched the position). A one-position race; the fast path is healthy.
+	fastContended
+	// fastDegraded: a send failed or a peer stayed silent — unanimity is
+	// impossible until the peer returns, so fast rounds are wasted latency.
+	fastDegraded
+)
+
+// replicateMaster is replicateAsMaster with the fast round optional: the
+// pipeline skips it while its breaker is open (a peer is unreachable, so
+// unanimity is impossible and the attempt would only add one timeout of
+// latency per position).
+func (s *Service) replicateMaster(ctx context.Context, group string, pos int64, value []byte, skipFast bool) (_ []byte, ours bool, fast fastOutcome, _ error) {
 	prop := &paxos.Proposer{Transport: s.transport, Timeout: s.timeout}
-	acc := prop.Accept(ctx, group, pos, paxos.FastBallot, value)
-	if acc.Quorum() {
-		prop.Apply(ctx, group, pos, paxos.FastBallot, value)
-		return value, true, nil
+	ballot := paxos.Ballot(1, masterClientID)
+	fast = fastSkipped
+	if !skipFast {
+		acc := prop.AcceptUnanimous(ctx, group, pos, paxos.FastBallot, value)
+		if acc.Unanimous() {
+			prop.Apply(ctx, group, pos, paxos.FastBallot, value)
+			return value, true, fastDecided, nil
+		}
+		fast = fastContended
+		if acc.Unreachable > 0 {
+			fast = fastDegraded
+		}
+		// Someone touched the instance (or a peer is unreachable); run it
+		// properly.
+		ballot = paxos.NextBallot(acc.MaxSeen, masterClientID)
 	}
-	// Someone touched the instance; run it properly.
-	ballot := paxos.NextBallot(acc.MaxSeen, masterClientID)
 	for attempt := 0; attempt < 16; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return nil, false, err
+			return nil, false, fast, err
 		}
 		prep := prop.Prepare(ctx, group, pos, ballot, false)
 		if !prep.Quorum() {
@@ -126,9 +178,9 @@ func (s *Service) replicateAsMaster(ctx context.Context, group string, pos int64
 			continue
 		}
 		prop.Apply(ctx, group, pos, ballot, proposal)
-		return proposal, string(proposal) == string(value), nil
+		return proposal, string(proposal) == string(value), fast, nil
 	}
-	return nil, false, fmt.Errorf("core: master replication failed for %s/%d", group, pos)
+	return nil, false, fast, fmt.Errorf("core: master replication failed for %s/%d", group, pos)
 }
 
 func sleepBackoff(ctx context.Context, attempt int, base time.Duration) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"paxoscp/internal/network"
@@ -79,6 +80,19 @@ type pipeline struct {
 	queue   []*pendingSubmit
 	running bool // dispatcher goroutine live
 	closed  bool
+	// epoch is the master epoch this pipeline stamps entries with (0 until
+	// mastership is claimed, or always 0 with fencing off). deposed is set
+	// when a higher epoch is observed: the pipeline drains its in-flight
+	// window with fail verdicts — never promotion — and refuses new batches
+	// with a hint at the new master (DESIGN.md §11, deposed-master drain).
+	epoch   int64
+	deposed bool
+
+	// fastOff is the fast-path breaker: unix nanos until which replication
+	// skips the unanimous fast round. Opened when a fast round fails —
+	// typically an unreachable peer, which makes unanimity impossible and
+	// would add one timeout of doomed waiting per position.
+	fastOff atomic.Int64
 }
 
 // pipeline returns group's submit pipeline, creating it on first use.
@@ -189,11 +203,95 @@ func (p *pipeline) take() []*pendingSubmit {
 	return batch
 }
 
+// notMasterReply builds the refusal a non-master sends: the ErrNotMaster
+// marker plus the prevailing holder and epoch as a retry hint.
+func notMasterReply(st replog.EpochState) network.Message {
+	m := network.Status(false, ErrNotMaster)
+	m.Value = st.Master
+	m.Epoch = st.Epoch
+	return m
+}
+
+// ensureMastership makes sure this service holds the group's mastership
+// before a batch is placed (fencing on only). It adopts an epoch the service
+// already holds, refuses while another datacenter's lease is live, and
+// otherwise claims the next epoch — on its own budget, NOT the batch's
+// context (the claim must outlive the submissions that triggered it). It
+// reports whether placement may proceed; when it returns false the batch
+// has NOT been answered — the caller replies.
+func (p *pipeline) ensureMastership() (ok bool, refusal network.Message) {
+	st, leaseValid := p.svc.Mastership(p.group)
+	if st.Master == p.svc.dc {
+		p.setEpoch(st.Epoch)
+		return true, network.Message{}
+	}
+	if st.Master != "" && leaseValid {
+		// Another datacenter's lease is live: refuse with a hint instead of
+		// dueling. (A deposed master lands here on every later batch.)
+		return false, notMasterReply(st)
+	}
+	// Unclaimed group, or an expired lease: claim the next epoch. The first
+	// submit to a fresh master triggers this — mastership is lazy. The
+	// claim gets its own budget (catch-up against unreachable peers plus
+	// the replication round can outlast one batch's): the submissions that
+	// triggered it may time out, but the claim completes and every later
+	// batch finds mastership held.
+	cctx, cancel := context.WithTimeout(context.Background(), p.svc.leaseDuration()+4*p.svc.timeout)
+	defer cancel()
+	epoch, err := p.svc.ClaimMastership(cctx, p.group)
+	if err != nil {
+		st, _ := p.lg.LeaseState()
+		if st.Master != "" && st.Master != p.svc.dc {
+			return false, notMasterReply(st)
+		}
+		return false, network.Status(false, "master claim failed: "+err.Error())
+	}
+	p.setEpoch(epoch)
+	return true, network.Message{}
+}
+
+func (p *pipeline) setEpoch(epoch int64) {
+	p.mu.Lock()
+	if epoch > p.epoch {
+		p.epoch = epoch
+		p.deposed = false
+	}
+	p.mu.Unlock()
+}
+
+// noteDeposed records that a higher epoch was observed: the pipeline stops
+// placing and promoting until mastership is re-established.
+func (p *pipeline) noteDeposed() {
+	p.mu.Lock()
+	p.deposed = true
+	p.mu.Unlock()
+}
+
+func (p *pipeline) isDeposed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.deposed
+}
+
 // place admits a batch at the next log position — speculative conflict
 // check, combination into one entry — and launches its replication.
 func (p *pipeline) place(batch []*pendingSubmit) {
 	ctx, cancel := context.WithTimeout(context.Background(), 4*p.svc.timeout)
 	defer cancel()
+
+	var epoch int64
+	if p.svc.fencing {
+		ok, refusal := p.ensureMastership()
+		if !ok {
+			for _, ps := range batch {
+				ps.reply(refusal)
+			}
+			return
+		}
+		p.mu.Lock()
+		epoch = p.epoch
+		p.mu.Unlock()
+	}
 
 	// A client may have read at a position this master has not applied —
 	// possible right after failover. Catch up before conflict checking.
@@ -226,6 +324,7 @@ func (p *pipeline) place(batch []*pendingSubmit) {
 	// transactions merge into one multi-transaction entry; the list order
 	// is serializable by construction.
 	var entry wal.Entry
+	entry.Epoch = epoch
 	var members []*pendingSubmit
 	for _, ps := range batch {
 		ok, err := p.admit(ctx, ps.txn, pos, entry)
@@ -302,14 +401,32 @@ func (p *pipeline) resolveHole(ctx context.Context, pos int64) (wal.Entry, error
 	return entry, nil
 }
 
+// errDeposed is the failure a deposed master reports for in-flight
+// submissions: definitive (the entry was fenced and committed nothing), so a
+// client may safely retry at the new master.
+const errDeposed = "master deposed: epoch superseded"
+
 // replicate drives one position's entry to decision (fast accept round,
 // full Paxos fallback), lands it in the local log, retires the window slot,
 // and settles every member: commit on a won race, promotion or conflict
-// abort on a lost one, failure when the outcome is unknown.
+// abort on a lost one, failure when the outcome is unknown. With fencing on,
+// "decided with our value" is not yet "committed": the entry may have been
+// fenced by a claim that landed below it, so the verdict waits for the apply
+// watermark to cover the position and consults the fencing record.
 func (p *pipeline) replicate(pos int64, entry wal.Entry, members []*pendingSubmit) {
 	ctx, cancel := context.WithTimeout(context.Background(), 4*p.svc.timeout)
 	defer cancel()
-	decided, committed, err := p.svc.replicateAsMaster(ctx, p.group, pos, wal.Encode(entry))
+	skipFast := time.Now().UnixNano() < p.fastOff.Load()
+	decided, committed, fast, err := p.svc.replicateMaster(ctx, p.group, pos, wal.Encode(entry), skipFast)
+	if fast == fastDegraded {
+		// A peer is unreachable, so unanimity is impossible: skip the fast
+		// round for a while rather than paying a doomed wait on every
+		// in-flight position. Ordinary per-position contention
+		// (fastContended) does not open the breaker. It re-arms
+		// automatically, so a healed cluster regains the 1-RTT path within
+		// a few windows.
+		p.fastOff.Store(time.Now().Add(4 * p.svc.timeout).UnixNano())
+	}
 	if err != nil {
 		// No quorum: the position's fate is unknown. Report failure — NOT
 		// promotion: re-queueing could commit the same transaction twice
@@ -328,9 +445,30 @@ func (p *pipeline) replicate(pos int64, entry wal.Entry, members []*pendingSubmi
 	// stops answering for it, so admission checks never see a gap.
 	p.win.Resolve(pos)
 	if committed {
+		if entry.Epoch != 0 {
+			// The commit verdict needs the fencing verdict, which exists
+			// once the apply watermark covers pos. If contiguity cannot be
+			// reached (an ambiguous hole below), the outcome is unknown:
+			// fail, per invariant W4.
+			if werr := p.lg.WaitApplied(ctx, pos); werr != nil {
+				p.fail(members, "fencing verdict unavailable: "+werr.Error())
+				return
+			}
+			if p.lg.Voided(pos) {
+				// Split-brain window closed on us: a higher-epoch claim
+				// landed below our entry, so it committed nothing. Drain
+				// with definitive failures and stop promoting (F3).
+				p.noteDeposed()
+				p.fail(members, errDeposed)
+				return
+			}
+		}
 		combined := len(entry.Txns) > 1
 		for _, ps := range members {
-			ps.reply(network.Message{Kind: network.KindValue, OK: true, TS: pos, Combined: combined})
+			ps.reply(network.Message{
+				Kind: network.KindValue, OK: true, TS: pos,
+				Combined: combined, Epoch: entry.Epoch,
+			})
 		}
 		return
 	}
@@ -342,6 +480,17 @@ func (p *pipeline) replicate(pos int64, entry wal.Entry, members []*pendingSubmi
 	decEntry, derr := wal.Decode(decided)
 	if derr != nil {
 		p.fail(members, "decided value corrupt: "+derr.Error())
+		return
+	}
+	if decEntry.IsClaim() && decEntry.Epoch > entry.Epoch {
+		// Beaten by a takeover claim: we are deposed. Promotion would only
+		// place fenced entries; drain with definitive failures (F3).
+		p.noteDeposed()
+		p.fail(members, errDeposed)
+		return
+	}
+	if p.svc.fencing && p.isDeposed() {
+		p.fail(members, errDeposed)
 		return
 	}
 	var promote []*pendingSubmit

@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"testing"
+	"time"
 
+	"paxoscp/internal/kvstore"
 	"paxoscp/internal/network"
 	"paxoscp/internal/stats"
 )
@@ -225,5 +227,57 @@ func TestRepeatedMissingReadStaysMissing(t *testing.T) {
 	// And the batch's own miss stays missing on a later single read.
 	if _, found, err := tx.Read(ctx, "ghost2"); err != nil || found {
 		t.Fatalf("batched miss laundered: found=%v err=%v", found, err)
+	}
+}
+
+// TestReadMultiCatchUpBoundedUnderStalledPeers closes the PR 3 gap note: a
+// multi-key read at a position ahead of the local log triggers catch-up, and
+// that catch-up must run under the service-timeout-bounded context — with
+// every peer stalled (partitioned), the handler returns a failure within a
+// small multiple of the service timeout instead of hanging its goroutine on
+// the unreachable peers.
+func TestReadMultiCatchUpBoundedUnderStalledPeers(t *testing.T) {
+	const timeout = 60 * time.Millisecond
+	topo := network.NewTopology("A", "B", "C")
+	sim := network.NewSim(topo, network.SimConfig{Seed: 5})
+	t.Cleanup(sim.Close)
+	services := make(map[string]*Service, 3)
+	for _, dc := range []string{"A", "B", "C"} {
+		dc := dc
+		ep := sim.Endpoint(dc, func(from string, req network.Message) network.Message {
+			return services[dc].Handler()(from, req)
+		})
+		services[dc] = NewService(dc, kvstore.New(), ep, WithServiceTimeout(timeout))
+		t.Cleanup(services[dc].Close)
+	}
+
+	// Stall every peer of A, then ask A to serve a multi-key read at a
+	// position it does not have: the catch-up inside resolveReadTS cannot
+	// make progress and must give up at the timeout.
+	sim.Partition("A", "B")
+	sim.Partition("A", "C")
+	start := time.Now()
+	resp := services["A"].Handler()("B", network.Message{
+		Kind: network.KindReadMulti, Group: "g", Keys: []string{"x", "y"}, TS: 40,
+	})
+	elapsed := time.Since(start)
+	if resp.OK {
+		t.Fatalf("read at unreachable position served: %+v", resp)
+	}
+	// One timeout bounds the catch-up context; allow generous scheduling
+	// slack but fail long before a per-peer-timeout pile-up (the bug this
+	// guards against made the handler wait one timeout per peer per missing
+	// position — 2 peers x 40 positions here).
+	if elapsed > 4*timeout {
+		t.Fatalf("stalled-peer catch-up held the read handler %v (service timeout %v)", elapsed, timeout)
+	}
+
+	// The same read with TS=ResolvePos never needs catch-up and still
+	// serves locally while the peers are stalled.
+	resp = services["A"].Handler()("B", network.Message{
+		Kind: network.KindReadMulti, Group: "g", Keys: []string{"x"}, TS: network.ResolvePos,
+	})
+	if !resp.OK || resp.TS != 0 || len(resp.Founds) != 1 || resp.Founds[0] {
+		t.Fatalf("watermark read under stalled peers = %+v", resp)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"paxoscp/internal/kvstore"
@@ -52,12 +53,32 @@ type Service struct {
 	transport network.Transport
 	// timeout bounds catch-up message rounds.
 	timeout time.Duration
+	// fetchPeer caches the last peer that served a log fetch (string).
+	// Bulk catch-up tries it first: without the cache, an unreachable peer
+	// earlier in the list costs one full timeout per position.
+	fetchPeer atomic.Value
 
 	// submitWindow and submitCombine tune the master's pipelined submit
 	// path (pipeline.go): positions in flight per group, and transactions
 	// combined per log entry.
 	submitWindow  int
 	submitCombine int
+
+	// fencing enables epoch-fenced master leases (DESIGN.md §11): the
+	// master path claims a per-group epoch through the log before placing
+	// entries and stamps every entry with it. On by default; the off switch
+	// exists only so tests can reproduce the pre-fencing behavior.
+	fencing bool
+	// leaseDur is the master lease duration; 0 means DefaultLeaseFactor
+	// times the service timeout.
+	leaseDur time.Duration
+
+	// claimMu guards claimLocks, the per-group mutexes serializing
+	// mastership claims. Claims must not share one lock across groups: a
+	// claim legitimately sleeps out another holder's lease, and one group's
+	// wait must not starve every other group's takeover.
+	claimMu    sync.Mutex
+	claimLocks map[string]*sync.Mutex
 
 	// pipelines holds the per-group master submit pipelines, created
 	// lazily on first submit.
@@ -97,6 +118,35 @@ func WithSubmitCombine(n int) ServiceOption {
 	}
 }
 
+// DefaultLeaseFactor scales the service timeout into the default master
+// lease duration: long enough that transient message loss does not trigger a
+// takeover, short enough that failover is a few timeouts, not minutes.
+const DefaultLeaseFactor = 4
+
+// WithLeaseDuration sets the master lease duration for epoch-fenced
+// mastership (DESIGN.md §11). A prospective master waits out the prevailing
+// holder's lease before claiming the group's next epoch; the holder renews
+// implicitly through its own committed traffic (and explicitly via
+// RenewLease when idle). Zero (the default) means DefaultLeaseFactor times
+// the service timeout. The lease bounds failover time only — safety comes
+// from epoch fencing, not from clocks.
+func WithLeaseDuration(d time.Duration) ServiceOption {
+	return func(s *Service) {
+		if d > 0 {
+			s.leaseDur = d
+		}
+	}
+}
+
+// WithEpochFencingDisabled turns epoch-fenced master leases off, restoring
+// the pre-fencing master path: no claim entries, unstamped log entries, and
+// no protection against two concurrent masters. Test-only — it exists so the
+// fencing test battery can reproduce the old behavior as a baseline; never
+// use it in a deployment.
+func WithEpochFencingDisabled() ServiceOption {
+	return func(s *Service) { s.fencing = false }
+}
+
 // NewService creates the Transaction Service for datacenter dc, backed by
 // store, using transport to reach peer services during catch-up.
 func NewService(dc string, store *kvstore.Store, transport network.Transport, opts ...ServiceOption) *Service {
@@ -109,6 +159,8 @@ func NewService(dc string, store *kvstore.Store, transport network.Transport, op
 		timeout:       network.DefaultTimeout,
 		submitWindow:  DefaultSubmitWindow,
 		submitCombine: DefaultSubmitCombine,
+		fencing:       true,
+		claimLocks:    make(map[string]*sync.Mutex),
 		pipelines:     make(map[string]*pipeline),
 	}
 	for _, o := range opts {
@@ -507,8 +559,21 @@ func (s *Service) learn(ctx context.Context, group string, pos int64, fillNoOp b
 	if s.transport == nil {
 		return wal.Entry{}, fmt.Errorf("position %d not decided locally and no peers", pos)
 	}
-	// Fast path: a peer already knows the decided entry.
-	for _, dc := range s.transport.Peers() {
+	// Fast path: a peer already knows the decided entry. The last peer that
+	// served a fetch goes first — during bulk catch-up an unreachable peer
+	// earlier in the list would otherwise cost one timeout per position.
+	peers := s.transport.Peers()
+	if last, ok := s.fetchPeer.Load().(string); ok && len(peers) > 1 {
+		order := make([]string, 0, len(peers))
+		order = append(order, last)
+		for _, dc := range peers {
+			if dc != last {
+				order = append(order, dc)
+			}
+		}
+		peers = order
+	}
+	for _, dc := range peers {
 		if dc == s.dc {
 			continue
 		}
@@ -517,6 +582,7 @@ func (s *Service) learn(ctx context.Context, group string, pos int64, fillNoOp b
 		cancel()
 		if err == nil && resp.OK {
 			if entry, derr := wal.Decode(resp.Payload); derr == nil {
+				s.fetchPeer.Store(dc)
 				return entry, nil
 			}
 		}
@@ -536,12 +602,11 @@ func (s *Service) learn(ctx context.Context, group string, pos int64, fillNoOp b
 			ballot = paxos.NextBallot(maxInt64(prep.MaxSeen, ballot), learnClientID)
 			continue
 		}
-		var best paxos.Vote
-		best.Ballot = paxos.NilBallot
-		for _, v := range prep.Votes {
-			if !v.IsNull() && v.Ballot > best.Ballot {
-				best = v
-			}
+		// Highest-ballot vote, with the same deterministic fast-ballot
+		// tie-break as the client's maxBallotVote (see commit.go).
+		best, hasVote := maxBallotVote(prep.Votes)
+		if !hasVote {
+			best.Ballot = paxos.NilBallot
 		}
 		var value []byte
 		if best.IsNull() {

@@ -1,0 +1,22 @@
+// Package history verifies one-copy serializability (paper §3). It checks
+// recorded executions against the properties the transaction tier must
+// guarantee:
+//
+//	(R1)      no two datacenter logs disagree on a log position
+//	(L1)(L2)  committed transactions appear in the log, whole, exactly once
+//	(L3)      the log prefix plus each entry is one-copy serializable
+//	(A1)(A2)  reads observe the transaction's own writes, else the state at
+//	          the transaction's read position
+//	(F2)      no committed transaction sits in an epoch-fenced entry
+//
+// The checker replays the merged log as the serial history S of Theorem 1
+// and validates every committed transaction's reads against it. The replay
+// is epoch-aware (DESIGN.md §11): master-claim entries raise the prevailing
+// epoch in log order, entries stamped with a superseded epoch are void —
+// excluded from the serial history exactly as replog's apply path excludes
+// them — and a client-reported commit inside such an entry is flagged as
+// F2, the two-concurrent-masters bug.
+//
+// Integration and stress tests run the checker over every execution; any
+// violation is a bug in the commit protocol.
+package history

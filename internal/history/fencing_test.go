@@ -1,0 +1,79 @@
+package history
+
+import (
+	"testing"
+
+	"paxoscp/internal/wal"
+)
+
+// stamped returns a single-transaction entry stamped with a master epoch.
+func stamped(epoch int64, t wal.Txn) wal.Entry {
+	e := wal.NewEntry(t)
+	e.Epoch = epoch
+	return e
+}
+
+// TestFencedEntryExcludedFromSerialHistory: a deposed master's entry above a
+// takeover claim is void — its writes must not appear in the serial history,
+// so a later reader correctly observes the pre-fencing value.
+func TestFencedEntryExcludedFromSerialHistory(t *testing.T) {
+	log := logOf(
+		wal.NewClaim(1, "V1"),
+		stamped(1, txn("t1", 1, nil, map[string]string{"x": "old"})),
+		wal.NewClaim(2, "V2"),
+		// V1's in-flight entry lands above V2's claim: fenced, writes void.
+		stamped(1, txn("t-fenced", 2, nil, map[string]string{"x": "stale"})),
+		// V2's reader observes "old", not "stale" — correct iff the checker
+		// excludes the fenced write from the replay.
+		stamped(2, txn("t2", 4, []string{"x"}, map[string]string{"y": "2"})),
+	)
+	logs := map[string]map[int64]wal.Entry{"A": log, "B": log}
+	commits := []Commit{
+		{ID: "t1", ReadPos: 1, Pos: 2, Reads: map[string]string{}, Writes: map[string]string{"x": "old"}},
+		{ID: "t2", ReadPos: 4, Pos: 5, Reads: map[string]string{"x": "old"}, Writes: map[string]string{"y": "2"}},
+	}
+	if vs := Check(logs, commits); len(vs) != 0 {
+		t.Fatalf("fencing-aware replay flagged a clean history: %v", vs)
+	}
+}
+
+// TestCommitInFencedEntryFlaggedF2: a client-reported commit that exists
+// only inside a fenced entry is the two-concurrent-masters bug and must be
+// flagged as F2, not pass silently.
+func TestCommitInFencedEntryFlaggedF2(t *testing.T) {
+	log := logOf(
+		wal.NewClaim(1, "V1"),
+		wal.NewClaim(2, "V2"),
+		stamped(1, txn("t-dup", 2, nil, map[string]string{"x": "stale"})),
+	)
+	logs := map[string]map[int64]wal.Entry{"A": log}
+	commits := []Commit{
+		{ID: "t-dup", ReadPos: 2, Pos: 3, Reads: map[string]string{}, Writes: map[string]string{"x": "stale"}},
+	}
+	vs := Check(logs, commits)
+	if !hasViolation(vs, "F2", "t-dup") {
+		t.Fatalf("commit inside fenced entry not flagged: %v", vs)
+	}
+}
+
+// TestStaleClaimDoesNotLowerEpoch: a superseded claim entry that still won
+// its Paxos position must not lower the prevailing epoch for later entries.
+func TestStaleClaimDoesNotLowerEpoch(t *testing.T) {
+	log := logOf(
+		wal.NewClaim(2, "V2"),
+		wal.NewClaim(1, "V1"), // void: superseded before it landed
+		stamped(1, txn("t-stale", 2, nil, map[string]string{"x": "stale"})),
+		stamped(2, txn("t-live", 3, nil, map[string]string{"y": "live"})),
+	)
+	logs := map[string]map[int64]wal.Entry{"A": log}
+	commits := []Commit{
+		{ID: "t-live", ReadPos: 3, Pos: 4, Reads: map[string]string{}, Writes: map[string]string{"y": "live"}},
+	}
+	if vs := Check(logs, commits); len(vs) != 0 {
+		t.Fatalf("stale claim confused the epoch replay: %v", vs)
+	}
+	// And the stale-epoch transaction is indeed treated as fenced.
+	if fenced := fencedPositions(log); !fenced[3] || fenced[4] {
+		t.Fatalf("fenced positions = %v, want {3}", fenced)
+	}
+}

@@ -1,17 +1,3 @@
-// Package history verifies one-copy serializability (paper §3). It checks
-// recorded executions against the properties the transaction tier must
-// guarantee:
-//
-//	(R1)      no two datacenter logs disagree on a log position
-//	(L1)(L2)  committed transactions appear in the log, whole, exactly once
-//	(L3)      the log prefix plus each entry is one-copy serializable
-//	(A1)(A2)  reads observe the transaction's own writes, else the state at
-//	          the transaction's read position
-//
-// The checker replays the merged log as the serial history S of Theorem 1
-// and validates every committed transaction's reads against it. Integration
-// and stress tests run it over every execution; any violation is a bug in
-// the commit protocol.
 package history
 
 import (
@@ -61,7 +47,9 @@ func (r *Recorder) Commits() []Commit {
 // Violation is one detected breach of the §3 properties.
 type Violation struct {
 	// Property names the violated property: "R1", "L1", "L2", "L3", "A2",
-	// or "LOG" for structural problems (holes, corrupt entries).
+	// "F2" (a committed transaction inside an epoch-fenced entry — the
+	// two-concurrent-masters bug, DESIGN.md §11), or "LOG" for structural
+	// problems (holes, corrupt entries).
 	Property string
 	Detail   string
 }
@@ -81,9 +69,41 @@ func Check(logs map[string]map[int64]wal.Entry, commits []Commit) []Violation {
 	merged, vs := mergeLogs(logs)
 	out = append(out, vs...)
 
-	out = append(out, checkPlacement(merged, commits)...)
-	out = append(out, checkSerializability(merged, commits)...)
+	fenced := fencedPositions(merged)
+	out = append(out, checkPlacement(merged, fenced, commits)...)
+	out = append(out, checkSerializability(merged, fenced, commits)...)
 	return out
+}
+
+// fencedPositions replays the merged log's claim entries in order and
+// returns the positions whose entries are void under epoch fencing
+// (DESIGN.md §11): a claim entry raises the prevailing epoch for all later
+// positions, and a transaction entry stamped with a lower, non-zero epoch
+// commits nothing. This mirrors replog's apply-time rule exactly — the
+// prevailing epoch at a position is a deterministic function of the log
+// prefix — so the checker and the datastore agree on which log entries are
+// real.
+func fencedPositions(merged map[int64]wal.Entry) map[int64]bool {
+	ps := make([]int64, 0, len(merged))
+	for p := range merged {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	fenced := make(map[int64]bool)
+	epoch := int64(0)
+	for _, p := range ps {
+		e := merged[p]
+		if e.IsClaim() {
+			if e.Epoch > epoch {
+				epoch = e.Epoch
+			}
+			continue // claims commit nothing either way
+		}
+		if e.Epoch != 0 && e.Epoch < epoch {
+			fenced[p] = true
+		}
+	}
+	return fenced
 }
 
 // mergeLogs enforces (R1) and returns the union log.
@@ -134,11 +154,16 @@ func positions(merged map[int64]wal.Entry) ([]int64, []Violation) {
 // checkPlacement enforces (L1) and (L2): every committed read/write
 // transaction occupies exactly one log position — the one its client
 // reported — with all its operations in that single entry, and no
-// transaction appears at two positions.
-func checkPlacement(merged map[int64]wal.Entry, commits []Commit) []Violation {
+// transaction appears at two positions. A fenced entry commits nothing, so a
+// transaction inside one does not count as placed; a client-reported commit
+// sitting in a fenced entry is the split-brain double-master bug (F2).
+func checkPlacement(merged map[int64]wal.Entry, fenced map[int64]bool, commits []Commit) []Violation {
 	var out []Violation
-	// Index the log by transaction ID.
+	// Index the log by transaction ID. Fenced entries are void, but a
+	// transaction appearing in both a fenced and a live entry is fine (the
+	// deposed master's copy was void); only live placements count.
 	at := make(map[string][]int64)
+	inFenced := make(map[string][]int64)
 	for pos, entry := range merged {
 		seen := make(map[string]bool)
 		for _, t := range entry.Txns {
@@ -146,6 +171,10 @@ func checkPlacement(merged map[int64]wal.Entry, commits []Commit) []Violation {
 				out = append(out, violationf("L2", "transaction %s appears twice in position %d", t.ID, pos))
 			}
 			seen[t.ID] = true
+			if fenced[pos] {
+				inFenced[t.ID] = append(inFenced[t.ID], pos)
+				continue
+			}
 			at[t.ID] = append(at[t.ID], pos)
 		}
 	}
@@ -165,7 +194,13 @@ func checkPlacement(merged map[int64]wal.Entry, commits []Commit) []Violation {
 		}
 		ps := at[c.ID]
 		if len(ps) == 0 {
-			out = append(out, violationf("L1", "committed transaction %s missing from log (client reported position %d)", c.ID, c.Pos))
+			if fps := inFenced[c.ID]; len(fps) > 0 {
+				out = append(out, violationf("F2",
+					"committed transaction %s exists only in fenced entries at %v: a deposed master reported a commit its epoch could not make",
+					c.ID, fps))
+			} else {
+				out = append(out, violationf("L1", "committed transaction %s missing from log (client reported position %d)", c.ID, c.Pos))
+			}
 			continue
 		}
 		if ps[0] != c.Pos {
@@ -189,8 +224,11 @@ func checkPlacement(merged map[int64]wal.Entry, commits []Commit) []Violation {
 // a read of key k by transaction t placed at position p with read position r
 // must observe the value of k at position r, and no transaction serialized
 // between r and t (later entries up to p, or earlier transactions in t's own
-// entry) may have written k.
-func checkSerializability(merged map[int64]wal.Entry, commits []Commit) []Violation {
+// entry) may have written k. Fenced entries are skipped entirely — they
+// committed nothing, so their writes are absent from the serial history and
+// their transactions' reads are never validated (if one was reported
+// committed, checkPlacement already flagged it as F2).
+func checkSerializability(merged map[int64]wal.Entry, fenced map[int64]bool, commits []Commit) []Violation {
 	ps, out := positions(merged)
 
 	// versionsOf replays writes in serial order: key -> ascending (pos, val).
@@ -223,6 +261,9 @@ func checkSerializability(merged map[int64]wal.Entry, commits []Commit) []Violat
 	}
 
 	for _, pos := range ps {
+		if fenced[pos] {
+			continue
+		}
 		entry := merged[pos]
 		if !entry.SerializableOrder() {
 			out = append(out, violationf("L3", "entry at %d is not serializable in list order: %s", pos, entry))

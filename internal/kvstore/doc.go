@@ -1,0 +1,23 @@
+// Package kvstore implements the multi-version key-value store that forms
+// the foundation tier of each datacenter (paper §2.2).
+//
+// The transaction tier depends on exactly three atomic operations, which
+// this package provides with per-row atomicity:
+//
+//   - Read(key, ts): most recent version with timestamp <= ts
+//   - Write(key, value, ts): create a new version; error if a newer exists
+//   - CheckAndWrite(key, testAttr, testValue, value): conditional write on
+//     an attribute of the latest version
+//
+// Timestamps are logical; the transaction tier uses write-ahead-log
+// positions as timestamps (paper §3.2). The paper's prototype used HBase;
+// this in-memory store implements the same abstraction contract with 32-way
+// sharding and per-row version arrays (see DESIGN.md §5).
+//
+// Beyond the paper's contract the store provides the maintenance surface a
+// running system needs: ApplyBatch (idempotent, explicitly-timestamped
+// write batches for the replicated-log apply path — one shard-lock
+// acquisition per touched shard), ReadMulti (batched multi-key reads at one
+// timestamp), Update, GC, Delete, prefix scans, and gob persistence
+// (Save/Load, SaveFile/LoadFile).
+package kvstore

@@ -1,17 +1,3 @@
-// Package kvstore implements the multi-version key-value store that forms
-// the foundation tier of each datacenter (paper §2.2).
-//
-// The transaction tier depends on exactly three atomic operations, which this
-// package provides with per-row atomicity:
-//
-//   - Read(key, ts): most recent version with timestamp <= ts
-//   - Write(key, value, ts): create a new version; error if a newer exists
-//   - CheckAndWrite(key, testAttr, testValue, value): conditional write on an
-//     attribute of the latest version
-//
-// Timestamps are logical; the transaction tier uses write-ahead-log positions
-// as timestamps (paper §3.2). The paper's prototype used HBase; this in-memory
-// store implements the same abstraction contract (see DESIGN.md §5).
 package kvstore
 
 import (

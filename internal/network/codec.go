@@ -17,15 +17,24 @@ import (
 //	str:      len(uvarint) bytes;  []str: count(uvarint) str*
 //	bitmap:   count(uvarint) ceil(count/8) bytes, LSB first
 //
-// The leading wireVersion byte (0xB1) can never be the first byte of a JSON
-// envelope ('{'), so a receiver distinguishes binary from legacy JSON
+// A leading wire-version byte (0xB1 or 0xB2) can never be the first byte of
+// a JSON envelope ('{'), so a receiver distinguishes binary from legacy JSON
 // datagrams by sniffing the first byte — the UDP transport answers each
-// request in the encoding it arrived in, keeping mixed-version clusters
-// talking during a rolling upgrade.
+// request in the encoding (and binary version) it arrived in, keeping
+// mixed-version clusters talking during a rolling upgrade.
+//
+// Version 0xB2 adds one field to the message layout: epoch(varint) after
+// ts (the master-epoch fencing field, DESIGN.md §11). 0xB1 envelopes decode
+// with Epoch = 0 and are answered in the 0xB1 layout, dropping the epoch a
+// legacy peer would not understand anyway.
 
 const (
-	// wireVersion is the leading byte of every binary envelope.
+	// wireVersion is the leading byte of a legacy binary envelope (pre-epoch
+	// message layout). Still decoded; replies to it are encoded the same way.
 	wireVersion = 0xB1
+	// wireVersion2 is the leading byte of a current binary envelope, whose
+	// message layout carries the Epoch field.
+	wireVersion2 = 0xB2
 	// jsonFirstByte is the first byte of every JSON envelope.
 	jsonFirstByte = '{'
 
@@ -105,9 +114,15 @@ func appendBools(b []byte, bs []bool) []byte {
 	return b
 }
 
-// AppendMessage appends m's binary encoding to dst and returns the extended
-// slice.
+// AppendMessage appends m's binary encoding (the current layout, with the
+// epoch field) to dst and returns the extended slice.
 func AppendMessage(dst []byte, m Message) []byte {
+	return appendMessage(dst, m, true)
+}
+
+// appendMessage appends m's binary encoding; withEpoch selects the current
+// (0xB2) or legacy (0xB1) layout.
+func appendMessage(dst []byte, m Message, withEpoch bool) []byte {
 	if code, ok := kindCode[m.Kind]; ok {
 		dst = append(dst, code)
 	} else {
@@ -129,6 +144,9 @@ func AppendMessage(dst []byte, m Message) []byte {
 	dst = appendVarint(dst, m.Pos)
 	dst = appendVarint(dst, m.Ballot)
 	dst = appendVarint(dst, m.TS)
+	if withEpoch {
+		dst = appendVarint(dst, m.Epoch)
+	}
 	dst = appendStr(dst, m.Key)
 	dst = appendStr(dst, m.Value)
 	dst = appendStr(dst, m.Err)
@@ -253,8 +271,9 @@ func (r *wireReader) bools() ([]bool, error) {
 	return out, nil
 }
 
-// readMessage decodes one Message from the reader.
-func (r *wireReader) readMessage() (Message, error) {
+// readMessage decodes one Message from the reader; withEpoch selects the
+// current (0xB2) or legacy (0xB1) layout.
+func (r *wireReader) readMessage(withEpoch bool) (Message, error) {
 	var m Message
 	kb, err := r.byte()
 	if err != nil {
@@ -291,6 +310,11 @@ func (r *wireReader) readMessage() (Message, error) {
 	if m.TS, err = r.varint(); err != nil {
 		return Message{}, err
 	}
+	if withEpoch {
+		if m.Epoch, err = r.varint(); err != nil {
+			return Message{}, err
+		}
+	}
 	if m.Key, err = r.str(); err != nil {
 		return Message{}, err
 	}
@@ -325,7 +349,7 @@ func MarshalBinary(m Message) []byte {
 // truncated input returns ErrBadWire; it never panics.
 func UnmarshalBinary(data []byte) (Message, error) {
 	r := wireReader{buf: data}
-	m, err := r.readMessage()
+	m, err := r.readMessage(true)
 	if err != nil {
 		return Message{}, err
 	}
@@ -338,9 +362,11 @@ func UnmarshalBinary(data []byte) (Message, error) {
 // Envelope flag bits.
 const envFlagResp = 1 << 0
 
-// appendEnvelope appends the binary envelope encoding to dst.
-func appendEnvelope(dst []byte, env envelope) []byte {
-	dst = append(dst, wireVersion)
+// appendEnvelope appends the binary envelope encoding to dst in the given
+// wire version (wireVersion2 normally; wireVersion when answering a legacy
+// peer in its own layout).
+func appendEnvelope(dst []byte, env envelope, ver byte) []byte {
+	dst = append(dst, ver)
 	var flags byte
 	if env.Resp {
 		flags |= envFlagResp
@@ -348,32 +374,34 @@ func appendEnvelope(dst []byte, env envelope) []byte {
 	dst = append(dst, flags)
 	dst = appendUvarint(dst, env.ID)
 	dst = appendStr(dst, env.From)
-	return AppendMessage(dst, env.Msg)
+	return appendMessage(dst, env.Msg, ver != wireVersion)
 }
 
-// decodeEnvelope decodes a binary envelope (the wireVersion byte included).
-func decodeEnvelope(data []byte) (envelope, error) {
+// decodeEnvelope decodes a binary envelope (either wire version, identified
+// by its leading byte, which is returned so replies can match).
+func decodeEnvelope(data []byte) (envelope, byte, error) {
 	var env envelope
-	if len(data) == 0 || data[0] != wireVersion {
-		return envelope{}, fmt.Errorf("%w: bad wire version", ErrBadWire)
+	if len(data) == 0 || (data[0] != wireVersion && data[0] != wireVersion2) {
+		return envelope{}, 0, fmt.Errorf("%w: bad wire version", ErrBadWire)
 	}
+	ver := data[0]
 	r := wireReader{buf: data[1:]}
 	flags, err := r.byte()
 	if err != nil {
-		return envelope{}, err
+		return envelope{}, 0, err
 	}
 	env.Resp = flags&envFlagResp != 0
 	if env.ID, err = r.uvarint(); err != nil {
-		return envelope{}, err
+		return envelope{}, 0, err
 	}
 	if env.From, err = r.str(); err != nil {
-		return envelope{}, err
+		return envelope{}, 0, err
 	}
-	if env.Msg, err = r.readMessage(); err != nil {
-		return envelope{}, err
+	if env.Msg, err = r.readMessage(ver != wireVersion); err != nil {
+		return envelope{}, 0, err
 	}
 	if len(r.buf) != 0 {
-		return envelope{}, fmt.Errorf("%w: %d trailing bytes", ErrBadWire, len(r.buf))
+		return envelope{}, 0, fmt.Errorf("%w: %d trailing bytes", ErrBadWire, len(r.buf))
 	}
-	return env, nil
+	return env, ver, nil
 }

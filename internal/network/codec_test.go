@@ -32,6 +32,7 @@ func randMessage(rng *rand.Rand, kind Kind) Message {
 		Key:      randStr(20),
 		Value:    randStr(40),
 		Err:      randStr(10),
+		Epoch:    rng.Int63n(1 << 20),
 		OK:       rng.Intn(2) == 0,
 		Found:    rng.Intn(2) == 0,
 		Combined: rng.Intn(2) == 0,
@@ -97,12 +98,26 @@ func TestBinaryEnvelopeRoundTrip(t *testing.T) {
 			Resp: rng.Intn(2) == 0,
 			Msg:  randMessage(rng, allKinds[rng.Intn(len(allKinds))]),
 		}
-		got, err := decodeEnvelope(appendEnvelope(nil, env))
+		got, ver, err := decodeEnvelope(appendEnvelope(nil, env, wireVersion2))
 		if err != nil {
 			t.Fatalf("decode: %v", err)
 		}
+		if ver != wireVersion2 {
+			t.Fatalf("decoded version %#x, want %#x", ver, wireVersion2)
+		}
 		if got.ID != env.ID || got.From != env.From || got.Resp != env.Resp || !msgEqual(got.Msg, env.Msg) {
 			t.Fatalf("envelope round trip:\n in: %+v\nout: %+v", env, got)
+		}
+		// The legacy 0xB1 layout round-trips everything except Epoch,
+		// which it cannot carry.
+		legacy, lver, err := decodeEnvelope(appendEnvelope(nil, env, wireVersion))
+		if err != nil {
+			t.Fatalf("legacy decode: %v", err)
+		}
+		want := env.Msg
+		want.Epoch = 0
+		if lver != wireVersion || !msgEqual(legacy.Msg, want) {
+			t.Fatalf("legacy envelope round trip (ver %#x):\n in: %+v\nout: %+v", lver, want, legacy.Msg)
 		}
 	}
 }
@@ -118,9 +133,9 @@ func TestBinaryCodecTruncation(t *testing.T) {
 			t.Fatalf("truncation at %d/%d decoded silently", n, len(data))
 		}
 	}
-	env := appendEnvelope(nil, envelope{ID: 7, From: "A", Msg: m})
+	env := appendEnvelope(nil, envelope{ID: 7, From: "A", Msg: m}, wireVersion2)
 	for n := 0; n < len(env); n++ {
-		if _, err := decodeEnvelope(env[:n]); err == nil {
+		if _, _, err := decodeEnvelope(env[:n]); err == nil {
 			t.Fatalf("envelope truncation at %d/%d decoded silently", n, len(env))
 		}
 	}
@@ -250,8 +265,8 @@ func BenchmarkMessageCodec(b *testing.B) {
 	b.Run("binary", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			data := appendEnvelope(make([]byte, 0, 128), env)
-			if _, err := decodeEnvelope(data); err != nil {
+			data := appendEnvelope(make([]byte, 0, 128), env, wireVersion2)
+			if _, _, err := decodeEnvelope(data); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -275,11 +290,96 @@ func BenchmarkMessageCodec(b *testing.B) {
 // sizes of the representative envelope under both codecs.
 func BenchmarkMessageCodecSize(b *testing.B) {
 	env := benchEnvelope()
-	bin := appendEnvelope(nil, env)
+	bin := appendEnvelope(nil, env, wireVersion2)
 	js, _ := json.Marshal(env)
 	for i := 0; i < b.N; i++ {
 		_ = bin
 	}
 	b.ReportMetric(float64(len(bin)), "binary-bytes")
 	b.ReportMetric(float64(len(js)), "json-bytes")
+}
+
+// TestUDPOutboundVersionAdaptsToPeer pins the other direction of the
+// rolling-upgrade promise: after hearing from a peer in an older encoding
+// (legacy JSON, or binary 0xB1), requests *initiated toward* that peer are
+// sent in the encoding it speaks, not in the current version it would drop.
+func TestUDPOutboundVersionAdaptsToPeer(t *testing.T) {
+	srv, err := NewUDP("S", "127.0.0.1:0", nil, func(from string, req Message) Message {
+		return Message{Kind: KindStatus, OK: true, Err: "S<-" + from}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A raw "legacy" peer socket: one listener per encoding under test.
+	for _, tc := range []struct {
+		name   string
+		encode func(env envelope) []byte
+		sniff  func(data []byte) bool
+	}{
+		{"json", func(env envelope) []byte {
+			d, _ := json.Marshal(env)
+			return d
+		}, func(d []byte) bool { return len(d) > 0 && d[0] == jsonFirstByte }},
+		{"binary-v1", func(env envelope) []byte {
+			return appendEnvelope(nil, env, wireVersion)
+		}, func(d []byte) bool { return len(d) > 0 && d[0] == wireVersion }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			peer, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer peer.Close()
+			if err := srv.SetPeer("L", peer.LocalAddr().String()); err != nil {
+				t.Fatal(err)
+			}
+
+			// The legacy peer speaks first (its own encoding), teaching the
+			// server its version.
+			req := tc.encode(envelope{ID: 1, From: "L", Msg: Message{Kind: KindReadPos}})
+			if _, err := peer.WriteToUDP(req, srv.conn.LocalAddr().(*net.UDPAddr)); err != nil {
+				t.Fatal(err)
+			}
+			peer.SetReadDeadline(time.Now().Add(2 * time.Second))
+			buf := make([]byte, maxDatagram)
+			n, _, err := peer.ReadFromUDP(buf)
+			if err != nil {
+				t.Fatalf("no reply to legacy request: %v", err)
+			}
+			if !tc.sniff(buf[:n]) {
+				t.Fatalf("reply to %s peer not in its encoding: first byte %#x", tc.name, buf[0])
+			}
+
+			// Now the server initiates: the request must arrive in the
+			// peer's encoding (it would drop the current version).
+			done := make(chan error, 1)
+			go func() {
+				_, err := srv.Send(context.Background(), "L", Message{Kind: KindRead, Key: "k"})
+				done <- err
+			}()
+			peer.SetReadDeadline(time.Now().Add(2 * time.Second))
+			n, _, err = peer.ReadFromUDP(buf)
+			if err != nil {
+				t.Fatalf("server-initiated request never arrived: %v", err)
+			}
+			if !tc.sniff(buf[:n]) {
+				t.Fatalf("server-initiated request to %s peer in wrong encoding: first byte %#x", tc.name, buf[0])
+			}
+			// Unblock the sender (no response; it times out harmlessly).
+			srv.mu.Lock()
+			for id, ch := range srv.pending {
+				select {
+				case ch <- Message{Kind: KindStatus, OK: true}:
+				default:
+				}
+				delete(srv.pending, id)
+			}
+			srv.mu.Unlock()
+			if err := <-done; err != nil {
+				t.Fatalf("send: %v", err)
+			}
+		})
+	}
 }

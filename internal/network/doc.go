@@ -1,0 +1,25 @@
+// Package network provides the inter-datacenter communication substrate
+// (paper §2.2, "Transaction tier"): unreliable request/response messaging
+// where a message either arrives before a known timeout or is lost.
+//
+// Two interchangeable transports implement the same Transport interface:
+//
+//   - Sim: an in-process network that reproduces the paper's testbed — each
+//     datacenter pair has a configurable round-trip time (Virginia–Virginia
+//     1.5 ms, Virginia–Oregon/California 90 ms, Oregon–California 20 ms),
+//     plus jitter, message loss, datacenter outages, and partitions, with
+//     per-kind message counters.
+//   - UDP: a real UDP transport (the paper's prototype used UDP), one
+//     socket per datacenter, no retransmission below the request/response
+//     layer.
+//
+// The transaction tier is written against the Transport interface only, so
+// protocol behaviour is identical over both.
+//
+// Message is the single wire unit; the UDP transport encodes it with a
+// compact length-prefixed binary codec (codec.go, DESIGN.md §9) behind a
+// leading version byte, and still accepts and answers legacy JSON
+// envelopes, so mixed-version peers interoperate during a rolling upgrade.
+// Wire version 0xB2 added the master-epoch field (DESIGN.md §11); 0xB1
+// peers are answered in their own layout.
+package network

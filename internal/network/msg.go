@@ -82,6 +82,11 @@ type Message struct {
 	// multi-transaction log entry (the master's combination path).
 	Combined bool `json:"cb,omitempty"`
 
+	// Epoch carries the master epoch (DESIGN.md §11): in a submit reply, the
+	// epoch the transaction committed under; in a "not master" refusal, the
+	// prevailing epoch the refusing service has observed. 0 = unfenced.
+	Epoch int64 `json:"ep,omitempty"`
+
 	// Multi-key read (KindReadMulti): the request lists Keys; the reply
 	// carries Vals and Founds parallel to the request's Keys.
 	Keys   []string `json:"keys,omitempty"`

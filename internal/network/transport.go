@@ -1,18 +1,3 @@
-// Package network provides the inter-datacenter communication substrate
-// (paper §2.2, "Transaction tier"): unreliable request/response messaging
-// where a message either arrives before a known timeout or is lost.
-//
-// Two interchangeable transports implement the same interface:
-//
-//   - Sim: an in-process network that reproduces the paper's testbed — each
-//     datacenter pair has a configurable round-trip time (Virginia–Virginia
-//     1.5 ms, Virginia–Oregon/California 90 ms, Oregon–California 20 ms),
-//     plus jitter, message loss, datacenter outages, and partitions.
-//   - UDP: a real UDP transport (the paper's prototype used UDP), one socket
-//     per datacenter, JSON-encoded datagrams, no retransmission.
-//
-// The transaction tier is written against the Transport interface only, so
-// protocol behaviour is identical over both.
 package network
 
 import (

@@ -37,6 +37,12 @@ type UDP struct {
 	peers   map[string]*net.UDPAddr
 	pending map[uint64]chan Message
 	closed  bool
+	// peerVer caches the envelope encoding each peer last spoke — a wire
+	// version byte, or jsonFirstByte for a legacy JSON peer. Outbound
+	// requests use it so a not-yet-upgraded peer is addressed in a layout
+	// it decodes (the docs' rolling-upgrade promise works in both
+	// directions); unknown peers get the current version.
+	peerVer map[string]byte
 
 	nextID atomic.Uint64
 	wg     sync.WaitGroup
@@ -61,6 +67,7 @@ func NewUDP(local, bindAddr string, peers map[string]string, h Handler) (*UDP, e
 		handler: h,
 		peers:   make(map[string]*net.UDPAddr, len(peers)),
 		pending: make(map[uint64]chan Message),
+		peerVer: make(map[string]byte),
 	}
 	for name, addr := range peers {
 		a, err := net.ResolveUDPAddr("udp", addr)
@@ -116,21 +123,30 @@ func (u *UDP) readLoop() {
 			return // closed
 		}
 		var env envelope
-		var legacyJSON bool
+		// replyVer is the binary wire version to answer in; 0 means the
+		// request arrived as a legacy JSON envelope and is answered in JSON.
+		var replyVer byte
 		switch {
-		case n > 0 && buf[0] == wireVersion:
+		case n > 0 && (buf[0] == wireVersion || buf[0] == wireVersion2):
 			var err error
-			if env, err = decodeEnvelope(buf[:n]); err != nil {
+			if env, replyVer, err = decodeEnvelope(buf[:n]); err != nil {
 				continue // drop malformed datagrams, as real UDP services must
 			}
 		case n > 0 && buf[0] == jsonFirstByte:
-			// Legacy peer: JSON envelope. Remember so the reply matches.
 			if err := json.Unmarshal(buf[:n], &env); err != nil {
 				continue
 			}
-			legacyJSON = true
 		default:
 			continue
+		}
+		if env.From != "" {
+			ver := replyVer
+			if ver == 0 {
+				ver = jsonFirstByte
+			}
+			u.mu.Lock()
+			u.peerVer[env.From] = ver
+			u.mu.Unlock()
 		}
 		if env.Resp {
 			u.mu.RLock()
@@ -146,21 +162,21 @@ func (u *UDP) readLoop() {
 		}
 		// Inbound request: serve in its own goroutine (stateless service
 		// processes, §2.2) and reply to the observed source address.
-		go u.serve(env, raddr, legacyJSON)
+		go u.serve(env, raddr, replyVer)
 	}
 }
 
-func (u *UDP) serve(env envelope, raddr *net.UDPAddr, legacyJSON bool) {
+func (u *UDP) serve(env envelope, raddr *net.UDPAddr, replyVer byte) {
 	resp := u.handler(env.From, env.Msg)
 	reply := envelope{ID: env.ID, From: u.local, Resp: true, Msg: resp}
 	var out []byte
-	if legacyJSON {
+	if replyVer == 0 {
 		var err error
 		if out, err = json.Marshal(reply); err != nil {
 			return
 		}
 	} else {
-		out = appendEnvelope(make([]byte, 0, 128), reply)
+		out = appendEnvelope(make([]byte, 0, 128), reply, replyVer)
 	}
 	u.conn.WriteToUDP(out, raddr) // best effort; loss is the failure model
 }
@@ -194,7 +210,25 @@ func (u *UDP) Send(ctx context.Context, to string, req Message) (Message, error)
 		u.mu.Unlock()
 	}()
 
-	out := appendEnvelope(make([]byte, 0, 128), envelope{ID: id, From: u.local, Msg: req})
+	// Speak the encoding the peer last spoke to us (current version for a
+	// peer we have not heard from), so mixed-version clusters interoperate
+	// in both directions during a rolling upgrade.
+	u.mu.RLock()
+	ver, known := u.peerVer[to]
+	u.mu.RUnlock()
+	env := envelope{ID: id, From: u.local, Msg: req}
+	var out []byte
+	if known && ver == jsonFirstByte {
+		var err error
+		if out, err = json.Marshal(env); err != nil {
+			return Message{}, fmt.Errorf("network: encode request: %w", err)
+		}
+	} else {
+		if !known {
+			ver = wireVersion2
+		}
+		out = appendEnvelope(make([]byte, 0, 128), env, ver)
+	}
 	if _, err := u.conn.WriteToUDP(out, addr); err != nil {
 		// Treat send failure like loss: wait out the timeout so callers see
 		// uniform behaviour, unless the context is already done.

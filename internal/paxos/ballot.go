@@ -1,17 +1,3 @@
-// Package paxos implements a single instance of the Paxos algorithm (the
-// Synod algorithm) as the paper uses it: one instance per write-ahead-log
-// position, with the acceptor's durable state held in the datacenter's
-// key-value store via checkAndWrite (paper §4.1, Algorithms 1 and 2).
-//
-// The package provides the two protocol roles:
-//
-//   - Acceptor: the Transaction Service side (Algorithm 1) — handles
-//     prepare and accept messages with all state transitions made atomic
-//     through the kvstore's conditional write.
-//   - Proposer: the Transaction Client side's messaging core (the phases of
-//     Algorithm 2) — fans prepare/accept/apply out to every datacenter and
-//     tallies responses. Value selection (findWinningVal and the Paxos-CP
-//     enhancedFindWinningVal) lives in package core, layered on top.
 package paxos
 
 import "fmt"

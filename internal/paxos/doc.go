@@ -1,0 +1,24 @@
+// Package paxos implements a single instance of the Paxos algorithm (the
+// Synod algorithm) as the paper uses it: one instance per write-ahead-log
+// position, with the acceptor's durable state held in the datacenter's
+// key-value store via checkAndWrite (paper §4.1, Algorithms 1 and 2).
+//
+// The package provides the two protocol roles:
+//
+//   - Acceptor: the Transaction Service side (Algorithm 1) — handles
+//     prepare and accept messages with all state transitions made atomic
+//     through the kvstore's conditional write (the seq CAS, DESIGN.md §2).
+//   - Proposer: the Transaction Client side's messaging core (the phases of
+//     Algorithm 2) — fans prepare/accept/apply out to every datacenter and
+//     tallies responses. Value selection (findWinningVal and the Paxos-CP
+//     enhancedFindWinningVal) lives in package core, layered on top.
+//
+// Ballots encode a round counter and a proposer identity (Ballot), so
+// proposal numbers are globally unique. The one extension to the Synod
+// algorithm is the fast ballot (FastBallot, ballot 0): an acceptor that has
+// never promised nor voted takes a fast accept directly, implementing the
+// §4.1 per-position leader optimization. Fast-ballot decisions require a
+// unanimous accept round (AcceptOutcome.Unanimous), not a mere majority:
+// with two racing fast proposers, only unanimity makes collision recovery
+// unambiguous (DESIGN.md §11).
+package paxos

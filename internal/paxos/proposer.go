@@ -45,10 +45,26 @@ type AcceptOutcome struct {
 	D       int
 	Acks    int
 	MaxSeen int64
+	// Refused and Unreachable are filled by AcceptUnanimous only: how many
+	// acceptors refused the vote (a per-position race — the fast path is
+	// still healthy) versus how many sends failed or went unanswered (a
+	// peer is unreachable — unanimity is impossible until it returns).
+	Refused     int
+	Unreachable int
 }
 
 // Quorum reports whether a majority of datacenters voted for the proposal.
 func (o AcceptOutcome) Quorum() bool { return o.Acks >= Majority(o.D) }
+
+// Unanimous reports whether every datacenter voted for the proposal. A
+// fast-ballot (prepare-skipping) decision is only taken at unanimity: with a
+// majority-sized fast quorum, two fast proposers racing one position can
+// each assemble a majority view containing both ballot-0 votes, and
+// collision recovery cannot tell which value (if either) was chosen. With a
+// unanimous fast quorum, a fast-chosen value appears in every majority view
+// with no competing ballot-0 vote, so recovery is unambiguous — the Fast
+// Paxos fast-quorum condition instantiated for our acceptor counts.
+func (o AcceptOutcome) Unanimous() bool { return o.D > 0 && o.Acks == o.D }
 
 // Proposer drives the messaging of Algorithm 2 for a Transaction Client: it
 // fans each phase out to every datacenter in parallel ("Loop iterations may
@@ -162,6 +178,38 @@ func (p *Proposer) Accept(ctx context.Context, group string, pos int64, ballot i
 		}
 		return out.Acks >= maj || out.Acks+(out.D-out.Acks-refused) < maj
 	})
+	return out
+}
+
+// AcceptUnanimous runs an accept phase that aims for unanimity (the fast-
+// ballot path): it stops as soon as every datacenter voted, or as soon as a
+// single refusal or send failure makes unanimity impossible — a doomed fast
+// round must fall back to classic Paxos quickly, not sit out the timeout.
+func (p *Proposer) AcceptUnanimous(ctx context.Context, group string, pos int64, ballot int64, value []byte) AcceptOutcome {
+	req := network.Message{Kind: network.KindAccept, Group: group, Pos: pos, Ballot: ballot, Payload: value}
+	out := AcceptOutcome{D: len(p.Transport.Peers()), MaxSeen: ballot}
+	p.broadcast(ctx, req, func(dc string, resp network.Message, err error) bool {
+		if err != nil {
+			out.Unreachable++
+			return true // unanimity impossible
+		}
+		if resp.Ballot > out.MaxSeen {
+			out.MaxSeen = resp.Ballot
+		}
+		if resp.OK {
+			out.Acks++
+		} else {
+			out.Refused++
+		}
+		return out.Refused+out.Unreachable > 0 || out.Acks == out.D
+	})
+	// A round that timed out with neither a refusal nor a send error has
+	// silent peers: count them unreachable (unanimity needs every
+	// acceptor). When the round stopped early on a refusal, the missing
+	// peers were simply not waited for — they are not known unreachable.
+	if out.Refused == 0 && out.Unreachable == 0 && !out.Unanimous() {
+		out.Unreachable = out.D - out.Acks
+	}
 	return out
 }
 

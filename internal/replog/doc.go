@@ -1,0 +1,33 @@
+// Package replog is the per-group replicated-log subsystem of the
+// transaction tier (DESIGN.md §4). A Log owns one group's decided-entry
+// log, its contiguously-applied watermark, a decoded-entry cache, and a
+// single apply goroutine that drains decided positions and lands their
+// writes as kvstore write batches.
+//
+// The seed kept all of this implicit: string-keyed rows in the datacenter's
+// key-value store, a coarse per-group apply mutex in the Transaction
+// Service, and meta-row round trips on every read-position request. The Log
+// keeps the same durable row layout (see keys.go) — services stay stateless
+// in the paper's sense, a restart rebuilds the Log from the store — but the
+// hot-path state (watermark, pending entries, decoded cache) lives in
+// memory, readers block on the watermark through WaitApplied instead of
+// polling the meta row, and application is batched: one kvstore.ApplyBatch
+// and one meta-row update per drained run of contiguous positions, however
+// many apply messages delivered them.
+//
+// # Epoch fencing
+//
+// The apply path is also where master-epoch fencing happens (DESIGN.md
+// §11). Entries apply in log order, so the prevailing epoch at each
+// position — established by master-claim entries (wal.Entry.IsClaim) — is a
+// deterministic function of the log prefix, identical at every replica. A
+// transaction entry stamped with a superseded epoch is void: none of its
+// writes land, anywhere (invariant F2), and Voided reports it so a deposed
+// master never reports such an entry committed. Epoch state is durable in
+// the meta row and travels inside snapshots (InstallSnapshot); the lease
+// timestamp (LeaseState) is deliberately local and volatile — leases bound
+// failover time, fencing provides safety.
+//
+// Window, the in-flight accounting for the master's pipelined submit path,
+// also lives here (DESIGN.md §8).
+package replog

@@ -1,0 +1,146 @@
+package replog
+
+import (
+	"testing"
+
+	"paxoscp/internal/kvstore"
+	"paxoscp/internal/wal"
+)
+
+// append1 appends an entry and fails the test on error.
+func append1(t *testing.T, l *Log, pos int64, e wal.Entry) {
+	t.Helper()
+	if _, err := l.Append(pos, wal.Encode(e)); err != nil {
+		t.Fatalf("append %d: %v", pos, err)
+	}
+}
+
+// waitApplied blocks until the watermark covers pos.
+func waitApplied(t *testing.T, l *Log, pos int64) {
+	t.Helper()
+	if err := l.WaitApplied(waitCtx(t), pos); err != nil {
+		t.Fatalf("wait applied %d: %v", pos, err)
+	}
+}
+
+func txnEntry(id string, epoch int64, writes map[string]string) wal.Entry {
+	e := wal.NewEntry(wal.Txn{ID: id, Origin: "A", Writes: writes})
+	e.Epoch = epoch
+	return e
+}
+
+// TestClaimEntryAdoptsEpoch: applying a claim entry establishes the
+// prevailing epoch; a later claim with a higher epoch supersedes it, and a
+// stale claim is void.
+func TestClaimEntryAdoptsEpoch(t *testing.T) {
+	store := kvstore.New()
+	defer store.Close()
+	l := Open(store, "g")
+	defer l.Close()
+
+	append1(t, l, 1, wal.NewClaim(1, "A"))
+	waitApplied(t, l, 1)
+	if st := l.Epoch(); st.Epoch != 1 || st.Master != "A" || st.Pos != 1 {
+		t.Fatalf("epoch after claim = %+v", st)
+	}
+
+	append1(t, l, 2, wal.NewClaim(2, "B"))
+	waitApplied(t, l, 2)
+	if st := l.Epoch(); st.Epoch != 2 || st.Master != "B" || st.Pos != 2 {
+		t.Fatalf("epoch after takeover = %+v", st)
+	}
+
+	// A superseded claim that still won its Paxos position is void.
+	append1(t, l, 3, wal.NewClaim(1, "C"))
+	waitApplied(t, l, 3)
+	if st := l.Epoch(); st.Epoch != 2 || st.Master != "B" {
+		t.Fatalf("stale claim changed epoch: %+v", st)
+	}
+	if !l.Voided(3) {
+		t.Fatal("stale claim not voided")
+	}
+}
+
+// TestFencedEntryAppliesNothing is invariant F2: an entry stamped with a
+// superseded epoch is void — its writes never reach the data rows — while
+// entries at the prevailing epoch and unfenced (epoch-0) entries apply.
+func TestFencedEntryAppliesNothing(t *testing.T) {
+	store := kvstore.New()
+	defer store.Close()
+	l := Open(store, "g")
+	defer l.Close()
+
+	append1(t, l, 1, wal.NewClaim(1, "A"))
+	append1(t, l, 2, txnEntry("t-old", 1, map[string]string{"k": "epoch1"}))
+	append1(t, l, 3, wal.NewClaim(2, "B"))
+	// The deposed master's entry lands above the takeover claim: fenced.
+	append1(t, l, 4, txnEntry("t-fenced", 1, map[string]string{"k": "stale", "only-fenced": "x"}))
+	// The new master's entry and an unfenced CP entry both apply.
+	append1(t, l, 5, txnEntry("t-new", 2, map[string]string{"k": "epoch2"}))
+	append1(t, l, 6, wal.NewEntry(wal.Txn{ID: "t-cp", Origin: "C", Writes: map[string]string{"cp": "y"}}))
+	waitApplied(t, l, 6)
+
+	if !l.Voided(4) {
+		t.Fatal("superseded-epoch entry not voided")
+	}
+	if l.Voided(2) || l.Voided(5) || l.Voided(6) {
+		t.Fatal("valid entry voided")
+	}
+	if v, _, err := store.Read(DataKey("g", "k"), kvstore.Latest); err != nil || v["v"] != "epoch2" {
+		t.Fatalf("k = %v %v, want epoch2", v, err)
+	}
+	if _, _, err := store.Read(DataKey("g", "only-fenced"), kvstore.Latest); err == nil {
+		t.Fatal("fenced entry's write reached the store")
+	}
+	if v, _, err := store.Read(DataKey("g", "cp"), kvstore.Latest); err != nil || v["v"] != "y" {
+		t.Fatalf("unfenced entry's write missing: %v %v", v, err)
+	}
+}
+
+// TestEpochStateSurvivesRestart: the prevailing epoch is durable in the meta
+// row, so a reopened log fences exactly as the original would.
+func TestEpochStateSurvivesRestart(t *testing.T) {
+	store := kvstore.New()
+	defer store.Close()
+	l := Open(store, "g")
+	append1(t, l, 1, wal.NewClaim(3, "B"))
+	waitApplied(t, l, 1)
+	l.Close()
+
+	l2 := Open(store, "g")
+	defer l2.Close()
+	if st := l2.Epoch(); st.Epoch != 3 || st.Master != "B" || st.Pos != 1 {
+		t.Fatalf("restarted epoch state = %+v", st)
+	}
+	// Fencing keeps working across the restart.
+	append1(t, l2, 2, txnEntry("t-stale", 2, map[string]string{"k": "stale"}))
+	waitApplied(t, l2, 2)
+	if !l2.Voided(2) {
+		t.Fatal("stale entry not fenced after restart")
+	}
+	if _, _, err := store.Read(DataKey("g", "k"), kvstore.Latest); err == nil {
+		t.Fatal("fenced write applied after restart")
+	}
+}
+
+// TestInstallSnapshotCarriesEpoch: a snapshot install adopts the source's
+// epoch state so fencing works even when the establishing claim entry lies
+// below the snapshot horizon.
+func TestInstallSnapshotCarriesEpoch(t *testing.T) {
+	store := kvstore.New()
+	defer store.Close()
+	l := Open(store, "g")
+	defer l.Close()
+
+	if err := l.InstallSnapshot(10, EpochState{Epoch: 4, Master: "B", Pos: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Epoch(); st.Epoch != 4 || st.Master != "B" {
+		t.Fatalf("epoch after snapshot install = %+v", st)
+	}
+	append1(t, l, 11, txnEntry("t-stale", 2, map[string]string{"k": "stale"}))
+	waitApplied(t, l, 11)
+	if !l.Voided(11) {
+		t.Fatal("entry below snapshot epoch not fenced")
+	}
+}

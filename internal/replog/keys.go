@@ -12,7 +12,9 @@ import "paxoscp/internal/kvstore"
 //
 //	data/<group>/<key>   data item versions; version timestamp = log position
 //	log/<group>/<pos>    decided log entry (attr "entry" = encoded wal.Entry)
-//	meta/<group>         attr "last" = applied watermark, "compacted" = horizon
+//	meta/<group>         attr "last" = applied watermark, "compacted" = horizon;
+//	                     "epoch"/"epochpos"/"master" = prevailing master epoch
+//	                     state (DESIGN.md §11; absent before the first claim)
 
 // DataKey is the row holding versions of one data item of a group.
 func DataKey(group, key string) string { return "data/" + group + "/" + key }

@@ -1,19 +1,3 @@
-// Package replog is the per-group replicated-log subsystem of the
-// transaction tier (DESIGN.md §4). A Log owns one group's decided-entry log,
-// its contiguously-applied watermark, a decoded-entry cache, and a single
-// apply goroutine that drains decided positions and lands their writes as
-// kvstore write batches.
-//
-// The seed kept all of this implicit: string-keyed rows in the datacenter's
-// key-value store, a coarse per-group apply mutex in the Transaction
-// Service, and meta-row round trips on every read-position request. The Log
-// keeps the same durable row layout (see keys.go) — services stay stateless
-// in the paper's sense, a restart rebuilds the Log from the store — but the
-// hot-path state (watermark, pending entries, decoded cache) lives in
-// memory, readers block on the watermark through WaitApplied instead of
-// polling the meta row, and application is batched: one kvstore.ApplyBatch
-// and one meta-row update per drained run of contiguous positions, however
-// many apply messages delivered them.
 package replog
 
 import (
@@ -22,6 +6,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"paxoscp/internal/kvstore"
 	"paxoscp/internal/wal"
@@ -65,6 +50,26 @@ type Log struct {
 	notifyCh   chan struct{}       // wakes the apply goroutine (capacity 1)
 	stopCh     chan struct{}
 	stopOnce   sync.Once
+
+	// Epoch fencing state (DESIGN.md §11): the prevailing master epoch at
+	// the applied watermark, maintained by drain as claim entries apply in
+	// log order, durable in the meta row. renewedAt is the local wall-clock
+	// time the lease was last renewed — by a claim entry for the prevailing
+	// epoch or by any transaction entry stamped with it — and is volatile:
+	// a restart resets it to the Open time, which only delays takeover.
+	epoch     EpochState
+	renewedAt time.Time
+	voided    map[int64]bool // positions fenced at apply (entries that committed nothing)
+}
+
+// EpochState is a group's prevailing master epoch: the highest epoch any
+// applied claim entry has established, the datacenter holding it, and the
+// log position of the establishing claim. The zero value means no master has
+// ever claimed the group.
+type EpochState struct {
+	Epoch  int64
+	Master string
+	Pos    int64
 }
 
 // Open returns the Log for (store, group), rebuilding its in-memory state
@@ -73,17 +78,22 @@ type Log struct {
 // restart) into the pending set, which the apply goroutine then drains.
 func Open(store *kvstore.Store, group string) *Log {
 	l := &Log{
-		group:    group,
-		store:    store,
-		pending:  make(map[int64]wal.Entry),
-		cache:    make(map[int64]wal.Entry),
-		waitCh:   make(chan struct{}),
-		notifyCh: make(chan struct{}, 1),
-		stopCh:   make(chan struct{}),
+		group:     group,
+		store:     store,
+		pending:   make(map[int64]wal.Entry),
+		cache:     make(map[int64]wal.Entry),
+		voided:    make(map[int64]bool),
+		waitCh:    make(chan struct{}),
+		notifyCh:  make(chan struct{}, 1),
+		stopCh:    make(chan struct{}),
+		renewedAt: time.Now(),
 	}
 	if v, _, err := store.Read(MetaKey(group), kvstore.Latest); err == nil {
 		l.applied, _ = strconv.ParseInt(v["last"], 10, 64)
 		l.compacted, _ = strconv.ParseInt(v["compacted"], 10, 64)
+		l.epoch.Epoch, _ = strconv.ParseInt(v["epoch"], 10, 64)
+		l.epoch.Pos, _ = strconv.ParseInt(v["epochpos"], 10, 64)
+		l.epoch.Master = v["master"]
 	}
 	l.decidedMax = l.applied
 	// Recover decided entries above the watermark into the pending set.
@@ -147,6 +157,38 @@ func (l *Log) CompactedTo() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.compacted
+}
+
+// Epoch returns the prevailing master epoch state at the applied watermark:
+// the highest epoch established by an applied claim entry. The zero value
+// means the group has never had a fenced master.
+func (l *Log) Epoch() EpochState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
+// LeaseState returns the prevailing epoch state together with the local
+// wall-clock time the holder's lease was last observed renewed (a claim or
+// renewal entry applying, or the master's own epoch-stamped traffic). The
+// lease is a liveness mechanism only — safety comes from fencing — so the
+// timestamp is deliberately local and volatile: a restarted replica counts
+// from its Open time, which can only delay a takeover, never unfence one.
+func (l *Log) LeaseState() (EpochState, time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch, l.renewedAt
+}
+
+// Voided reports whether the entry at pos was fenced when it applied: it was
+// stamped with a superseded epoch (or was a losing claim) and committed
+// nothing (DESIGN.md §11, invariant F2). Only meaningful for positions at or
+// below the applied watermark; the record is bounded and positions far
+// behind the watermark are eventually forgotten.
+func (l *Log) Voided(pos int64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.voided[pos]
 }
 
 // Append records the decided entry for pos: the entry bytes are validated,
@@ -297,14 +339,19 @@ func (l *Log) Snapshot() map[int64]wal.Entry {
 }
 
 // ReadStable runs fn with compaction excluded, passing the applied
-// watermark. fn can read every data row at that horizon without a
+// watermark and the prevailing epoch state at that watermark (captured
+// atomically — drain advances both under one critical section, so the pair
+// is consistent). fn can read every data row at that horizon without a
 // concurrent Compact scavenging the versions it is reading (snapshot
 // building uses this; the watermark itself may still advance, which only
 // adds newer versions).
-func (l *Log) ReadStable(fn func(horizon int64) error) error {
+func (l *Log) ReadStable(fn func(horizon int64, epoch EpochState) error) error {
 	l.compactMu.Lock()
 	defer l.compactMu.Unlock()
-	return fn(l.Applied())
+	l.mu.Lock()
+	horizon, epoch := l.applied, l.epoch
+	l.mu.Unlock()
+	return fn(horizon, epoch)
 }
 
 // Compact scavenges log rows strictly below horizon and records the new
@@ -358,21 +405,32 @@ func (l *Log) Compact(horizon int64, scavenge func(from, to int64)) (int64, erro
 			delete(l.cache, pos)
 		}
 	}
+	for pos := range l.voided {
+		if pos < horizon {
+			delete(l.voided, pos)
+		}
+	}
 	l.mu.Unlock()
 	return horizon, nil
 }
 
 // InstallSnapshot jumps the watermark and compaction horizon to a peer
-// snapshot's. The caller must have landed the snapshot's data rows first
-// (kvstore.ApplyBatch); positions above the horizon continue through normal
-// catch-up. A snapshot at or below the current watermark is a no-op.
-func (l *Log) InstallSnapshot(horizon int64) error {
+// snapshot's, and adopts the snapshot's prevailing epoch state — without it
+// a replica restored from a snapshot whose establishing claim entry lies
+// below the horizon would never learn the epoch and would mis-apply fenced
+// entries above it. The caller must have landed the snapshot's data rows
+// first (kvstore.ApplyBatch); positions above the horizon continue through
+// normal catch-up. A snapshot at or below the current watermark is a no-op.
+func (l *Log) InstallSnapshot(horizon int64, epoch EpochState) error {
 	l.ioMu.Lock()
 	defer l.ioMu.Unlock()
 	l.mu.Lock()
 	if l.applied >= horizon {
 		l.mu.Unlock()
 		return nil
+	}
+	if epoch.Epoch < l.epoch.Epoch {
+		epoch = l.epoch
 	}
 	l.mu.Unlock()
 	err := l.store.Update(MetaKey(l.group), func(cur kvstore.Value) (kvstore.Value, error) {
@@ -381,6 +439,11 @@ func (l *Log) InstallSnapshot(horizon int64) error {
 		}
 		cur["last"] = strconv.FormatInt(horizon, 10)
 		cur["compacted"] = strconv.FormatInt(horizon, 10)
+		if epoch.Epoch > 0 {
+			cur["epoch"] = strconv.FormatInt(epoch.Epoch, 10)
+			cur["epochpos"] = strconv.FormatInt(epoch.Pos, 10)
+			cur["master"] = epoch.Master
+		}
 		return cur, nil
 	})
 	if err != nil {
@@ -395,6 +458,10 @@ func (l *Log) InstallSnapshot(horizon int64) error {
 	}
 	if l.compacted < horizon {
 		l.compacted = horizon
+	}
+	if epoch.Epoch > l.epoch.Epoch {
+		l.epoch = epoch
+		l.renewedAt = time.Now()
 	}
 	for pos := range l.pending {
 		if pos <= l.applied {
@@ -459,6 +526,16 @@ func (l *Log) run() {
 // update per run, then a single watermark advance that wakes every waiter.
 // An apply failure (e.g. store closed during shutdown) is sticky and
 // surfaces through WaitApplied and Append.
+//
+// drain is also where epoch fencing happens (DESIGN.md §11). Entries are
+// processed in log order, so the prevailing epoch at each position is a
+// deterministic function of the log prefix, identical at every replica:
+// a claim entry above the prevailing epoch adopts the new (epoch, master);
+// a claim at or below it is void (it lost the claim race logically even
+// though it won its Paxos position); and a transaction entry stamped with a
+// superseded epoch is void — none of its writes land, anywhere (invariant
+// F2). Claim renewals and the master's own stamped traffic both refresh the
+// locally observed lease.
 func (l *Log) drain() {
 	l.ioMu.Lock()
 	defer l.ioMu.Unlock()
@@ -479,14 +556,36 @@ func (l *Log) drain() {
 			pos++
 			entries = append(entries, e)
 		}
+		epoch := l.epoch
 		l.mu.Unlock()
 		if pos == start {
 			return
 		}
 
+		renewed := false
+		var newVoid []int64
 		writes := l.batch[:0]
 		for i, e := range entries {
 			p := start + 1 + int64(i)
+			if e.IsClaim() {
+				switch {
+				case e.Epoch > epoch.Epoch:
+					epoch = EpochState{Epoch: e.Epoch, Master: e.Master, Pos: p}
+					renewed = true
+				case e.Epoch == epoch.Epoch && e.Master == epoch.Master:
+					renewed = true // lease renewal by the holder
+				default:
+					newVoid = append(newVoid, p) // superseded claim: void
+				}
+				continue
+			}
+			if e.Epoch != 0 && e.Epoch < epoch.Epoch {
+				newVoid = append(newVoid, p) // fenced (F2): applies nothing
+				continue
+			}
+			if e.Epoch != 0 && e.Epoch == epoch.Epoch {
+				renewed = true // the master's own traffic renews its lease
+			}
 			for k, v := range e.Writes() {
 				writes = append(writes, kvstore.BatchWrite{
 					Key: DataKey(l.group, k), Value: kvstore.Value{"v": v}, TS: p,
@@ -501,6 +600,11 @@ func (l *Log) drain() {
 					cur = kvstore.Value{}
 				}
 				cur["last"] = strconv.FormatInt(pos, 10)
+				if epoch.Epoch > 0 {
+					cur["epoch"] = strconv.FormatInt(epoch.Epoch, 10)
+					cur["epochpos"] = strconv.FormatInt(epoch.Pos, 10)
+					cur["master"] = epoch.Master
+				}
 				return cur, nil
 			})
 		}
@@ -517,6 +621,22 @@ func (l *Log) drain() {
 				l.cacheLocked(p, e)
 				delete(l.pending, p)
 			}
+		}
+		for _, p := range newVoid {
+			l.voided[p] = true
+		}
+		if len(l.voided) > cacheLimit {
+			for p := range l.voided {
+				if p <= pos-cacheLimit {
+					delete(l.voided, p)
+				}
+			}
+		}
+		if epoch.Epoch > l.epoch.Epoch {
+			l.epoch = epoch
+		}
+		if renewed {
+			l.renewedAt = time.Now()
 		}
 		if pos > l.applied {
 			l.applied = pos

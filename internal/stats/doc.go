@@ -1,0 +1,9 @@
+// Package stats collects the measurements the paper's evaluation reports:
+// commit/abort counts split by promotion round, transaction latency
+// distributions, and combination/promotion event tallies (§6).
+//
+// A Collector receives one Sample per finished read/write transaction from
+// the clients it is attached to; Summarize reduces a sample set to the
+// figures the tables print (commit counts by round, mean/p95 latencies,
+// per-origin splits).
+package stats

@@ -1,6 +1,3 @@
-// Package stats collects the measurements the paper's evaluation reports:
-// commit/abort counts split by promotion round, transaction latency
-// distributions, and combination/promotion event tallies (§6).
 package stats
 
 import (

@@ -13,15 +13,23 @@ import (
 // kvstore's log rows. The format is a compact length-prefixed layout built on
 // encoding/binary (stdlib only):
 //
-//	magic(2) version(1) ntxns(uvarint) txn*
+//	v1: magic(2) version(1) ntxns(uvarint) txn*
+//	v2: magic(2) version(1) epoch(varint) master(str) ntxns(uvarint) txn*
 //	txn: id readpos(varint) origin nreads(uvarint) read* nwrites(uvarint) (k v)*
 //	str: len(uvarint) bytes
 //
-// A nil/empty entry encodes to the no-op entry.
+// A nil/empty entry encodes to the no-op entry. Version 2 adds the epoch
+// fencing fields (DESIGN.md §11); an entry with no epoch and no claim still
+// encodes as version 1, so unfenced entries — everything Basic and CP clients
+// produce — are byte-identical with pre-fencing peers and persisted stores,
+// and both versions decode.
 
 const (
 	codecMagic   = 0x5743 // "WC"
 	codecVersion = 1
+	// codecVersionEpoch is the layout carrying Entry.Epoch and Entry.Master,
+	// used only when either is set.
+	codecVersionEpoch = 2
 	// maxStrLen caps decoded string lengths to defend against corrupt or
 	// hostile payloads arriving over the UDP transport.
 	maxStrLen = 1 << 20
@@ -53,7 +61,13 @@ func writeString(buf *bytes.Buffer, s string) {
 func Encode(e Entry) []byte {
 	var buf bytes.Buffer
 	binary.Write(&buf, binary.BigEndian, uint16(codecMagic))
-	buf.WriteByte(codecVersion)
+	if e.Epoch != 0 || e.Master != "" {
+		buf.WriteByte(codecVersionEpoch)
+		writeVarint(&buf, e.Epoch)
+		writeString(&buf, e.Master)
+	} else {
+		buf.WriteByte(codecVersion)
+	}
 	writeUvarint(&buf, uint64(len(e.Txns)))
 	for _, t := range e.Txns {
 		writeString(&buf, t.ID)
@@ -134,8 +148,17 @@ func Decode(data []byte) (Entry, error) {
 		return Entry{}, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, magic)
 	}
 	ver, err := r.buf.ReadByte()
-	if err != nil || ver != codecVersion {
+	if err != nil || (ver != codecVersion && ver != codecVersionEpoch) {
 		return Entry{}, fmt.Errorf("%w: bad version", ErrCorrupt)
+	}
+	var e Entry
+	if ver == codecVersionEpoch {
+		if e.Epoch, err = r.varint(); err != nil {
+			return Entry{}, err
+		}
+		if e.Master, err = r.str(); err != nil {
+			return Entry{}, err
+		}
 	}
 	ntxns, err := r.uvarint()
 	if err != nil {
@@ -144,7 +167,7 @@ func Decode(data []byte) (Entry, error) {
 	if ntxns > maxCount {
 		return Entry{}, fmt.Errorf("%w: txn count %d", ErrCorrupt, ntxns)
 	}
-	e := Entry{Txns: make([]Txn, 0, ntxns)}
+	e.Txns = make([]Txn, 0, ntxns)
 	for i := uint64(0); i < ntxns; i++ {
 		var t Txn
 		if t.ID, err = r.str(); err != nil {

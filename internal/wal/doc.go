@@ -1,0 +1,19 @@
+// Package wal models the replicated write-ahead log of paper §3.2.
+//
+// Each transaction group has one log. A log position holds one Entry. Under
+// the basic Paxos commit protocol an Entry carries exactly one transaction;
+// under Paxos-CP it carries an ordered list of non-conflicting transactions
+// (the "combination" enhancement, §5). The Entry itself is the value agreed
+// on by one Paxos instance.
+//
+// Two fencing fields extend the model for the leader-based protocol
+// (DESIGN.md §11): Entry.Epoch stamps the master epoch an entry was
+// proposed under (0 = unfenced, as Basic and CP clients propose), and a
+// claim entry (Entry.Master set, no transactions; NewClaim) establishes or
+// renews a group's mastership at an epoch, totally ordered with the
+// transactions it fences.
+//
+// The binary codec (codec.go) serializes entries both as the Paxos value on
+// the wire and as the payload in the store's log rows; unfenced entries
+// encode byte-identically with pre-fencing versions.
+package wal

@@ -1,10 +1,3 @@
-// Package wal models the replicated write-ahead log of paper §3.2.
-//
-// Each transaction group has one log. A log position holds one Entry. Under
-// the basic Paxos commit protocol an Entry carries exactly one transaction;
-// under Paxos-CP it carries an ordered list of non-conflicting transactions
-// (the "combination" enhancement, §5). The Entry itself is the value agreed
-// on by one Paxos instance.
 package wal
 
 import (
@@ -80,8 +73,25 @@ func (t Txn) String() string {
 // Entry is the value stored in one log position: an ordered list of
 // transactions. Order matters — the list is one-copy equivalent to the serial
 // history that commits its transactions in list order (paper Theorem 3).
+//
+// Two fencing fields ride along for the leader-based protocol (DESIGN.md
+// §11). Epoch stamps the master epoch the entry was proposed under; 0 means
+// unfenced (Basic and CP clients, and masters with fencing disabled). Master,
+// when non-empty, marks the entry as a master-claim entry: it carries no
+// transactions and instead claims (or, at the prevailing epoch, renews the
+// lease of) mastership of the group for the named datacenter, effective for
+// all later log positions.
 type Entry struct {
 	Txns []Txn
+
+	// Epoch is the master epoch this entry was proposed under (0 = unfenced).
+	// A transaction entry whose epoch is below the epoch prevailing at its
+	// position is void: it commits nothing (fencing invariant F2).
+	Epoch int64
+	// Master, when non-empty, makes this a claim entry: the named datacenter
+	// claims mastership of the group at Epoch (or renews its lease when Epoch
+	// is already prevailing).
+	Master string
 }
 
 // NewEntry returns an Entry holding the given transactions in order.
@@ -97,12 +107,22 @@ func NewEntry(txns ...Txn) Entry {
 // be permanently undecided during explicit recovery. It commits nothing.
 func NoOp() Entry { return Entry{} }
 
+// NewClaim returns a master-claim entry: master claims (epoch strictly above
+// the prevailing one) or renews (epoch equal to the prevailing one)
+// mastership of the group for every later log position (DESIGN.md §11).
+func NewClaim(epoch int64, master string) Entry {
+	return Entry{Epoch: epoch, Master: master}
+}
+
+// IsClaim reports whether e is a master-claim entry.
+func (e Entry) IsClaim() bool { return e.Master != "" }
+
 // IsNoOp reports whether e commits no transactions.
 func (e Entry) IsNoOp() bool { return len(e.Txns) == 0 }
 
 // Clone returns a deep copy of e.
 func (e Entry) Clone() Entry {
-	out := Entry{Txns: make([]Txn, 0, len(e.Txns))}
+	out := Entry{Txns: make([]Txn, 0, len(e.Txns)), Epoch: e.Epoch, Master: e.Master}
 	for _, t := range e.Txns {
 		out.Txns = append(out.Txns, t.Clone())
 	}
@@ -166,14 +186,23 @@ func (e Entry) Conflicts(candidate Txn) bool {
 	return candidate.ReadsAny(e.WriteKeys())
 }
 
-// String renders the entry as "[t1[...] t2[...]]".
+// String renders the entry as "[t1[...] t2[...]]", claim entries as
+// "[claim e<epoch>@<master>]", and epoch-stamped entries with an "e<epoch>:"
+// prefix.
 func (e Entry) String() string {
+	if e.IsClaim() {
+		return fmt.Sprintf("[claim e%d@%s]", e.Epoch, e.Master)
+	}
+	prefix := ""
+	if e.Epoch != 0 {
+		prefix = fmt.Sprintf("e%d:", e.Epoch)
+	}
 	if e.IsNoOp() {
-		return "[noop]"
+		return "[" + prefix + "noop]"
 	}
 	parts := make([]string, len(e.Txns))
 	for i, t := range e.Txns {
 		parts[i] = t.String()
 	}
-	return "[" + strings.Join(parts, " ") + "]"
+	return "[" + prefix + strings.Join(parts, " ") + "]"
 }

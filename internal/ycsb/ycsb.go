@@ -1,12 +1,3 @@
-// Package ycsb generates the transactional workloads of the paper's
-// evaluation (§6): YCSB-style transactions of mixed read/write operations
-// over the attributes of a single entity group, issued by concurrent
-// threads with staggered starts at a target rate.
-//
-// The paper used an extended YCSB with transaction support [12]; this
-// package reproduces the same workload family — each experiment runs 500
-// transactions of 10 operations each, 50% reads / 50% writes, operating on
-// attributes chosen uniformly at random.
 package ycsb
 
 import (

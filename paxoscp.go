@@ -1,15 +1,19 @@
 // Package paxoscp is a from-scratch Go implementation of the transactional
 // multi-datacenter datastore of Patterson et al., "Serializability, not
 // Serial: Concurrency Control and Availability in Multi-Datacenter
-// Datastores" (PVLDB 5(11), 2012) — including the basic Paxos commit
-// protocol (the Megastore-style baseline) and the paper's contribution,
-// Paxos-CP (Paxos with Combination and Promotion).
+// Datastores" (PVLDB 5(11), 2012) — the basic Paxos commit protocol (the
+// Megastore-style baseline), the paper's contribution Paxos-CP (Paxos with
+// Combination and Promotion), and the leader-based master protocol the
+// paper sketches in §7, grown into a pipelined submit path with
+// epoch-fenced master leases for split-brain-safe failover.
 //
-// The implementation lives under internal/ (see DESIGN.md for the module
-// map); runnable entry points are the examples/ programs, cmd/paxosbench
-// (regenerates every figure in the paper's evaluation), and cmd/txkvd /
-// cmd/txkvctl (a real-UDP deployment). The module-root bench_test.go holds
-// one testing.B benchmark per paper figure plus protocol microbenchmarks.
+// The implementation lives under internal/ (README.md is the front door,
+// DESIGN.md the module map and invariants; every internal package carries a
+// doc.go guided tour). Runnable entry points are the examples/ programs
+// (see examples/README.md), cmd/paxosbench (regenerates every figure in
+// the paper's evaluation), and cmd/txkvd / cmd/txkvctl (a real-UDP
+// deployment). The module-root bench_test.go holds one testing.B benchmark
+// per paper figure plus protocol microbenchmarks.
 package paxoscp
 
 // Version identifies this reproduction.
