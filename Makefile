@@ -5,10 +5,10 @@
 SHELL := /bin/bash
 GO ?= go
 
-.PHONY: check build fmt vet mdcheck examples test race bench-smoke fig-smoke bench-json bench-compare clean
+.PHONY: check build fmt vet mdcheck examples test race cover bench-smoke fig-smoke shards-smoke bench-json bench-compare clean
 
 ## check: everything CI gates a PR on
-check: fmt vet mdcheck examples race bench-smoke fig-smoke
+check: fmt vet mdcheck examples race bench-smoke fig-smoke shards-smoke
 
 build:
 	$(GO) build ./...
@@ -38,9 +38,15 @@ vet:
 test:
 	$(GO) test ./...
 
-## race: the CI "test" job
+## race: the CI "test" job. -shuffle=on randomizes test order every run so
+## inter-test state dependencies surface instead of hiding behind file order.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+## cover: per-package coverage summary (cover.txt; the CI test job appends it
+## to $GITHUB_STEP_SUMMARY)
+cover:
+	set -o pipefail; $(GO) test -count=1 -cover ./... | tee cover.txt
 
 ## bench-smoke: one iteration of every benchmark + BENCH_ci.json (CI "bench" job)
 bench-smoke:
@@ -50,6 +56,12 @@ bench-smoke:
 ## fig-smoke: scaled-down full figure regeneration (CI "bench" job)
 fig-smoke:
 	$(GO) run ./cmd/paxosbench -fig all -scale 0.01 -txns 60 -q
+
+## shards-smoke: the horizontal-scaling sweep at smoke scale (CI "bench" job;
+## the speedup column is informational at this scale — the pinned assertion
+## is TestShardsScaling)
+shards-smoke:
+	$(GO) run ./cmd/paxosbench -fig shards -scale 0.01 -txns 240 -q
 
 ## bench-json: convert existing go-bench output (BENCH_IN) to JSON
 bench-json:
@@ -65,4 +77,4 @@ bench-compare:
 	$(GO) run ./cmd/paxosbench -compare BENCH_3.json -against BENCH_compare.json $(if $(STRICT),-strict)
 
 clean:
-	rm -f bench.out BENCH_ci.json bench-compare.out BENCH_compare.json
+	rm -f bench.out BENCH_ci.json bench-compare.out BENCH_compare.json cover.txt

@@ -16,8 +16,20 @@
 //	txn OP...          run a multi-operation transaction; each OP is
 //	                   "get KEY" or "set KEY VALUE"
 //	status             print every replica's view of the group (applied and
-//	                   compaction horizons, log/data sizes, computed leader)
+//	                   compaction horizons, log/data sizes, computed leader,
+//	                   and the full group set the replica serves)
 //	compact HORIZON    scavenge log state below HORIZON on every replica
+//
+// With -groups N the keyspace is sharded over N transaction groups
+// (g0..gN-1, DESIGN.md §12) and get/set route each key to its owning group
+// through the same rendezvous placement every other process computes: get
+// fans out one batched read per owning group (per-group snapshot positions
+// are printed), set commits on the key's owning group, -protocol master
+// spreads per-group masterships across the sorted peer list, and status
+// probes the first placement group (its reply lists every group the replica
+// serves). txn and compact stay group-scoped: cross-group transactions do
+// not exist in the data model (§2.1), and group logs have independent
+// compaction horizons — use -group for both.
 package main
 
 import (
@@ -26,12 +38,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"paxoscp/internal/core"
 	"paxoscp/internal/network"
+	"paxoscp/internal/placement"
 	"paxoscp/internal/stats"
 )
 
@@ -39,7 +53,8 @@ func main() {
 	var (
 		local    = flag.String("local", "", "local datacenter name (required)")
 		peers    = flag.String("peers", "", "comma-separated name=addr peer list (required)")
-		group    = flag.String("group", "default", "transaction group key")
+		group    = flag.String("group", "default", "transaction group key (single-group mode)")
+		groups   = flag.Int("groups", 0, "shard the keyspace over N groups (g0..gN-1) and route get/set by key; 0 = single-group mode")
 		protocol = flag.String("protocol", "cp", "commit protocol: basic | cp | master")
 		masterDC = flag.String("master", "", "master datacenter for -protocol master (default: first peer)")
 		clientID = flag.Int("id", os.Getpid()%10000, "unique client id")
@@ -71,6 +86,10 @@ func main() {
 	defer transport.Close()
 
 	cfg := core.Config{Timeout: *timeout}
+	var place *placement.Placement
+	if *groups > 0 {
+		place = placement.NewN(*groups)
+	}
 	switch strings.ToLower(*protocol) {
 	case "basic":
 	case "cp":
@@ -78,6 +97,22 @@ func main() {
 	case "master":
 		cfg.Protocol = core.Master
 		cfg.MasterDC = *masterDC
+		if place != nil && *masterDC == "" {
+			// Routed mode spreads per-group masterships across the sorted
+			// peer list, the same deterministic spread every routed client
+			// computes (DESIGN.md §12).
+			dcs := make([]string, 0, len(peerMap))
+			for name := range peerMap {
+				dcs = append(dcs, name)
+			}
+			sort.Strings(dcs)
+			cfg.MasterFor = func(group string) string {
+				if i := place.IndexOf(group); i >= 0 {
+					return dcs[i%len(dcs)]
+				}
+				return ""
+			}
+		}
 	default:
 		log.Fatalf("txkvctl: unknown protocol %q (basic | cp | master)", *protocol)
 	}
@@ -90,18 +125,33 @@ func main() {
 		if len(args) < 2 {
 			log.Fatal("txkvctl: get KEY...")
 		}
+		if place != nil {
+			runRoutedGet(ctx, core.NewKV(client, place), args[1:])
+			return
+		}
 		runGet(ctx, client, *group, args[1:])
 	case "set":
 		if len(args) != 3 {
 			log.Fatal("txkvctl: set KEY VALUE")
 		}
+		if place != nil {
+			runRoutedSet(ctx, core.NewKV(client, place), args[1], args[2])
+			return
+		}
 		runTxn(ctx, client, *group, []string{"set " + args[1] + " " + args[2]})
 	case "txn":
 		runTxn(ctx, client, *group, args[1:])
 	case "status":
+		// In routed mode, probe a real placement group: querying the
+		// single-group default would lazily materialize a phantom "default"
+		// group on every replica and pollute the discovery output.
+		statusGroup := *group
+		if place != nil {
+			statusGroup = place.Groups()[0]
+		}
 		for name := range peerMap {
 			cctx, cancel := context.WithTimeout(ctx, *timeout)
-			resp, err := transport.Send(cctx, name, network.Message{Kind: network.KindStats, Group: *group})
+			resp, err := transport.Send(cctx, name, network.Message{Kind: network.KindStats, Group: statusGroup})
 			cancel()
 			if err != nil || !resp.OK {
 				fmt.Printf("%-6s unreachable (%v%s)\n", name, err, resp.Err)
@@ -115,12 +165,22 @@ func main() {
 			if st.Master != "" {
 				lease = fmt.Sprintf(" epoch=%d master=%s lease=%v", st.Epoch, st.Master, st.LeaseValid)
 			}
-			fmt.Printf("%-6s applied=%-6d compacted=%-6d logEntries=%-6d dataKeys=%-6d leader=%s%s\n",
-				st.DC, st.LastApplied, st.CompactedTo, st.LogEntries, st.DataKeys, st.Leader, lease)
+			discovered := ""
+			if len(st.Groups) > 1 {
+				discovered = fmt.Sprintf(" groups=%d[%s]", len(st.Groups), strings.Join(st.Groups, ","))
+			}
+			fmt.Printf("%-6s applied=%-6d compacted=%-6d logEntries=%-6d dataKeys=%-6d leader=%s%s%s\n",
+				st.DC, st.LastApplied, st.CompactedTo, st.LogEntries, st.DataKeys, st.Leader, lease, discovered)
 		}
 	case "compact":
 		if len(args) != 2 {
 			log.Fatal("txkvctl: compact HORIZON")
+		}
+		if place != nil {
+			// Group logs have independent heights, so one horizon cannot
+			// apply across a sharded deployment; compaction stays group-
+			// scoped (and must not materialize the single-group default).
+			log.Fatal("txkvctl: compact is group-scoped; use -group GROUP (without -groups)")
 		}
 		horizon, err := strconv.ParseInt(args[1], 10, 64)
 		if err != nil {
@@ -140,6 +200,50 @@ func main() {
 		}
 	default:
 		log.Fatalf("txkvctl: unknown subcommand %q", args[0])
+	}
+}
+
+// runRoutedGet reads keys across their owning groups: one batched read per
+// group, concurrent legs, results in input order with the per-group
+// snapshot positions printed.
+func runRoutedGet(ctx context.Context, kv *core.KV, keys []string) {
+	res, err := kv.ReadMulti(ctx, keys...)
+	if err != nil {
+		log.Fatalf("txkvctl: read: %v", err)
+	}
+	for i, k := range keys {
+		group := kv.Router().GroupFor(k)
+		if res.Founds[i] {
+			fmt.Printf("%s = %q (group %s)\n", k, res.Vals[i], group)
+		} else {
+			fmt.Printf("%s = (unset) (group %s)\n", k, group)
+		}
+	}
+	groups := make([]string, 0, len(res.Positions))
+	for g := range res.Positions {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		fmt.Printf("group %s read position %d\n", g, res.Positions[g])
+	}
+}
+
+// runRoutedSet writes one key on its owning group.
+func runRoutedSet(ctx context.Context, kv *core.KV, key, value string) {
+	group := kv.Router().GroupFor(key)
+	res, err := kv.Put(ctx, key, value)
+	if err != nil {
+		log.Fatalf("txkvctl: set %q: %v", key, err)
+	}
+	switch res.Status {
+	case stats.Committed:
+		fmt.Printf("committed at %s/%d (round %d, %.0fms)\n",
+			group, res.Pos, res.Round, float64(res.Latency)/float64(time.Millisecond))
+	default:
+		fmt.Printf("%s on group %s after %.0fms\n",
+			res.Status, group, float64(res.Latency)/float64(time.Millisecond))
+		os.Exit(1)
 	}
 }
 

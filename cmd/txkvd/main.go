@@ -25,6 +25,7 @@ import (
 	"paxoscp/internal/core"
 	"paxoscp/internal/kvstore"
 	"paxoscp/internal/network"
+	"paxoscp/internal/placement"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 		window   = flag.Int("submit-window", core.DefaultSubmitWindow, "master submit pipeline depth (positions in flight per group; 1 = serial)")
 		combine  = flag.Int("submit-combine", core.DefaultSubmitCombine, "max transactions combined per log entry on the master submit path")
 		lease    = flag.Duration("lease", 0, "master lease duration for epoch-fenced mastership (0 = 4x timeout)")
+		groups   = flag.Int("groups", 0, "pre-open this many sharded transaction groups (g0..gN-1) at startup; 0 opens groups lazily on first traffic")
 	)
 	flag.Parse()
 	if *dc == "" || *peers == "" {
@@ -77,6 +79,14 @@ func main() {
 		opts = append(opts, core.WithLeaseDuration(*lease))
 	}
 	service = core.NewService(*dc, store, transport, opts...)
+	if *groups > 0 {
+		// Pre-open the placement's group logs: recovery state is rebuilt now
+		// rather than on first traffic, and status/discovery reports the full
+		// group set immediately (DESIGN.md §12).
+		service.EnsureGroups(placement.GroupNames(*groups)...)
+		log.Printf("txkvd: serving %d sharded groups (%s..%s)",
+			*groups, placement.GroupNames(*groups)[0], placement.GroupNames(*groups)[*groups-1])
+	}
 
 	log.Printf("txkvd: datacenter %s serving on %s (%d peers, timeout %v)",
 		*dc, transport.LocalAddr(), len(peerMap), *timeout)

@@ -3,10 +3,12 @@
 // groups are independent of each other, and there is no global
 // serializability across groups.
 //
-// This example runs a user-profile group and an analytics group side by
-// side: writers hammer both concurrently, group-local invariants hold, and
-// the logs advance independently (no cross-group contention even under
-// basic Paxos).
+// This example runs the sharded keyspace end to end through the placement
+// router (DESIGN.md §12). Two semantic groups — user profiles and analytics
+// — hold pinned well-known counters; everything else spreads over the groups
+// by rendezvous hashing. Writers hammer both counters concurrently through
+// the routed KV facade, a sweep of routed Puts shows the hash spreading the
+// keyspace, and a cross-group ReadMulti fans out one snapshot per group.
 //
 //	go run ./examples/multigroup
 package main
@@ -22,7 +24,7 @@ import (
 	"paxoscp/internal/cluster"
 	"paxoscp/internal/core"
 	"paxoscp/internal/network"
-	"paxoscp/internal/stats"
+	"paxoscp/internal/placement"
 )
 
 func main() {
@@ -34,49 +36,81 @@ func main() {
 	defer c.Close()
 	ctx := context.Background()
 
-	groups := []string{"profiles", "analytics"}
+	// The router: two named groups, each with its counter pinned to it (the
+	// explicit-assignment override); unpinned keys spread by rendezvous
+	// hashing. Every process that builds this placement routes identically.
+	place := placement.New([]string{"profiles", "analytics"},
+		placement.Pin("profiles/counter", "profiles"),
+		placement.Pin("analytics/counter", "analytics"),
+	)
+	counters := []string{"profiles/counter", "analytics/counter"}
 	const increments = 30
 
-	// One counter per group, incremented by clients in all datacenters.
-	// Within a group these transactions conflict (read-modify-write of the
-	// same key), so they serialize; across groups they never interact.
+	// Increment both counters from clients in every datacenter, all through
+	// routed read-modify-writes. Within a group the increments conflict and
+	// serialize; across groups they never interact.
 	var wg sync.WaitGroup
 	commits := make(map[string]*int)
 	var mu sync.Mutex
-	for _, group := range groups {
+	for _, key := range counters {
 		n := 0
-		commits[group] = &n
+		commits[key] = &n
 		for w := 0; w < 3; w++ {
-			cl := c.NewClient(c.DCs()[w], core.Config{Protocol: core.CP, Seed: int64(w + 1)})
+			kv := core.NewKV(
+				c.NewClient(c.DCs()[w], core.Config{Protocol: core.CP, Seed: int64(w + 1)}),
+				place,
+			)
 			wg.Add(1)
-			go func(group string, cl *core.Client) {
+			go func(key string, kv *core.KV) {
 				defer wg.Done()
 				for i := 0; i < increments/3; i++ {
-					if incrementCounter(ctx, cl, group) {
+					_, err := kv.Update(ctx, key, 0, func(cur string, found bool) (string, error) {
+						n, _ := strconv.Atoi(cur)
+						return strconv.Itoa(n + 1), nil
+					})
+					if err == nil {
 						mu.Lock()
-						*commits[group]++
+						*commits[key]++
 						mu.Unlock()
 					}
 				}
-			}(group, cl)
+			}(key, kv)
 		}
 	}
 	wg.Wait()
 
-	// Audit each group independently.
-	for _, group := range groups {
-		cl := c.NewClient("V1", core.Config{})
-		tx, err := cl.Begin(ctx, group)
-		if err != nil {
+	// Spread some ordinary keys through the router: rendezvous hashing
+	// splits them across the groups with no table anywhere.
+	kv := core.NewKV(c.NewClient("V1", core.Config{Protocol: core.CP, Seed: 99}), place)
+	spread := map[string]int{}
+	var items []string
+	for i := 0; i < 24; i++ {
+		key := fmt.Sprintf("item%d", i)
+		items = append(items, key)
+		if _, err := kv.Put(ctx, key, fmt.Sprintf("v%d", i)); err != nil {
 			log.Fatal(err)
 		}
-		v, _, err := tx.Read(ctx, "counter")
-		if err != nil {
-			log.Fatal(err)
-		}
-		tx.Abort()
-		got, _ := strconv.Atoi(v)
-		want := *commits[group]
+		spread[place.GroupFor(key)]++
+	}
+	fmt.Printf("24 routed writes spread as: profiles=%d analytics=%d\n",
+		spread["profiles"], spread["analytics"])
+
+	// One routed multi-read over both counters and every item: the facade
+	// fans out one batched read per owning group and reports each group's
+	// snapshot position.
+	res, err := kv.ReadMulti(ctx, append(append([]string{}, counters...), items...)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for g, pos := range res.Positions {
+		fmt.Printf("group %-10s snapshot position %d\n", g, pos)
+	}
+
+	// Audit each counter against its group-local commit count.
+	for i, key := range counters {
+		got, _ := strconv.Atoi(res.Vals[i])
+		want := *commits[key]
+		group := place.GroupFor(key)
 		status := "counter matches commits"
 		if got != want {
 			status = "MISMATCH"
@@ -88,32 +122,4 @@ func main() {
 		}
 	}
 	fmt.Println("groups progressed independently; no cross-group coordination happened")
-}
-
-// incrementCounter does a read-modify-write of the group's counter,
-// retrying on abort until it commits (a conflicting increment by another
-// client forces a fresh read).
-func incrementCounter(ctx context.Context, cl *core.Client, group string) bool {
-	for attempt := 0; attempt < 20; attempt++ {
-		tx, err := cl.Begin(ctx, group)
-		if err != nil {
-			return false
-		}
-		v, _, err := tx.Read(ctx, "counter")
-		if err != nil {
-			tx.Abort()
-			continue
-		}
-		n, _ := strconv.Atoi(v)
-		tx.Write("counter", strconv.Itoa(n+1))
-		res, err := tx.Commit(ctx)
-		if err != nil {
-			return false
-		}
-		if res.Status == stats.Committed {
-			return true
-		}
-		// Aborted: somebody else incremented first; reread and retry.
-	}
-	return false
 }

@@ -12,8 +12,9 @@
 //
 // Reproduction figures: SubmitPipeline (the pipelined master's window sweep,
 // DESIGN.md §8), Reads (batched multi-key reads vs per-key, DESIGN.md §9),
-// and Failover (commits/sec through a forced, epoch-fenced master change,
-// DESIGN.md §11).
+// Failover (commits/sec through a forced, epoch-fenced master change,
+// DESIGN.md §11), and Shards (aggregate commit throughput over 1..16
+// sharded transaction groups with per-group masters, DESIGN.md §12).
 //
 // Latencies are scaled by Options.Scale (default 1/15) so a full
 // reproduction runs in minutes. Reported latencies are scaled back up to

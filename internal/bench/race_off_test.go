@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; its
+// overhead turns latency-bound sim experiments CPU-bound, so scaling
+// assertions relax their floors under -race.
+const raceEnabled = false

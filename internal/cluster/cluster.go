@@ -9,6 +9,7 @@ import (
 	"paxoscp/internal/core"
 	"paxoscp/internal/kvstore"
 	"paxoscp/internal/network"
+	"paxoscp/internal/placement"
 )
 
 // Config describes a cluster.
@@ -36,6 +37,13 @@ type Config struct {
 	// epoch. 0 means core.DefaultLeaseFactor times Timeout. Like Timeout,
 	// it is NOT scaled automatically.
 	LeaseDuration time.Duration
+	// Groups shards the keyspace over that many transaction groups
+	// (DESIGN.md §12): the cluster builds a placement.Placement over
+	// placement.GroupNames(Groups), pre-opens every group's replicated log
+	// on every service, and spreads per-group masterships across the
+	// datacenters round-robin (MasterOf). 0 or 1 means the single-group
+	// deployment every earlier experiment ran.
+	Groups int
 }
 
 // Cluster is a running multi-datacenter deployment.
@@ -44,6 +52,7 @@ type Cluster struct {
 	sim      *network.Sim
 	stores   map[string]*kvstore.Store
 	services map[string]*core.Service
+	place    *placement.Placement
 
 	mu        sync.Mutex
 	nextCID   int
@@ -87,7 +96,51 @@ func New(cfg Config) *Cluster {
 		}
 		c.services[dc] = core.NewService(dc, store, ep, opts...)
 	}
+	groups := cfg.Groups
+	if groups < 1 {
+		groups = 1
+	}
+	c.place = placement.NewN(groups)
+	if groups > 1 {
+		// Pre-open every group's log on every replica so discovery
+		// (GroupStatus.Groups) reports the full set before traffic arrives.
+		for _, s := range c.services {
+			s.EnsureGroups(c.place.Groups()...)
+		}
+	}
 	return c
+}
+
+// Placement returns the cluster's key->group placement (a single-group
+// placement when Config.Groups was unset).
+func (c *Cluster) Placement() *placement.Placement { return c.place }
+
+// Groups returns the cluster's transaction group names in placement order.
+func (c *Cluster) Groups() []string { return c.place.Groups() }
+
+// MasterOf returns the datacenter designated master for a transaction
+// group: groups spread across the datacenters round-robin in placement
+// order (placement.IndexOf — the same spread txkvctl's routed mode
+// computes), so a sharded deployment's submit load lands on every site
+// instead of funneling through one (DESIGN.md §12). An unknown group
+// defaults to the first datacenter.
+func (c *Cluster) MasterOf(group string) string {
+	dcs := c.cfg.Topology.DCs()
+	if i := c.place.IndexOf(group); i >= 0 {
+		return dcs[i%len(dcs)]
+	}
+	return dcs[0]
+}
+
+// NewKV creates a routed key-value facade local to dc: a client whose
+// Master-protocol commits route to each group's designated master
+// (MasterOf), wrapped with the cluster's placement. The cfg is used as for
+// NewClient; cfg.MasterFor defaults to the cluster spread when unset.
+func (c *Cluster) NewKV(dc string, cfg core.Config) *core.KV {
+	if cfg.MasterFor == nil {
+		cfg.MasterFor = c.MasterOf
+	}
+	return core.NewKV(c.NewClient(dc, cfg), c.place)
 }
 
 // DCs returns the cluster's datacenter names in stable order.

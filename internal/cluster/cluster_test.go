@@ -494,6 +494,12 @@ func TestClientFallsBackToRemoteService(t *testing.T) {
 	// possible either. We test the fallback path directly: a client homed
 	// at a DC that is partitioned from one peer can still read through the
 	// others.
+	// Apply fan-out returns at local + majority, so V2 may not have applied
+	// the seed yet; bring it up deterministically — the test is about the
+	// fallback path, not about reading at a lagging watermark.
+	if err := c.Service("V2").CatchUp(ctx, "g", 1); err != nil {
+		t.Fatal(err)
+	}
 	cl := c.NewClient("V2", core.Config{Seed: 2, Timeout: 60 * time.Millisecond})
 	c.Partition("V2", "V1")
 	tx2, err := cl.Begin(ctx, "g")

@@ -7,8 +7,11 @@
 // Config carries the deployment knobs a test or benchmark tunes: the
 // topology (PaperTopology specs like "VVV" or "COV"), simulated-network
 // scale/jitter/loss, the message-loss detection timeout, the master submit
-// pipeline's window and combination cap (DESIGN.md §8), and the master
-// lease duration for epoch-fenced failover (DESIGN.md §11).
+// pipeline's window and combination cap (DESIGN.md §8), the master lease
+// duration for epoch-fenced failover (DESIGN.md §11), and the sharded
+// transaction group count (DESIGN.md §12) — Groups builds the cluster's
+// key placement, spreads per-group masterships across the datacenters
+// (MasterOf), and NewKV hands out routed clients over it.
 //
 // The fault-injection surface (SetDown, Partition, Heal, Recover) is what
 // the nemesis and failover test batteries drive; every such test ends by

@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"paxoscp/internal/core"
+	"paxoscp/internal/history"
+	"paxoscp/internal/network"
+	"paxoscp/internal/stats"
+	"paxoscp/internal/wal"
+)
+
+// TestMultiGroupNemesis is the sharded-keyspace headline test (DESIGN.md
+// §12): traffic spans 8 transaction groups — per-group masters spread across
+// the three datacenters — while a fault injector partitions links and heals
+// them, and two groups suffer a forced master failover mid-storm. Afterwards
+// everything heals, every (datacenter, group) pair recovers, and the
+// epoch-aware history checker runs once per group, all groups concurrently.
+//
+// The assertions are the sharding contract:
+//   - group-local serializability: every group's history independently
+//     passes the full §3 battery (R1/L1/L2/L3/A2 plus the §11 fencing
+//     properties) against that group's log;
+//   - no cross-group interference: a transaction committed on group G
+//     appears in no other group's log, and G's log carries no foreign
+//     commits;
+//   - no lost or duplicated commits: each reported commit occupies exactly
+//     one live position in its group's log (the checker's L1/L2).
+func TestMultiGroupNemesis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-group storm skipped in short mode")
+	}
+	const nGroups = 8
+	c := New(Config{
+		Topology:      MustPaperTopology("VVV"),
+		NetConfig:     network.SimConfig{Seed: 23, Scale: 0.002, Jitter: 0.2},
+		Timeout:       80 * time.Millisecond,
+		SubmitWindow:  4,
+		SubmitCombine: 3,
+		LeaseDuration: 250 * time.Millisecond,
+		Groups:        nGroups,
+	})
+	defer c.Close()
+	ctx := context.Background()
+	groups := c.Groups()
+	dcs := c.DCs()
+	rec := &history.Recorder{}
+
+	attach := func(cl *core.Client) {
+		cl.OnCommit = func(pos int64, txn core.CommittedTxn) {
+			rec.Record(history.Commit{
+				ID: txn.ID, Group: txn.Group, Origin: txn.Origin,
+				ReadPos: txn.ReadPos, Pos: pos,
+				Reads: txn.Reads, Writes: txn.Writes,
+			})
+		}
+	}
+
+	// The storm: brief single-link partitions (majority always survives) and
+	// calm spells, while the workload runs.
+	stop := make(chan struct{})
+	var nemesisWG sync.WaitGroup
+	nemesisWG.Add(1)
+	go func() {
+		defer nemesisWG.Done()
+		rng := rand.New(rand.NewSource(17))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a := dcs[rng.Intn(len(dcs))]
+			b := dcs[(indexOf(dcs, a)+1+rng.Intn(len(dcs)-1))%len(dcs)]
+			switch rng.Intn(3) {
+			case 0:
+				c.Partition(a, b)
+				time.Sleep(time.Duration(10+rng.Intn(40)) * time.Millisecond)
+				c.Heal(a, b)
+			default:
+				time.Sleep(time.Duration(10+rng.Intn(30)) * time.Millisecond)
+			}
+		}
+	}()
+
+	// The workload: 6 clients spread over the datacenters, each transaction
+	// a read-modify-write on a group drawn round-robin over all 8 groups.
+	// Clients route commits to each group's designated master and follow
+	// not-master hints after failovers. No client-side retries: every commit
+	// verdict is final, so the log must contain exactly the reported set.
+	const workers = 6
+	const txnsPerWorker = 40
+	// Pacing keeps the workload alive through the whole storm (and both
+	// forced failovers), instead of finishing before the first partition.
+	const pace = 8 * time.Millisecond
+	var wg sync.WaitGroup
+	committedByGroup := make(map[string]int)
+	var mu sync.Mutex
+	for i := 0; i < workers; i++ {
+		cl := c.NewClient(dcs[i%len(dcs)], core.Config{
+			Protocol: core.Master, MasterFor: c.MasterOf,
+			Seed: int64(i + 1), Timeout: 80 * time.Millisecond,
+		})
+		attach(cl)
+		wg.Add(1)
+		go func(i int, cl *core.Client) {
+			defer wg.Done()
+			for n := 0; n < txnsPerWorker; n++ {
+				time.Sleep(pace)
+				group := groups[(i+n)%nGroups]
+				tx, err := cl.Begin(ctx, group)
+				if err != nil {
+					continue
+				}
+				if _, _, err := tx.Read(ctx, fmt.Sprintf("k%d", (i+n)%4)); err != nil {
+					tx.Abort()
+					continue
+				}
+				tx.Write(fmt.Sprintf("k%d", (i*3+n+1)%4), fmt.Sprintf("%s-%d-%d", group, i, n))
+				res, err := tx.Commit(ctx)
+				if err == nil && res.Status == stats.Committed {
+					mu.Lock()
+					committedByGroup[group]++
+					mu.Unlock()
+				}
+			}
+		}(i, cl)
+	}
+
+	// Mid-storm, force a master failover on two groups: a different
+	// datacenter claims the next epoch while the designated master is still
+	// up and serving. Traffic pinned to the old master must redirect via the
+	// not-master hint; the deposed master's fenced entries must commit
+	// nothing (the per-group checker verifies both).
+	time.Sleep(150 * time.Millisecond)
+	for _, g := range []string{groups[0], groups[3]} {
+		newMaster := dcs[(indexOf(dcs, c.MasterOf(g))+1)%len(dcs)]
+		cctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		epoch, err := c.Service(newMaster).ClaimMastership(cctx, g)
+		cancel()
+		if err != nil {
+			t.Fatalf("forced failover of %s to %s: %v", g, newMaster, err)
+		}
+		if epoch < 2 {
+			t.Fatalf("forced failover of %s: epoch %d, want >= 2", g, epoch)
+		}
+	}
+
+	wg.Wait()
+	close(stop)
+	nemesisWG.Wait()
+
+	// Heal everything and recover every (datacenter, group) pair.
+	for i, a := range dcs {
+		for _, b := range dcs[i+1:] {
+			c.Heal(a, b)
+		}
+	}
+	for _, dc := range dcs {
+		for _, g := range groups {
+			if err := c.Service(dc).Recover(ctx, g); err != nil {
+				t.Fatalf("recover %s/%s: %v", dc, g, err)
+			}
+		}
+	}
+
+	// Traffic must have spanned the keyspace: commits on most groups even
+	// under faults (every group saw offered load).
+	groupsWithCommits := 0
+	total := 0
+	for _, g := range groups {
+		if committedByGroup[g] > 0 {
+			groupsWithCommits++
+			total += committedByGroup[g]
+		}
+	}
+	if groupsWithCommits < nGroups-2 {
+		t.Fatalf("commits on only %d/%d groups (%v)", groupsWithCommits, nGroups, committedByGroup)
+	}
+	if total == 0 {
+		t.Fatal("nothing committed through the storm")
+	}
+
+	// Per-group history checking, all groups concurrently: each group's
+	// commits against that group's merged logs.
+	byGroup := history.ByGroup(rec.Commits())
+	logsOf := make(map[string]map[string]map[int64]wal.Entry, nGroups)
+	for _, g := range groups {
+		logs := make(map[string]map[int64]wal.Entry, len(dcs))
+		for _, dc := range dcs {
+			logs[dc] = c.Service(dc).LogSnapshot(g)
+		}
+		logsOf[g] = logs
+	}
+	var checkWG sync.WaitGroup
+	violations := make(map[string][]history.Violation, nGroups)
+	var vmu sync.Mutex
+	for _, g := range groups {
+		checkWG.Add(1)
+		go func(g string) {
+			defer checkWG.Done()
+			if vs := history.Check(logsOf[g], byGroup[g]); len(vs) > 0 {
+				vmu.Lock()
+				violations[g] = vs
+				vmu.Unlock()
+			}
+		}(g)
+	}
+	checkWG.Wait()
+	for g, vs := range violations {
+		for _, v := range vs {
+			t.Errorf("group %s: history violation: %s", g, v)
+		}
+	}
+
+	// Cross-group interference: a transaction committed on G must appear in
+	// no other group's log (by ID), and no recorded commit may carry a group
+	// outside the placement.
+	txnGroups := make(map[string]string) // txn ID -> group it committed on
+	for _, cm := range rec.Commits() {
+		if !c.Placement().Owns(cm.Group) {
+			t.Errorf("commit %s reports unknown group %q", cm.ID, cm.Group)
+			continue
+		}
+		txnGroups[cm.ID] = cm.Group
+	}
+	for _, g := range groups {
+		for dc, log := range logsOf[g] {
+			for pos, e := range log {
+				for _, txn := range e.Txns {
+					if home, ok := txnGroups[txn.ID]; ok && home != g {
+						t.Errorf("cross-group leak: txn %s committed on %s but appears in %s's log at %s/%d",
+							txn.ID, home, g, dc, pos)
+					}
+				}
+			}
+		}
+	}
+	t.Logf("multi-group nemesis: %d commits over %d/%d groups (%v)",
+		total, groupsWithCommits, nGroups, committedByGroup)
+}

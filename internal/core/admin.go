@@ -37,6 +37,11 @@ type GroupStatus struct {
 	Epoch      int64  `json:"epoch,omitempty"`
 	Master     string `json:"master,omitempty"`
 	LeaseValid bool   `json:"leaseValid,omitempty"`
+	// Groups lists every transaction group this replica serves (group
+	// discovery, DESIGN.md §12): a routed client or operator CLI asks any
+	// replica for the status of one group and learns the full group set of
+	// the deployment in the same reply.
+	Groups []string `json:"groups,omitempty"`
 }
 
 // Status reports this replica's view of a group. The applied horizon and
@@ -56,6 +61,7 @@ func (s *Service) Status(group string) GroupStatus {
 		Epoch:       epoch.Epoch,
 		Master:      epoch.Master,
 		LeaseValid:  leaseValid,
+		Groups:      s.Groups(),
 	}
 }
 

@@ -50,6 +50,7 @@ type Client struct {
 // CommittedTxn describes one committed transaction for observers.
 type CommittedTxn struct {
 	ID       string
+	Group    string
 	Origin   string
 	ReadPos  int64
 	Pos      int64
@@ -438,6 +439,7 @@ func (t *Tx) Commit(ctx context.Context) (CommitResult, error) {
 		}
 		t.client.OnCommit(res.Pos, CommittedTxn{
 			ID:       t.id,
+			Group:    t.group,
 			Origin:   t.client.dc,
 			ReadPos:  readPos,
 			Pos:      res.Pos,

@@ -69,6 +69,12 @@ type Config struct {
 	// protocol (§7 design). Empty defaults to the topology's first
 	// datacenter. Ignored by Basic and CP.
 	MasterDC string
+	// MasterFor, when set, overrides MasterDC per transaction group: a
+	// sharded deployment spreads group masterships across datacenters
+	// (DESIGN.md §12), so one client committing to many groups needs a
+	// per-group route. Returning "" falls back to MasterDC. Ignored by
+	// Basic and CP.
+	MasterFor func(group string) string
 }
 
 func (c Config) maxRetries() int {

@@ -40,8 +40,23 @@
 // both believe they are master — the split-brain window of a partition —
 // can never both commit. ClaimMastership is the takeover entry point;
 // clients that submit to a deposed master are redirected by hint
-// (ErrNotMaster). The epoch machinery is on by default; Basic and CP
-// clients are unaffected (their entries are unstamped and never fenced).
+// (ErrNotMaster), and a deposed service stands off with a per-epoch claim
+// backoff before re-contending, so a sustained asymmetric partition cannot
+// make mastership ping-pong. The epoch machinery is on by default; Basic
+// and CP clients are unaffected (their entries are unstamped and never
+// fenced).
+//
+// # Sharded keyspace
+//
+// KV is the routed facade over many transaction groups (kv.go, DESIGN.md
+// §12): a Router (internal/placement) maps each key to its owning group,
+// Get/Put/Update run on that group, and ReadMulti fans one batched read out
+// per owning group concurrently, merging replies into input order with
+// per-group snapshot positions reported. Config.MasterFor routes one
+// client's Master-protocol commits to each group's own master. Group-local
+// transaction semantics are untouched — there is no cross-group
+// serializability to offer (§2.1), and the facade does not pretend
+// otherwise.
 //
 // The transaction tier guarantees one-copy serializability (Theorems 2 and
 // 3); package history provides the checker the tests use to verify it,

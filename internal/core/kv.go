@@ -1,0 +1,216 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"paxoscp/internal/stats"
+)
+
+// Router maps keys to their owning transaction groups. internal/placement
+// implements it; core consumes only this interface so the dependency stays
+// one-directional (placement is a leaf package).
+type Router interface {
+	// GroupFor returns the group that owns key.
+	GroupFor(key string) string
+	// Groups lists every group the router can return, in stable order.
+	Groups() []string
+}
+
+// KV is the routed key-value facade over a Client (DESIGN.md §12): each key
+// belongs to exactly one transaction group per the Router, single-key
+// operations run a transaction on the owning group, and multi-key reads fan
+// out one batched ReadMulti per owning group concurrently and merge the
+// replies back into input order.
+//
+// The facade deliberately does NOT hide the data model: a cross-group read
+// is a set of per-group snapshots (reported per group in MultiRead), not one
+// global snapshot — the paper's §2.1 contract is that serializability is
+// group-local and groups are independent. Transactions that need multi-key
+// atomicity must keep their keys in one group and use Client.Begin directly;
+// Tx semantics are untouched by routing.
+type KV struct {
+	client *Client
+	router Router
+}
+
+// NewKV builds the routed facade. The router must be non-nil; clients that
+// want per-group masters (Master protocol) set Config.MasterFor so commits
+// route to each group's master.
+func NewKV(client *Client, router Router) *KV {
+	if router == nil {
+		panic("core: NewKV with nil router")
+	}
+	return &KV{client: client, router: router}
+}
+
+// Client returns the underlying transaction client (for group-local
+// multi-key transactions via Begin).
+func (kv *KV) Client() *Client { return kv.client }
+
+// Router returns the facade's key router.
+func (kv *KV) Router() Router { return kv.router }
+
+// Get reads one key: a read-only transaction on the owning group. The bool
+// reports whether the key exists.
+func (kv *KV) Get(ctx context.Context, key string) (string, bool, error) {
+	tx, err := kv.client.Begin(ctx, kv.router.GroupFor(key))
+	if err != nil {
+		return "", false, err
+	}
+	defer tx.Abort()
+	return tx.Read(ctx, key)
+}
+
+// Put writes one key: a write-only transaction on the owning group,
+// committed under the client's configured protocol.
+func (kv *KV) Put(ctx context.Context, key, value string) (CommitResult, error) {
+	tx, err := kv.client.Begin(ctx, kv.router.GroupFor(key))
+	if err != nil {
+		return CommitResult{}, err
+	}
+	if err := tx.Write(key, value); err != nil {
+		return CommitResult{}, err
+	}
+	return tx.Commit(ctx)
+}
+
+// Update runs a read-modify-write of one key on its owning group, retrying
+// on optimistic-concurrency aborts (a conflicting writer forces a fresh
+// read) up to attempts times; attempts <= 0 means 16. fn maps the current
+// value (and whether it exists) to the new value.
+func (kv *KV) Update(ctx context.Context, key string, attempts int, fn func(cur string, found bool) (string, error)) (CommitResult, error) {
+	if attempts <= 0 {
+		attempts = 16
+	}
+	group := kv.router.GroupFor(key)
+	var last CommitResult
+	for i := 0; i < attempts; i++ {
+		tx, err := kv.client.Begin(ctx, group)
+		if err != nil {
+			return CommitResult{}, err
+		}
+		cur, found, err := tx.Read(ctx, key)
+		if err != nil {
+			tx.Abort()
+			return CommitResult{}, err
+		}
+		next, err := fn(cur, found)
+		if err != nil {
+			tx.Abort()
+			return CommitResult{}, err
+		}
+		tx.Write(key, next)
+		last, err = tx.Commit(ctx)
+		if err != nil {
+			return last, err
+		}
+		if last.Status != stats.Aborted {
+			return last, nil
+		}
+		// Aborted: another transaction wrote first; reread and retry.
+	}
+	return last, fmt.Errorf("core: kv update %q: conflicted %d times", key, attempts)
+}
+
+// MultiRead is the result of a routed multi-key read.
+type MultiRead struct {
+	// Vals and Founds are parallel to the request's keys, in input order,
+	// regardless of how the keys were split across groups.
+	Vals   []string
+	Founds []bool
+	// Positions reports the log position each group's leg was served at,
+	// keyed by group — the per-group snapshot the values belong to. Keys of
+	// the same group share one snapshot; keys of different groups are
+	// independent snapshots (group-local serializability, §2.1).
+	Positions map[string]int64
+}
+
+// ReadMulti reads keys across their owning groups: the key list is
+// partitioned by group, each group's slice travels as one batched ReadMulti
+// round trip (its own read-only transaction, one snapshot per group), the
+// legs run concurrently, and the replies merge back into input order. If any
+// group's leg fails the whole read fails, with the error naming every group
+// that failed — a partial result would silently narrow the caller's view.
+func (kv *KV) ReadMulti(ctx context.Context, keys ...string) (*MultiRead, error) {
+	out := &MultiRead{
+		Vals:      make([]string, len(keys)),
+		Founds:    make([]bool, len(keys)),
+		Positions: make(map[string]int64),
+	}
+	if len(keys) == 0 {
+		return out, nil
+	}
+	// Partition preserving input order per group (the per-group reply is
+	// parallel to the per-group request slice, so order round-trips).
+	slots := make(map[string][]int)
+	for i, key := range keys {
+		g := kv.router.GroupFor(key)
+		slots[g] = append(slots[g], i)
+	}
+
+	type legResult struct {
+		group string
+		pos   int64
+		err   error
+	}
+	var wg sync.WaitGroup
+	results := make(chan legResult, len(slots))
+	var mu sync.Mutex // guards out.Vals/out.Founds slot writes
+	for g, idx := range slots {
+		wg.Add(1)
+		go func(group string, idx []int) {
+			defer wg.Done()
+			tx, err := kv.client.Begin(ctx, group)
+			if err != nil {
+				results <- legResult{group: group, err: err}
+				return
+			}
+			defer tx.Abort()
+			gkeys := make([]string, len(idx))
+			for i, slot := range idx {
+				gkeys[i] = keys[slot]
+			}
+			vals, founds, err := tx.ReadMulti(ctx, gkeys...)
+			if err != nil {
+				results <- legResult{group: group, err: err}
+				return
+			}
+			mu.Lock()
+			for i, slot := range idx {
+				out.Vals[slot] = vals[i]
+				out.Founds[slot] = founds[i]
+			}
+			mu.Unlock()
+			results <- legResult{group: group, pos: tx.ReadPos()}
+		}(g, idx)
+	}
+	wg.Wait()
+	close(results)
+
+	var failed []string
+	errByGroup := make(map[string]error)
+	for r := range results {
+		if r.err != nil {
+			failed = append(failed, r.group)
+			errByGroup[r.group] = r.err
+			continue
+		}
+		out.Positions[r.group] = r.pos
+	}
+	if len(failed) > 0 {
+		sort.Strings(failed)
+		msg := ""
+		for i, g := range failed {
+			if i > 0 {
+				msg += "; "
+			}
+			msg += fmt.Sprintf("group %s: %v", g, errByGroup[g])
+		}
+		return nil, fmt.Errorf("core: kv readmulti: %d of %d groups unavailable: %s",
+			len(failed), len(slots), msg)
+	}
+	return out, nil
+}

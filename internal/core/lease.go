@@ -94,6 +94,7 @@ func (s *Service) ClaimMastership(ctx context.Context, group string) (int64, err
 		}
 		st, renewedAt := lg.LeaseState()
 		if st.Master == s.dc {
+			s.recordTenure(group, st.Epoch)
 			return st.Epoch, nil // already the holder (e.g. restart, retry)
 		}
 		if st.Master != "" && !committedToClaim {
@@ -104,6 +105,21 @@ func (s *Service) ClaimMastership(ctx context.Context, group string) (int64, err
 					return 0, fmt.Errorf("core: claim %s: lease held by %s: %w", group, st.Master, err)
 				}
 				continue
+			}
+		}
+		if !committedToClaim {
+			// Per-epoch claim backoff (DESIGN.md §11): a service that held
+			// this group and was deposed stands down for exponentially longer
+			// before each re-claim. Under a sustained asymmetric partition —
+			// each side seeing the other's lease go silent — mastership would
+			// otherwise ping-pong every lease period forever; the backoff
+			// turns that into O(log duration) swaps. A first-ever claim (the
+			// ordinary dead-master failover) never waits.
+			if wait := s.claimBackoffWait(group, st.Epoch); wait > 0 {
+				if err := sleepCtx(ctx, wait); err != nil {
+					return 0, fmt.Errorf("core: claim %s: backoff after deposition: %w", group, err)
+				}
+				continue // re-check: the holder may have re-asserted meanwhile
 			}
 		}
 		committedToClaim = true
@@ -148,11 +164,95 @@ func (s *Service) ClaimMastership(ctx context.Context, group string) (int64, err
 			return 0, fmt.Errorf("core: claim %s: absorb to %d: %w", group, pos, err)
 		}
 		if st, _ := lg.LeaseState(); st.Master == s.dc {
+			s.recordTenure(group, st.Epoch)
 			return st.Epoch, nil
 		}
 		// Our claim entry was itself fenced (an even higher epoch landed
 		// below it): defer to the winner's lease next round.
 		committedToClaim = false
+	}
+}
+
+// claimHistory is one group's re-claim streak state at one service: how
+// often this service has been deposed and re-claimed recently, and the
+// standoff deadline the current deposition imposes. Purely local liveness
+// tuning — safety never depends on it (fencing does that).
+type claimHistory struct {
+	lastEpoch    int64     // highest epoch this service has held for the group
+	streak       int       // consecutive deposition->re-claim cycles
+	lastDeposed  time.Time // when the latest deposition was first observed
+	deposedSeen  int64     // the epoch that deposed us, for the current standoff
+	backoffUntil time.Time // absolute end of the current standoff
+}
+
+// claimBackoffWait reports how much longer this service must stand down
+// before contending for group's mastership, given the prevailing epoch held
+// by someone else. Zero means claim now: a service that never held the group
+// (ordinary failover) or whose standoff has elapsed proceeds immediately.
+// Each new deposition starts one standoff window of leaseDuration <<
+// (streak+1) — 4 lease periods on the first re-claim, doubling from there —
+// so a sustained duel decays geometrically; a service stable (or quiet) for
+// claimStreakReset lease durations starts over. The rival is by definition
+// alive and holding during a standoff, so the group is never masterless
+// because of it. The deadline is
+// absolute: repeated calls during one standoff (including from a fresh
+// ClaimMastership after a budget timeout) wait out the same window, never
+// restart it.
+func (s *Service) claimBackoffWait(group string, prevailing int64) time.Duration {
+	if s.claimBackoffOff || !s.fencing {
+		return 0
+	}
+	s.claimHistMu.Lock()
+	defer s.claimHistMu.Unlock()
+	h := s.claimHist[group]
+	if h == nil || h.lastEpoch == 0 || prevailing <= h.lastEpoch {
+		return 0 // never held, or nothing has superseded us
+	}
+	now := time.Now()
+	if h.deposedSeen != prevailing {
+		// A new deposition. Decay first: a long-stable tenure (or a long
+		// quiet spell) forgives past ping-pong.
+		if !h.lastDeposed.IsZero() && now.Sub(h.lastDeposed) > claimStreakReset*s.leaseDuration() {
+			h.streak = 0
+		}
+		h.streak++
+		h.deposedSeen = prevailing
+		h.lastDeposed = now
+		shift := h.streak + 1
+		if shift > claimBackoffMaxShift {
+			shift = claimBackoffMaxShift
+		}
+		h.backoffUntil = now.Add(s.leaseDuration() << shift)
+	}
+	if wait := h.backoffUntil.Sub(now); wait > 0 {
+		return wait
+	}
+	return 0
+}
+
+const (
+	// claimBackoffMaxShift caps the standoff at leaseDuration << 6 = 64
+	// lease periods: long enough to calm any duel, short enough that a
+	// genuinely dead winner is still replaced in bounded time.
+	claimBackoffMaxShift = 6
+	// claimStreakReset is how many lease durations of peace reset the
+	// streak.
+	claimStreakReset = 16
+)
+
+// recordTenure notes that this service holds epoch for group (a fresh claim
+// or an adopted one): later backoff decisions measure depositions against
+// the highest epoch held.
+func (s *Service) recordTenure(group string, epoch int64) {
+	s.claimHistMu.Lock()
+	defer s.claimHistMu.Unlock()
+	h := s.claimHist[group]
+	if h == nil {
+		h = &claimHistory{}
+		s.claimHist[group] = h
+	}
+	if epoch > h.lastEpoch {
+		h.lastEpoch = epoch
 	}
 }
 

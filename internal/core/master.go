@@ -49,6 +49,11 @@ const masterClientID = paxos.MaxClients - 2
 // §11) — for a bounded number of hops.
 func (c *Client) commitMaster(ctx context.Context, t *Tx) (CommitResult, error) {
 	master := c.cfg.MasterDC
+	if c.cfg.MasterFor != nil {
+		if m := c.cfg.MasterFor(t.group); m != "" {
+			master = m
+		}
+	}
 	if master == "" {
 		master = c.transport.Peers()[0]
 	}

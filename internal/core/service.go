@@ -80,6 +80,13 @@ type Service struct {
 	claimMu    sync.Mutex
 	claimLocks map[string]*sync.Mutex
 
+	// claimHistMu guards claimHist, the per-group re-claim streak state
+	// behind the deposed-side claim backoff (lease.go). claimBackoffOff is
+	// the test-only escape hatch that reproduces the pre-backoff ping-pong.
+	claimHistMu     sync.Mutex
+	claimHist       map[string]*claimHistory
+	claimBackoffOff bool
+
 	// pipelines holds the per-group master submit pipelines, created
 	// lazily on first submit.
 	pipeMu     sync.Mutex
@@ -138,6 +145,15 @@ func WithLeaseDuration(d time.Duration) ServiceOption {
 	}
 }
 
+// WithClaimBackoffDisabled turns the deposed-side claim backoff off
+// (lease.go): a service that lost mastership re-claims the moment the
+// holder's lease looks silent, restoring the pre-backoff ping-pong under a
+// sustained asymmetric partition. Test-only — it exists so the backoff
+// regression test can measure the behavior it prevents.
+func WithClaimBackoffDisabled() ServiceOption {
+	return func(s *Service) { s.claimBackoffOff = true }
+}
+
 // WithEpochFencingDisabled turns epoch-fenced master leases off, restoring
 // the pre-fencing master path: no claim entries, unstamped log entries, and
 // no protection against two concurrent masters. Test-only — it exists so the
@@ -161,6 +177,7 @@ func NewService(dc string, store *kvstore.Store, transport network.Transport, op
 		submitCombine: DefaultSubmitCombine,
 		fencing:       true,
 		claimLocks:    make(map[string]*sync.Mutex),
+		claimHist:     make(map[string]*claimHistory),
 		pipelines:     make(map[string]*pipeline),
 	}
 	for _, o := range opts {
@@ -177,6 +194,22 @@ func (s *Service) Store() *kvstore.Store { return s.store }
 
 // log returns the group's replicated log.
 func (s *Service) log(group string) *replog.Log { return s.logs.Get(group) }
+
+// Groups returns the transaction groups this replica serves (every group
+// with an open replicated log), sorted — the group-discovery surface
+// GroupStatus reports over the wire.
+func (s *Service) Groups() []string { return s.logs.Groups() }
+
+// EnsureGroups opens the replicated logs for the named groups up front.
+// Groups normally open lazily on first traffic; a sharded deployment
+// (txkvd -groups) pre-opens its placement's groups so recovery state is
+// rebuilt at startup and discovery reports the full set before any client
+// arrives.
+func (s *Service) EnsureGroups(groups ...string) {
+	for _, g := range groups {
+		s.logs.Get(g)
+	}
+}
 
 // Close stops the per-group submit pipelines (queued submissions fail) and
 // apply goroutines. Durable state is untouched; a new Service over the same

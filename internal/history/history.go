@@ -10,7 +10,13 @@ import (
 
 // Commit is one committed transaction as observed by its client.
 type Commit struct {
-	ID      string
+	ID string
+	// Group is the transaction group the commit ran on. Check validates one
+	// group's log against that group's commits; multi-group runs filter with
+	// ByGroup and check each group independently (group-local
+	// serializability is the whole §2.1 contract — there is nothing
+	// cross-group to check).
+	Group   string
 	Origin  string
 	ReadPos int64
 	// Pos is the log position the transaction committed at. Read-only
@@ -42,6 +48,16 @@ func (r *Recorder) Commits() []Commit {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return append([]Commit(nil), r.commits...)
+}
+
+// ByGroup splits commits by transaction group, preserving record order.
+// Commits recorded without a group (pre-sharding callers) land under "".
+func ByGroup(commits []Commit) map[string][]Commit {
+	out := make(map[string][]Commit)
+	for _, c := range commits {
+		out[c.Group] = append(out[c.Group], c)
+	}
+	return out
 }
 
 // Violation is one detected breach of the §3 properties.

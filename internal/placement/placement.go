@@ -1,0 +1,188 @@
+package placement
+
+import (
+	"fmt"
+)
+
+// Placement maps every key of the keyspace to exactly one transaction
+// group. It is pure data plus hashing — no I/O, no clocks, no global state —
+// so every process that builds the same Placement routes identically, which
+// is the property the whole sharded tier rests on: a client, a benchmark
+// thread, and an operator CLI must never disagree about a key's owner.
+//
+// The default assignment is rendezvous (highest-random-weight) hashing:
+// each (group, key) pair gets a pseudo-random weight and the key belongs to
+// the group with the largest weight. Unlike modulo hashing, growing the
+// group list moves only the keys whose new group wins their weight contest —
+// an expected 1/(N+1) of the keyspace when going from N to N+1 groups — and
+// never shuffles a key between two pre-existing groups
+// (TestMinimalMovementOnGrowth pins both halves of that claim).
+//
+// Explicit assignments override hashing for individual keys: the paper's
+// examples name semantic groups ("profiles", "analytics") and pin their
+// well-known keys there; everything unpinned spreads by weight.
+type Placement struct {
+	groups []string
+	index  map[string]int    // group name -> position in groups
+	pins   map[string]string // key -> group, overriding the hash
+}
+
+// Option configures a Placement.
+type Option func(*Placement)
+
+// Pin routes key to group explicitly, overriding rendezvous hashing. The
+// group must be one of the placement's groups (New panics otherwise — a pin
+// to an unknown group would silently blackhole the key).
+func Pin(key, group string) Option {
+	return func(p *Placement) { p.pins[key] = group }
+}
+
+// New builds a Placement over the given group names. Names must be non-empty
+// and unique; the slice is copied. Construction panics on a malformed group
+// list or a pin naming an unknown group — both are programming errors, not
+// runtime conditions.
+func New(groups []string, opts ...Option) *Placement {
+	if len(groups) == 0 {
+		panic("placement: no groups")
+	}
+	p := &Placement{
+		groups: append([]string(nil), groups...),
+		index:  make(map[string]int, len(groups)),
+		pins:   make(map[string]string),
+	}
+	for i, g := range p.groups {
+		if g == "" {
+			panic("placement: empty group name")
+		}
+		if _, dup := p.index[g]; dup {
+			panic(fmt.Sprintf("placement: duplicate group %q", g))
+		}
+		p.index[g] = i
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	for key, g := range p.pins {
+		if _, ok := p.index[g]; !ok {
+			panic(fmt.Sprintf("placement: pin %q -> unknown group %q", key, g))
+		}
+	}
+	return p
+}
+
+// GroupNames returns the conventional names for n groups: "g0" .. "g{n-1}".
+// Shared by cluster.Config, txkvd -groups, and the benchmarks so every layer
+// that says "8 groups" means the same eight strings.
+func GroupNames(n int) []string {
+	if n < 1 {
+		n = 1
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("g%d", i)
+	}
+	return names
+}
+
+// NewN is New over GroupNames(n).
+func NewN(n int, opts ...Option) *Placement { return New(GroupNames(n), opts...) }
+
+// Groups returns the group names in construction order. The slice is shared;
+// treat it as read-only.
+func (p *Placement) Groups() []string { return p.groups }
+
+// Owns reports whether group is one of the placement's groups.
+func (p *Placement) Owns(group string) bool {
+	_, ok := p.index[group]
+	return ok
+}
+
+// IndexOf returns group's position in the construction order, or -1 when the
+// group is not part of the placement. The per-group master spread is
+// index-based (group i -> datacenter i mod N), so every consumer of one
+// placement computes the same spread from this one map.
+func (p *Placement) IndexOf(group string) int {
+	if i, ok := p.index[group]; ok {
+		return i
+	}
+	return -1
+}
+
+// GroupFor returns the group that owns key: its pin if one exists, otherwise
+// the rendezvous winner. Deterministic across processes and runs
+// (TestGoldenVector pins the exact assignment).
+func (p *Placement) GroupFor(key string) string {
+	if g, ok := p.pins[key]; ok {
+		return g
+	}
+	if len(p.groups) == 1 {
+		return p.groups[0]
+	}
+	best := p.groups[0]
+	bestW := weight(best, key)
+	for _, g := range p.groups[1:] {
+		if w := weight(g, key); w > bestW || (w == bestW && g < best) {
+			best, bestW = g, w
+		}
+	}
+	return best
+}
+
+// Partition splits keys by owning group, preserving each key's input order
+// inside its group's slice. (The routed KV fan-out tracks result slots and
+// builds its per-group batches itself; this is the plain split for tooling
+// and tests.)
+func (p *Placement) Partition(keys []string) map[string][]string {
+	out := make(map[string][]string)
+	for _, k := range keys {
+		g := p.GroupFor(k)
+		out[g] = append(out[g], k)
+	}
+	return out
+}
+
+// Spread reports per-group key counts for a sample keyspace — operator
+// tooling and the balance property test share it.
+func (p *Placement) Spread(keys []string) map[string]int {
+	out := make(map[string]int, len(p.groups))
+	for _, k := range keys {
+		out[p.GroupFor(k)]++
+	}
+	return out
+}
+
+// Grow returns a new Placement with extra appended to the group list,
+// keeping every pin. Rendezvous hashing guarantees keys only ever move INTO
+// the new group (see the package comment).
+func (p *Placement) Grow(extra string) *Placement {
+	groups := append(append([]string(nil), p.groups...), extra)
+	np := New(groups)
+	for k, g := range p.pins {
+		np.pins[k] = g
+	}
+	return np
+}
+
+// weight is the rendezvous weight of (group, key): a 64-bit FNV-1a hash over
+// the pair with a separator byte neither side can contain meaningfully.
+// FNV-1a is stable across Go versions, architectures, and processes — no
+// seed, no map iteration, nothing process-local — which is what makes the
+// golden-vector test meaningful.
+func weight(group, key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(group); i++ {
+		h ^= uint64(group[i])
+		h *= prime64
+	}
+	h ^= 0 // separator: one NUL byte between group and key
+	h *= prime64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}

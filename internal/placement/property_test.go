@@ -1,0 +1,212 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestGoldenVector pins the exact assignment of a fixed key set over fixed
+// group lists. This is the determinism-across-processes property: the vector
+// was computed once and committed, so any change to the hash function, the
+// tie-break, or the weight input layout — anything that would make two
+// binaries disagree about a key's owner — fails this test rather than
+// silently splitting the keyspace between versions.
+func TestGoldenVector(t *testing.T) {
+	keys := []string{
+		"", "a", "b", "counter", "attr0", "attr1", "attr42", "attr99",
+		"user:1001", "user:1002", "order/2024/07/27", "profiles/counter",
+		"the quick brown fox", "\x00\x01\x02", "日本語キー",
+	}
+	golden := map[int][]string{
+		2: nil, // filled below from the committed vectors
+		8: nil,
+	}
+	golden[2] = []string{
+		"g1", "g1", "g1", "g0", "g1", "g1", "g1", "g1",
+		"g1", "g1", "g0", "g1", "g0", "g1", "g0",
+	}
+	golden[8] = []string{
+		"g1", "g1", "g1", "g0", "g4", "g4", "g1", "g1",
+		"g4", "g4", "g7", "g7", "g5", "g3", "g0",
+	}
+	for n, want := range golden {
+		p := NewN(n)
+		for i, key := range keys {
+			if got := p.GroupFor(key); got != want[i] {
+				t.Errorf("NewN(%d).GroupFor(%q) = %s, committed golden vector says %s",
+					n, key, got, want[i])
+			}
+		}
+	}
+}
+
+// TestEveryKeyOwnedByExactlyOneGroup: GroupFor is a total function into the
+// group set — every key routes, to a group that exists, and repeated calls
+// agree (no hidden state).
+func TestEveryKeyOwnedByExactlyOneGroup(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 16} {
+		p := NewN(n)
+		owned := make(map[string]bool, n)
+		for _, g := range p.Groups() {
+			owned[g] = true
+		}
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 20000; i++ {
+			key := fmt.Sprintf("key-%d-%d", i, rng.Int63())
+			g := p.GroupFor(key)
+			if !owned[g] {
+				t.Fatalf("n=%d: key %q routed to non-group %q", n, key, g)
+			}
+			if again := p.GroupFor(key); again != g {
+				t.Fatalf("n=%d: key %q routed to %q then %q", n, key, g, again)
+			}
+		}
+	}
+}
+
+// TestBalanceBound: over 100k random keys, the most loaded group holds at
+// most 1.3x the least loaded one. Rendezvous hashing has no virtual-node
+// knob — balance comes straight from hash uniformity — so this bound is the
+// regression alarm for a degraded weight function.
+func TestBalanceBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-key balance sweep skipped in short mode")
+	}
+	const keys = 100_000
+	for _, n := range []int{2, 4, 8, 16} {
+		p := NewN(n)
+		rng := rand.New(rand.NewSource(42))
+		sample := make([]string, keys)
+		for i := range sample {
+			sample[i] = fmt.Sprintf("key-%d-%d", i, rng.Int63())
+		}
+		counts := p.Spread(sample)
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d groups received keys", n, len(counts))
+		}
+		min, max := keys, 0
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		ratio := float64(max) / float64(min)
+		t.Logf("n=%d: min=%d max=%d max/min=%.3f", n, min, max, ratio)
+		if ratio > 1.3 {
+			t.Errorf("n=%d: group load ratio %.3f exceeds 1.3 (min %d, max %d)", n, ratio, min, max)
+		}
+	}
+}
+
+// TestMinimalMovementOnGrowth: growing N groups to N+1 moves only keys that
+// land in the new group (never between two surviving groups), and roughly
+// 1/(N+1) of the keyspace — the rendezvous property that lets a deployment
+// add groups without a full reshuffle.
+func TestMinimalMovementOnGrowth(t *testing.T) {
+	const keys = 20_000
+	rng := rand.New(rand.NewSource(13))
+	sample := make([]string, keys)
+	for i := range sample {
+		sample[i] = fmt.Sprintf("key-%d-%d", i, rng.Int63())
+	}
+	for _, n := range []int{1, 3, 7, 15} {
+		old := NewN(n)
+		grown := old.Grow(fmt.Sprintf("g%d", n))
+		newGroup := fmt.Sprintf("g%d", n)
+		moved := 0
+		for _, key := range sample {
+			was, now := old.GroupFor(key), grown.GroupFor(key)
+			if was == now {
+				continue
+			}
+			if now != newGroup {
+				t.Fatalf("n=%d: key %q moved between surviving groups %s -> %s", n, key, was, now)
+			}
+			moved++
+		}
+		expected := float64(keys) / float64(n+1)
+		t.Logf("n=%d->%d: moved %d keys (expected ~%.0f)", n, n+1, moved, expected)
+		// The moved count concentrates tightly around keys/(n+1); 2x is far
+		// outside any plausible noise and would mean the property broke.
+		if f := float64(moved); f > 2*expected || f < expected/2 {
+			t.Errorf("n=%d->%d: moved %d keys, want about %.0f (minimal movement violated)",
+				n, n+1, moved, expected)
+		}
+	}
+}
+
+// TestPinsOverrideHashing: an explicit assignment wins over the rendezvous
+// choice and survives growth.
+func TestPinsOverrideHashing(t *testing.T) {
+	p := New([]string{"profiles", "analytics"},
+		Pin("profiles/counter", "profiles"),
+		Pin("analytics/counter", "analytics"),
+	)
+	if g := p.GroupFor("profiles/counter"); g != "profiles" {
+		t.Fatalf("pinned key routed to %q", g)
+	}
+	if g := p.GroupFor("analytics/counter"); g != "analytics" {
+		t.Fatalf("pinned key routed to %q", g)
+	}
+	grown := p.Grow("archive")
+	if g := grown.GroupFor("profiles/counter"); g != "profiles" {
+		t.Fatalf("pin lost on growth: %q", g)
+	}
+}
+
+// TestPartitionPreservesOrder: the fan-out split keeps each key's input
+// order within its group — the merge on the read path depends on it.
+func TestPartitionPreservesOrder(t *testing.T) {
+	p := NewN(4)
+	keys := make([]string, 100)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("attr%d", i)
+	}
+	parts := p.Partition(keys)
+	total := 0
+	pos := make(map[string]int, len(keys))
+	for i, k := range keys {
+		pos[k] = i
+	}
+	for g, ks := range parts {
+		total += len(ks)
+		last := -1
+		for _, k := range ks {
+			if p.GroupFor(k) != g {
+				t.Fatalf("key %q filed under wrong group %q", k, g)
+			}
+			if pos[k] < last {
+				t.Fatalf("group %s: key %q out of input order", g, k)
+			}
+			last = pos[k]
+		}
+	}
+	if total != len(keys) {
+		t.Fatalf("partition dropped keys: %d of %d", total, len(keys))
+	}
+}
+
+// TestConstructionPanics: malformed group lists and dangling pins are
+// programming errors and must fail loudly at construction.
+func TestConstructionPanics(t *testing.T) {
+	cases := map[string]func(){
+		"empty list":     func() { New(nil) },
+		"empty name":     func() { New([]string{"a", ""}) },
+		"duplicate":      func() { New([]string{"a", "a"}) },
+		"pin to unknown": func() { New([]string{"a"}, Pin("k", "missing")) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: construction did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

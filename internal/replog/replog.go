@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -674,6 +675,20 @@ func (s *Set) Get(group string) *Log {
 		s.logs[group] = l
 	}
 	return l
+}
+
+// Groups returns the names of every group with an open Log, sorted. This is
+// the replica's group-discovery surface: a group exists here once any
+// traffic (or an explicit EnsureGroups/open) has touched it.
+func (s *Set) Groups() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.logs))
+	for g := range s.logs {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Close stops every open Log's apply goroutine.

@@ -8,5 +8,9 @@
 // transactions of 10 operations each, 50% reads / 50% writes, operating on
 // attributes chosen uniformly at random. Thread.BatchReads additionally
 // collapses each generated transaction's consecutive reads into one
-// Tx.ReadMulti round trip (the batched read path, DESIGN.md §9).
+// Tx.ReadMulti round trip (the batched read path, DESIGN.md §9);
+// Workload.Groups shards the stream over many transaction groups, one
+// group per transaction, driving a whole sharded deployment concurrently
+// (DESIGN.md §12); Thread.RetryAborts re-runs conflict-aborted
+// transactions so throughput sweeps measure time-to-commit.
 package ycsb

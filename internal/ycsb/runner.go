@@ -31,6 +31,14 @@ type Thread struct {
 	// into one round trip, all served at the transaction's read position.
 	// Off by default, preserving the paper's per-operation message pattern.
 	BatchReads bool
+	// RetryAborts re-runs a transaction that aborted to an optimistic
+	// conflict, up to this many extra attempts (fresh Begin, same operation
+	// list, re-read at the new position) — the standard application response
+	// to OCC aborts. 0 preserves the paper's behavior: every transaction is
+	// attempted exactly once. Each attempt records its own sample, so
+	// throughput figures that retry measure time-to-commit, not
+	// time-to-verdict.
+	RetryAborts int
 }
 
 // Runner drives a set of workload threads and gathers their outcomes.
@@ -54,8 +62,9 @@ func (r *Runner) Run(ctx context.Context) []stats.Sample {
 			rec := r.Recorder
 			th.Client.OnCommit = func(pos int64, txn core.CommittedTxn) {
 				rec.Record(history.Commit{
-					ID: txn.ID, Origin: txn.Origin, ReadPos: txn.ReadPos,
-					Pos: pos, Reads: txn.Reads, Writes: txn.Writes,
+					ID: txn.ID, Group: txn.Group, Origin: txn.Origin,
+					ReadPos: txn.ReadPos, Pos: pos,
+					Reads: txn.Reads, Writes: txn.Writes,
 				})
 			}
 		}
@@ -80,13 +89,12 @@ func (r *Runner) runThread(ctx context.Context, th Thread, collector *stats.Coll
 			return
 		}
 	}
-	group := th.Gen.Workload().Group
 	for i := 0; i < th.Count; i++ {
 		if ctx.Err() != nil {
 			return
 		}
 		start := time.Now()
-		r.runTxn(ctx, th, group, collector)
+		r.runTxn(ctx, th, collector)
 		if th.Interval > 0 {
 			if rest := th.Interval - time.Since(start); rest > 0 {
 				t := time.NewTimer(rest)
@@ -101,18 +109,31 @@ func (r *Runner) runThread(ctx context.Context, th Thread, collector *stats.Coll
 	}
 }
 
-// runTxn executes one generated transaction end to end. Failures before the
-// commit protocol (begin or read errors) count as Failed samples so runs
-// under fault injection still account for every transaction.
-func (r *Runner) runTxn(ctx context.Context, th Thread, group string, collector *stats.Collector) {
-	ops := th.Gen.NextTxn()
+// runTxn executes one generated transaction end to end, re-attempting
+// conflict aborts up to th.RetryAborts times. Failures before the commit
+// protocol (begin or read errors) count as Failed samples so runs under
+// fault injection still account for every transaction. The generator picks
+// the transaction's group (sharded workloads rotate over all groups).
+func (r *Runner) runTxn(ctx context.Context, th Thread, collector *stats.Collector) {
+	group, ops := th.Gen.Next()
+	for attempt := 0; ; attempt++ {
+		outcome := r.attemptTxn(ctx, th, group, ops, collector)
+		if outcome != stats.Aborted || attempt >= th.RetryAborts || ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// attemptTxn runs one attempt of a generated transaction and reports its
+// outcome.
+func (r *Runner) attemptTxn(ctx context.Context, th Thread, group string, ops []Op, collector *stats.Collector) stats.Outcome {
 	start := time.Now()
 	tx, err := th.Client.Begin(ctx, group)
 	if err != nil {
 		collector.Record(stats.Sample{
 			Outcome: stats.Failed, Latency: time.Since(start), Origin: th.Client.DC(),
 		})
-		return
+		return stats.Failed
 	}
 	fail := func() {
 		tx.Abort()
@@ -127,7 +148,7 @@ func (r *Runner) runTxn(ctx context.Context, th Thread, group string, collector 
 			if !th.BatchReads {
 				if _, _, err := tx.Read(ctx, op.Key); err != nil {
 					fail()
-					return
+					return stats.Failed
 				}
 				continue
 			}
@@ -140,12 +161,16 @@ func (r *Runner) runTxn(ctx context.Context, th Thread, group string, collector 
 			}
 			if _, _, err := tx.ReadMulti(ctx, keys...); err != nil {
 				fail()
-				return
+				return stats.Failed
 			}
 		case Write:
 			tx.Write(op.Key, op.Value)
 		}
 	}
 	// Commit records its own sample through the client's collector.
-	tx.Commit(ctx)
+	res, err := tx.Commit(ctx)
+	if err != nil {
+		return stats.Failed
+	}
+	return res.Status
 }

@@ -38,6 +38,15 @@ type Workload struct {
 	// Group is the transaction group key (the paper evaluates a single
 	// entity group).
 	Group string
+	// Groups, when non-empty, shards the workload over many transaction
+	// groups (DESIGN.md §12): each generated transaction is directed at one
+	// group drawn uniformly from the list, so all groups run concurrently
+	// under the same thread set. Transactions stay group-local — the data
+	// model has no cross-group serializability to exercise (§2.1) — and each
+	// group sees its own slice of the attribute keyspace (attribute names
+	// collide across groups only in name; data rows are group-prefixed).
+	// Overrides Group.
+	Groups []string
 	// Attributes is the total number of attributes in the entity group
 	// (the paper sweeps 20–500; default 100).
 	Attributes int
@@ -98,6 +107,19 @@ func (g *Generator) key() string {
 		return AttrName(int(g.zipf.Uint64()))
 	}
 	return AttrName(g.rng.Intn(g.w.Attributes))
+}
+
+// Next generates the next transaction: the group it runs on and its
+// operation list. Single-group workloads always return Workload.Group;
+// sharded workloads (Workload.Groups) draw the group uniformly from the
+// generator's own RNG stream, so a deterministic seed yields a
+// deterministic group sequence.
+func (g *Generator) Next() (string, []Op) {
+	group := g.w.Group
+	if len(g.w.Groups) > 0 {
+		group = g.w.Groups[g.rng.Intn(len(g.w.Groups))]
+	}
+	return group, g.NextTxn()
 }
 
 // NextTxn generates the operation list for the next transaction. Attribute

@@ -5,7 +5,9 @@
 // Megastore-style baseline), the paper's contribution Paxos-CP (Paxos with
 // Combination and Promotion), and the leader-based master protocol the
 // paper sketches in §7, grown into a pipelined submit path with
-// epoch-fenced master leases for split-brain-safe failover.
+// epoch-fenced master leases for split-brain-safe failover and a sharded
+// keyspace over many transaction groups behind a deterministic placement
+// router.
 //
 // The implementation lives under internal/ (README.md is the front door,
 // DESIGN.md the module map and invariants; every internal package carries a
