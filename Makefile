@@ -5,10 +5,10 @@
 SHELL := /bin/bash
 GO ?= go
 
-.PHONY: check build fmt vet mdcheck examples test race cover bench-smoke fig-smoke shards-smoke bench-json bench-compare clean
+.PHONY: check build fmt vet mdcheck examples test race cover bench-smoke fig-smoke shards-smoke saturation-smoke bench-json bench-compare bench-compare-strict clean
 
 ## check: everything CI gates a PR on
-check: fmt vet mdcheck examples race bench-smoke fig-smoke shards-smoke
+check: fmt vet mdcheck examples race bench-smoke fig-smoke shards-smoke saturation-smoke bench-compare-strict
 
 build:
 	$(GO) build ./...
@@ -63,18 +63,30 @@ fig-smoke:
 shards-smoke:
 	$(GO) run ./cmd/paxosbench -fig shards -scale 0.01 -txns 240 -q
 
+## saturation-smoke: the overload sweep at smoke scale (CI "bench" job;
+## every run ends with the quiesce-aware serializability check — the
+## plateau/p99 assertion is TestSaturationPlateau)
+saturation-smoke:
+	$(GO) run ./cmd/paxosbench -fig saturation -scale 0.01 -txns 240 -q
+
 ## bench-json: convert existing go-bench output (BENCH_IN) to JSON
 bench-json:
 	$(GO) run ./cmd/paxosbench -benchjson $(or $(BENCH_IN),bench.out) -o BENCH_ci.json -context local
 
-## bench-compare: rerun the read-path benchmarks and diff against the
-## committed BENCH_3.json baseline, flagging >20% regressions. A reporting
-## aid, not a gate: it always exits 0 (pass STRICT=1 to gate).
+## bench-compare: rerun the hot-path benchmarks and diff against the
+## committed BENCH_6.json baseline, flagging >20% regressions. Pass
+## STRICT=1 to make regressions fail (what CI and `make check` gate on;
+## bench-compare-strict is the alias both use). Time-based benchtime, not
+## a fixed iteration count: the codec and store micro-benchmarks need
+## ~10^5 iterations before their ns/op is stable enough to gate on.
 bench-compare:
 	set -o pipefail; $(GO) test -run '^$$' -bench 'BenchmarkReadThroughput|BenchmarkMessageCodec$$|BenchmarkReadMulti' \
-		-benchtime 500x . ./internal/network ./internal/kvstore | tee bench-compare.out
+		-benchtime 0.5s . ./internal/network ./internal/kvstore | tee bench-compare.out
 	$(GO) run ./cmd/paxosbench -benchjson bench-compare.out -o BENCH_compare.json -context compare
-	$(GO) run ./cmd/paxosbench -compare BENCH_3.json -against BENCH_compare.json $(if $(STRICT),-strict)
+	$(GO) run ./cmd/paxosbench -compare BENCH_6.json -against BENCH_compare.json $(if $(STRICT),-strict)
+
+bench-compare-strict:
+	$(MAKE) bench-compare STRICT=1
 
 clean:
 	rm -f bench.out BENCH_ci.json bench-compare.out BENCH_compare.json cover.txt

@@ -38,6 +38,7 @@ func main() {
 		saveIvl  = flag.Duration("save-interval", 30*time.Second, "periodic snapshot interval when -data is set")
 		window   = flag.Int("submit-window", core.DefaultSubmitWindow, "master submit pipeline depth (positions in flight per group; 1 = serial)")
 		combine  = flag.Int("submit-combine", core.DefaultSubmitCombine, "max transactions combined per log entry on the master submit path")
+		subQueue = flag.Int("submit-queue", core.DefaultSubmitQueue, "per-group submit admission cap: beyond this queue depth new submits fail fast with the retryable 'overloaded' marker (negative = unbounded)")
 		lease    = flag.Duration("lease", 0, "master lease duration for epoch-fenced mastership (0 = 4x timeout)")
 		groups   = flag.Int("groups", 0, "pre-open this many sharded transaction groups (g0..gN-1) at startup; 0 opens groups lazily on first traffic")
 	)
@@ -63,10 +64,13 @@ func main() {
 		log.Printf("txkvd: loaded %d rows from %s", store.Len(), *dataPath)
 	}
 	// Two-phase wiring: the UDP transport needs the handler, and the
-	// service needs the transport (for catch-up).
+	// service needs the transport (for catch-up). The async registration
+	// keeps the UDP read loop non-blocking: requests run on the service's
+	// sharded dispatch workers and submits hold no goroutine while their
+	// position replicates (DESIGN.md §13).
 	var service *core.Service
-	transport, err := network.NewUDP(*dc, *bind, peerMap, func(from string, req network.Message) network.Message {
-		return service.Handler()(from, req)
+	transport, err := network.NewUDPAsync(*dc, *bind, peerMap, func(from string, req network.Message, reply func(network.Message)) {
+		service.AsyncHandler()(from, req, reply)
 	})
 	if err != nil {
 		log.Fatalf("txkvd: %v", err)
@@ -74,6 +78,7 @@ func main() {
 	opts := []core.ServiceOption{
 		core.WithServiceTimeout(*timeout),
 		core.WithSubmitWindow(*window), core.WithSubmitCombine(*combine),
+		core.WithSubmitQueue(*subQueue),
 	}
 	if *lease > 0 {
 		opts = append(opts, core.WithLeaseDuration(*lease))

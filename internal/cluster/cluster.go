@@ -31,6 +31,11 @@ type Config struct {
 	// master combines into one log entry. 0 means
 	// core.DefaultSubmitCombine; 1 disables combination.
 	SubmitCombine int
+	// SubmitQueue sets each service's per-group submit admission cap:
+	// submissions beyond this queue depth fail fast with the retryable
+	// core.ErrOverloaded marker (DESIGN.md §13). 0 means
+	// core.DefaultSubmitQueue; negative lifts the cap.
+	SubmitQueue int
 	// LeaseDuration is the master lease duration for epoch-fenced
 	// mastership (DESIGN.md §11): how long a prospective master waits for
 	// the prevailing holder's lease to fall silent before claiming the next
@@ -75,13 +80,15 @@ func New(cfg Config) *Cluster {
 		endpoints: make(map[string]network.Transport),
 	}
 	// Two-phase wiring: services need endpoints for catch-up, and endpoints
-	// need the service handler. Register a dispatching handler first.
+	// need the service handler. Register a dispatching handler first. The
+	// async registration routes requests through each service's sharded
+	// dispatch workers (core.AsyncHandler, DESIGN.md §13).
 	for _, dc := range cfg.Topology.DCs() {
 		dc := dc
 		store := kvstore.New()
 		c.stores[dc] = store
-		ep := c.sim.Endpoint(dc, func(from string, req network.Message) network.Message {
-			return c.services[dc].Handler()(from, req)
+		ep := c.sim.EndpointAsync(dc, func(from string, req network.Message, reply func(network.Message)) {
+			c.services[dc].AsyncHandler()(from, req, reply)
 		})
 		c.endpoints[dc] = ep
 		opts := []core.ServiceOption{core.WithServiceTimeout(cfg.Timeout)}
@@ -90,6 +97,9 @@ func New(cfg Config) *Cluster {
 		}
 		if cfg.SubmitCombine > 0 {
 			opts = append(opts, core.WithSubmitCombine(cfg.SubmitCombine))
+		}
+		if cfg.SubmitQueue != 0 {
+			opts = append(opts, core.WithSubmitQueue(cfg.SubmitQueue))
 		}
 		if cfg.LeaseDuration > 0 {
 			opts = append(opts, core.WithLeaseDuration(cfg.LeaseDuration))

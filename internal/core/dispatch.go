@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sync"
+
+	"paxoscp/internal/network"
+	"paxoscp/internal/replog"
+	"paxoscp/internal/wal"
+)
+
+// This file implements per-core service dispatch (DESIGN.md §13). The
+// synchronous Handler serves one request per transport goroutine; under a
+// multi-group load every request contends on the same scheduler and one
+// busy group's slow requests interleave with everyone else's. AsyncHandler
+// instead classifies each request by its blocking profile and runs the
+// short, store-bound majority on a fixed set of GOMAXPROCS workers keyed by
+// group — the same shard function the replog apply pool uses — so a group's
+// requests are cache-friendly and a burst on one group cannot occupy more
+// than its shard. Work that can legitimately block (applies waiting on the
+// watermark, catch-up, snapshots, store scans) gets its own goroutine, and
+// submits enter the group pipeline asynchronously, holding no goroutine at
+// all while their position replicates.
+
+// dispatchQueueLen bounds one shard worker's request backlog. Overflow does
+// not block the transport read loop: an over-full shard spills requests to
+// fresh goroutines, degrading to the pre-dispatch behavior instead of
+// stalling every group behind one.
+const dispatchQueueLen = 256
+
+// dispatcher runs short request handlers on GOMAXPROCS shard workers.
+type dispatcher struct {
+	workers  []chan func()
+	stopCh   chan struct{}
+	stopOnce sync.Once
+}
+
+func newDispatcher(n int) *dispatcher {
+	if n < 1 {
+		n = 1
+	}
+	d := &dispatcher{workers: make([]chan func(), n), stopCh: make(chan struct{})}
+	for i := range d.workers {
+		ch := make(chan func(), dispatchQueueLen)
+		d.workers[i] = ch
+		go d.run(ch)
+	}
+	return d
+}
+
+func (d *dispatcher) run(ch chan func()) {
+	for {
+		select {
+		case fn := <-ch:
+			fn()
+		case <-d.stopCh:
+			return
+		}
+	}
+}
+
+// dispatch runs fn on group's shard worker, or on its own goroutine when
+// the shard's queue is full — the caller (the transport read loop) must
+// never block here.
+func (d *dispatcher) dispatch(group string, fn func()) {
+	ch := d.workers[replog.GroupShard(group)%uint32(len(d.workers))]
+	select {
+	case ch <- fn:
+	default:
+		go fn()
+	}
+}
+
+// close stops the workers. Requests still queued are dropped — their peers
+// time out, which is indistinguishable from the message loss the protocol
+// already tolerates. Only called on Service shutdown.
+func (d *dispatcher) close() {
+	d.stopOnce.Do(func() { close(d.stopCh) })
+}
+
+// AsyncHandler returns the non-blocking request entry point the transports'
+// async registration (network.NewUDPAsync, Sim.EndpointAsync) plugs in.
+// Classification:
+//
+//   - Shard worker: Paxos prepare/accept/apply-notify, read-position,
+//     leader claims, log fetches, and reads already covered by the applied
+//     watermark — short store-bound work, pinned per group.
+//   - Own goroutine: applies (they block on the watermark), reads that need
+//     catch-up, snapshots, compaction, and stats (store scans).
+//   - Submits: asynchronous admission into the group's pipeline; the
+//     verdict callback fires when replication settles, so a submit holds no
+//     goroutine while its position replicates (DESIGN.md §13).
+func (s *Service) AsyncHandler() network.AsyncHandler {
+	h := s.Handler()
+	return func(from string, req network.Message, reply func(network.Message)) {
+		switch req.Kind {
+		case network.KindSubmit:
+			s.handleSubmitAsync(req, reply)
+		case network.KindApply, network.KindSnapshot, network.KindCompact, network.KindStats:
+			go func() { reply(h(from, req)) }()
+		case network.KindRead, network.KindReadMulti:
+			if req.TS >= 0 && req.TS > s.lastApplied(req.Group) {
+				// Ahead of the local log: the handler will catch up, which
+				// can wait out peer round trips. Keep it off the workers.
+				go func() { reply(h(from, req)) }()
+				return
+			}
+			s.disp.dispatch(req.Group, func() { reply(h(from, req)) })
+		default:
+			s.disp.dispatch(req.Group, func() { reply(h(from, req)) })
+		}
+	}
+}
+
+// handleSubmitAsync is handleSubmit without the blocking wait: the verdict
+// reaches reply when admission or replication settles it.
+func (s *Service) handleSubmitAsync(req network.Message, reply func(network.Message)) {
+	entry, err := wal.Decode(req.Payload)
+	if err != nil || len(entry.Txns) != 1 {
+		reply(network.Status(false, "bad submit payload"))
+		return
+	}
+	s.pipeline(req.Group).SubmitAsync(entry.Txns[0], reply)
+}

@@ -30,6 +30,14 @@
 // land through the per-group replicated log (package replog), which owns
 // the applied watermark readers block on.
 //
+// AsyncHandler is the hot-path entry point (dispatch.go, DESIGN.md §13):
+// short store-bound requests run on GOMAXPROCS shard workers keyed by
+// group, work that can block gets its own goroutine, and submits enter the
+// master pipeline asynchronously — no goroutine is held while a position
+// replicates, and a submit arriving at a full queue is refused fast with
+// the retryable ErrOverloaded marker (admission control, WithSubmitQueue)
+// instead of queueing without bound.
+//
 // # Master leases and epoch fencing
 //
 // Mastership is epoch-fenced (lease.go, DESIGN.md §11): a master claims a

@@ -79,6 +79,11 @@ func (c *Client) commitMaster(ctx context.Context, t *Tx) (CommitResult, error) 
 			return CommitResult{Status: stats.Committed, Pos: resp.TS, Combined: resp.Combined, Epoch: resp.Epoch}, nil
 		case resp.Err == masterConflict:
 			return CommitResult{Status: stats.Aborted}, nil
+		case resp.Err == ErrOverloaded:
+			// Admission control refused before any protocol work: nothing
+			// reached the log, so the caller may retry. resp.TS carries the
+			// master's queue depth as a backpressure hint.
+			return CommitResult{Status: stats.Rejected}, nil
 		case resp.Err == ErrNotMaster && resp.Value != "" && resp.Value != master && hop < maxHops:
 			master = resp.Value // follow the hint to the prevailing master
 		default:

@@ -45,24 +45,55 @@ const (
 	// submitAttempts caps how many positions one submission may compete for
 	// (promotion budget, mirroring the serial path's retry cap).
 	submitAttempts = 8
+	// DefaultSubmitQueue bounds how many submissions may wait in one group's
+	// pipeline queue. Beyond it, admission control fails new submissions fast
+	// with ErrOverloaded instead of stacking unbounded latency (DESIGN.md
+	// §13). Promotion re-enqueues are exempt — an admitted transaction is
+	// never dropped by the cap.
+	DefaultSubmitQueue = 256
 )
+
+// ErrOverloaded is the wire marker for an admission-control refusal: the
+// group's submit queue at the master is at capacity. Retryable — nothing
+// reached the log. The refusal's TS carries the queue depth at rejection as
+// a backpressure hint.
+const ErrOverloaded = "overloaded"
+
+func overloadedReply(depth int) network.Message {
+	m := network.Status(false, ErrOverloaded)
+	m.TS = int64(depth)
+	return m
+}
 
 // pendingSubmit is one submitted transaction waiting in the pipeline. It
 // lives in exactly one place at a time — the queue, a dispatch batch, or an
 // in-flight entry's member list — so it receives exactly one verdict.
 type pendingSubmit struct {
 	txn      wal.Txn
-	attempts int                  // positions competed for so far
-	done     chan network.Message // buffered(1); carries the verdict
+	attempts int // positions competed for so far
+
+	// deliver receives the verdict exactly once: settled arbitrates between
+	// the pipeline's verdict and the budget timer, and whichever loses is
+	// dropped. deliver may be a transport reply callback (the async submit
+	// path) — it must not be called twice.
+	deliver func(network.Message)
+	settled atomic.Bool
+	// timer is the budget timer, stopped by the first verdict. Atomic
+	// because the timer's own callback races the AfterFunc return-value
+	// store: a callback that loads nil simply has nothing to stop — it is
+	// the timer that fired.
+	timer atomic.Pointer[time.Timer]
 }
 
-// reply delivers the verdict. The buffer keeps a verdict for a waiter that
-// already timed out from blocking the pipeline.
+// reply delivers the verdict, once.
 func (ps *pendingSubmit) reply(m network.Message) {
-	select {
-	case ps.done <- m:
-	default:
+	if !ps.settled.CompareAndSwap(false, true) {
+		return
 	}
+	if t := ps.timer.Load(); t != nil {
+		t.Stop()
+	}
+	ps.deliver(m)
 }
 
 // pipeline is one group's submit path at the master: a queue of waiting
@@ -121,23 +152,46 @@ func (s *Service) pipeline(group string) *pipeline {
 // verdict or the master-side budget (4 message timeouts, as the serial path
 // allowed) expires.
 func (p *pipeline) Submit(txn wal.Txn) network.Message {
-	ps := &pendingSubmit{txn: txn, done: make(chan network.Message, 1)}
-	if !p.enqueue(false, ps) {
-		return network.Status(false, "master shutting down")
+	done := make(chan network.Message, 1)
+	p.SubmitAsync(txn, func(m network.Message) { done <- m })
+	return <-done
+}
+
+// SubmitAsync runs admission control and queues the transaction; deliver
+// receives exactly one verdict — the pipeline's, or a timeout once the
+// master-side budget expires. The caller's goroutine is released
+// immediately: a submit in flight holds no goroutine while its position
+// replicates (DESIGN.md §13).
+func (p *pipeline) SubmitAsync(txn wal.Txn, deliver func(network.Message)) {
+	ps := &pendingSubmit{txn: txn, deliver: deliver}
+	ps.timer.Store(time.AfterFunc(4*p.svc.timeout, func() {
+		ps.reply(network.Status(false, "master: submit timed out in pipeline"))
+	}))
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		ps.reply(network.Status(false, "master shutting down"))
+		return
 	}
-	t := time.NewTimer(4 * p.svc.timeout)
-	defer t.Stop()
-	select {
-	case resp := <-ps.done:
-		return resp
-	case <-t.C:
-		return network.Status(false, "master: submit timed out in pipeline")
+	if limit := p.svc.submitQueue; limit > 0 && len(p.queue) >= limit {
+		depth := len(p.queue)
+		p.mu.Unlock()
+		ps.reply(overloadedReply(depth))
+		return
 	}
+	p.queue = append(p.queue, ps)
+	if !p.running {
+		p.running = true
+		go p.dispatch()
+	}
+	p.mu.Unlock()
 }
 
 // enqueue adds batch to the queue — at the front, preserving batch order,
 // for a promoted batch re-competing — and ensures the dispatcher goroutine
-// is running. It reports false when the pipeline is closed.
+// is running. It reports false when the pipeline is closed. Promotion
+// re-enqueues bypass the admission cap: these transactions were already
+// admitted and must receive a pipeline verdict, not an overload refusal.
 func (p *pipeline) enqueue(front bool, batch ...*pendingSubmit) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -23,7 +23,7 @@ func TestPipelineEnqueueFrontPreservesBatchOrder(t *testing.T) {
 	p.mu.Unlock()
 
 	ps := func(id string) *pendingSubmit {
-		return &pendingSubmit{txn: wal.Txn{ID: id}, done: make(chan network.Message, 1)}
+		return &pendingSubmit{txn: wal.Txn{ID: id}, deliver: func(network.Message) {}}
 	}
 	a, b, c := ps("a"), ps("b"), ps("c")
 	if !p.enqueue(false, c) {
@@ -49,11 +49,63 @@ func TestPipelineEnqueueRefusedAfterClose(t *testing.T) {
 	s := NewService("A", kvstore.New(), nil)
 	p := s.pipeline("g")
 	s.Close()
-	ps := &pendingSubmit{txn: wal.Txn{ID: "x"}, done: make(chan network.Message, 1)}
+	ps := &pendingSubmit{txn: wal.Txn{ID: "x"}, deliver: func(network.Message) {}}
 	if p.enqueue(false, ps) {
 		t.Fatal("enqueue accepted on closed pipeline")
 	}
 	if resp := p.Submit(wal.Txn{ID: "y"}); resp.OK {
 		t.Fatalf("Submit on closed pipeline = %+v", resp)
+	}
+}
+
+// TestPipelineAdmissionControl: beyond the configured queue depth, new
+// submissions are refused immediately with the retryable ErrOverloaded
+// marker and the depth hint — while promotion re-enqueues (front) bypass
+// the cap, because an admitted transaction must get a pipeline verdict.
+func TestPipelineAdmissionControl(t *testing.T) {
+	s := NewService("A", kvstore.New(), nil, WithSubmitQueue(2))
+	defer s.Close()
+	p := s.pipeline("g")
+	// Park the dispatcher flag so the queue is not drained under the test.
+	p.mu.Lock()
+	p.running = true
+	p.mu.Unlock()
+
+	for i := 0; i < 2; i++ {
+		p.SubmitAsync(wal.Txn{ID: "q"}, func(network.Message) {})
+	}
+	var verdict network.Message
+	delivered := false
+	p.SubmitAsync(wal.Txn{ID: "extra"}, func(m network.Message) { verdict = m; delivered = true })
+	if !delivered {
+		t.Fatal("overload verdict not delivered synchronously")
+	}
+	if verdict.OK || verdict.Err != ErrOverloaded {
+		t.Fatalf("verdict = %+v, want ErrOverloaded", verdict)
+	}
+	if verdict.TS != 2 {
+		t.Fatalf("queue-depth hint = %d, want 2", verdict.TS)
+	}
+	// Promotion path: front enqueue is exempt from the cap.
+	if !p.enqueue(true, &pendingSubmit{txn: wal.Txn{ID: "p"}, deliver: func(network.Message) {}}) {
+		t.Fatal("front enqueue refused by admission cap")
+	}
+	p.mu.Lock()
+	depth := len(p.queue)
+	p.mu.Unlock()
+	if depth != 3 {
+		t.Fatalf("queue depth = %d, want 3 (cap exempts promotion)", depth)
+	}
+}
+
+// TestPendingSubmitVerdictExactlyOnce: the first verdict wins; later ones
+// (including the budget timer's) are dropped without a second deliver call.
+func TestPendingSubmitVerdictExactlyOnce(t *testing.T) {
+	calls := 0
+	ps := &pendingSubmit{deliver: func(network.Message) { calls++ }}
+	ps.reply(network.Status(true, ""))
+	ps.reply(network.Status(false, "late"))
+	if calls != 1 {
+		t.Fatalf("deliver called %d times, want 1", calls)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,9 +61,16 @@ type Service struct {
 
 	// submitWindow and submitCombine tune the master's pipelined submit
 	// path (pipeline.go): positions in flight per group, and transactions
-	// combined per log entry.
+	// combined per log entry. submitQueue is the admission cap: submissions
+	// beyond this queue depth are refused with ErrOverloaded (DESIGN.md
+	// §13); <= 0 lifts the cap.
 	submitWindow  int
 	submitCombine int
+	submitQueue   int
+
+	// disp shards short request handlers across GOMAXPROCS workers keyed by
+	// group (dispatch.go); used by AsyncHandler only.
+	disp *dispatcher
 
 	// fencing enables epoch-fenced master leases (DESIGN.md §11): the
 	// master path claims a per-group epoch through the log before placing
@@ -125,6 +133,19 @@ func WithSubmitCombine(n int) ServiceOption {
 	}
 }
 
+// WithSubmitQueue sets the per-group submit admission cap: submissions
+// arriving while this many are already queued fail fast with the retryable
+// ErrOverloaded marker and a queue-depth hint, instead of stacking
+// unbounded latency (default DefaultSubmitQueue). Negative lifts the cap,
+// restoring the pre-admission unbounded queue.
+func WithSubmitQueue(n int) ServiceOption {
+	return func(s *Service) {
+		if n != 0 {
+			s.submitQueue = n
+		}
+	}
+}
+
 // DefaultLeaseFactor scales the service timeout into the default master
 // lease duration: long enough that transient message loss does not trigger a
 // takeover, short enough that failover is a few timeouts, not minutes.
@@ -175,6 +196,8 @@ func NewService(dc string, store *kvstore.Store, transport network.Transport, op
 		timeout:       network.DefaultTimeout,
 		submitWindow:  DefaultSubmitWindow,
 		submitCombine: DefaultSubmitCombine,
+		submitQueue:   DefaultSubmitQueue,
+		disp:          newDispatcher(runtime.GOMAXPROCS(0)),
 		fencing:       true,
 		claimLocks:    make(map[string]*sync.Mutex),
 		claimHist:     make(map[string]*claimHistory),
@@ -226,6 +249,7 @@ func (s *Service) Close() {
 		p.close()
 	}
 	s.logs.Close()
+	s.disp.close()
 }
 
 // Handler returns the network handler that dispatches every protocol

@@ -79,16 +79,78 @@ func violationf(prop, format string, args ...any) Violation {
 // Check validates an execution: logs maps datacenter -> position -> decided
 // entry, commits lists every commit clients observed. It returns all
 // violations found (empty means the execution is one-copy serializable).
+//
+// Check assumes traffic was quiesced before the logs were collected: every
+// decided position is expected to be present, so any hole is a LOG
+// violation. Logs snapshotted with proposals still in flight can carry
+// harmless trailing holes (positions decided on some replica but not yet
+// learned anywhere the snapshot saw); use CheckQuiesced for those runs.
 func Check(logs map[string]map[int64]wal.Entry, commits []Commit) []Violation {
+	return check(logs, commits, -1)
+}
+
+// CheckQuiesced is Check for executions whose logs were collected without
+// quiescing traffic first. A hole strictly above horizon — the maximum
+// applied watermark across all replicas — is ambiguous in-flight
+// replication debt, not a violation: entries above the first such hole are
+// dropped from the merged log before checking, since nothing contiguous
+// below any watermark depends on them. Holes at or below horizon remain LOG
+// violations exactly as in Check.
+//
+// Soundness: a commit verdict is only delivered once the committed position
+// is applied (the pipeline waits on the watermark), so every client-reported
+// commit position is <= some replica's watermark <= horizon, below the
+// truncation point. A commit claiming a truncated position is therefore
+// still correctly flagged (L1 missing from log).
+func CheckQuiesced(logs map[string]map[int64]wal.Entry, horizon int64, commits []Commit) []Violation {
+	if horizon < 0 {
+		horizon = 0
+	}
+	return check(logs, commits, horizon)
+}
+
+// check is the shared engine: horizon < 0 means strict (Check), otherwise
+// trailing holes above horizon are tolerated by truncation (CheckQuiesced).
+func check(logs map[string]map[int64]wal.Entry, commits []Commit, horizon int64) []Violation {
 	var out []Violation
 
 	merged, vs := mergeLogs(logs)
 	out = append(out, vs...)
+	if horizon >= 0 {
+		merged = truncateTrailing(merged, horizon)
+	}
 
 	fenced := fencedPositions(merged)
 	out = append(out, checkPlacement(merged, fenced, commits)...)
 	out = append(out, checkSerializability(merged, fenced, commits)...)
 	return out
+}
+
+// truncateTrailing drops merged-log entries above the first hole when that
+// hole lies strictly above horizon. If the log is contiguous, or its first
+// hole is at or below horizon (a real violation positions() must flag), the
+// log is returned unchanged.
+func truncateTrailing(merged map[int64]wal.Entry, horizon int64) map[int64]wal.Entry {
+	ps := make([]int64, 0, len(merged))
+	for p := range merged {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	for i, p := range ps {
+		if int64(i+1) == p {
+			continue
+		}
+		hole := int64(i + 1)
+		if hole <= horizon {
+			return merged // a hole below a watermark: keep it, let positions() flag it
+		}
+		trunc := make(map[int64]wal.Entry, i)
+		for _, q := range ps[:i] {
+			trunc[q] = merged[q]
+		}
+		return trunc
+	}
+	return merged
 }
 
 // fencedPositions replays the merged log's claim entries in order and

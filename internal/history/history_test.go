@@ -232,3 +232,64 @@ func TestWriteSetMismatchDetected(t *testing.T) {
 		t.Fatalf("write-set divergence not flagged: %v", vs)
 	}
 }
+
+// TestCheckQuiescedToleratesTrailingHoles is the regression test for the PR 5
+// note: logs snapshotted without quiescing traffic carry trailing ambiguous
+// holes above every applied watermark (in-flight proposals decided on some
+// replica but learned nowhere the snapshot saw). Check flags those as LOG
+// violations; CheckQuiesced, given the max applied watermark as horizon,
+// tolerates them — while still catching holes below a watermark and commits
+// claiming truncated positions.
+func TestCheckQuiescedToleratesTrailingHoles(t *testing.T) {
+	t1 := txn("t1", 0, nil, map[string]string{"x": "1"})
+	t2 := txn("t2", 1, []string{"x"}, map[string]string{"y": "2"})
+	stray := txn("stray", 2, nil, map[string]string{"z": "9"})
+	// Positions 1,2 contiguous; 5 is a trailing in-flight entry above the
+	// hole at 3.
+	log := map[int64]wal.Entry{1: wal.NewEntry(t1), 2: wal.NewEntry(t2), 5: wal.NewEntry(stray)}
+	logs := map[string]map[int64]wal.Entry{"A": log, "B": log}
+	commits := []Commit{
+		{ID: "t1", ReadPos: 0, Pos: 1, Reads: map[string]string{}, Writes: map[string]string{"x": "1"}},
+		{ID: "t2", ReadPos: 1, Pos: 2, Reads: map[string]string{"x": "1"}, Writes: map[string]string{"y": "2"}},
+	}
+
+	// Strict mode: the hole at 3 is a LOG violation.
+	if vs := Check(logs, commits); !hasViolation(vs, "LOG", "expected position 3") {
+		t.Fatalf("strict Check missed the trailing hole: %v", vs)
+	}
+	// Quiesce-aware with the watermark below the hole: clean.
+	if vs := CheckQuiesced(logs, 2, commits); len(vs) != 0 {
+		t.Fatalf("CheckQuiesced flagged trailing in-flight debt: %v", vs)
+	}
+}
+
+func TestCheckQuiescedStillFlagsHolesBelowHorizon(t *testing.T) {
+	t1 := txn("t1", 0, nil, map[string]string{"x": "1"})
+	t4 := txn("t4", 3, nil, map[string]string{"y": "2"})
+	// Hole at 2-3 with the watermark claiming position 4 applied: a decided,
+	// applied position is missing everywhere — a real violation.
+	log := map[int64]wal.Entry{1: wal.NewEntry(t1), 4: wal.NewEntry(t4)}
+	logs := map[string]map[int64]wal.Entry{"A": log}
+	vs := CheckQuiesced(logs, 4, nil)
+	if !hasViolation(vs, "LOG", "expected position 2") {
+		t.Fatalf("hole below horizon not flagged: %v", vs)
+	}
+}
+
+func TestCheckQuiescedFlagsCommitAboveTruncation(t *testing.T) {
+	t1 := txn("t1", 0, nil, map[string]string{"x": "1"})
+	stray := txn("stray", 1, nil, map[string]string{"z": "9"})
+	log := map[int64]wal.Entry{1: wal.NewEntry(t1), 5: wal.NewEntry(stray)}
+	logs := map[string]map[int64]wal.Entry{"A": log}
+	commits := []Commit{
+		{ID: "t1", ReadPos: 0, Pos: 1, Writes: map[string]string{"x": "1"}},
+		// A client claims "stray" committed at 5 — but a delivered verdict
+		// implies the position was applied, i.e. <= horizon. Truncation must
+		// not hide it.
+		{ID: "stray", ReadPos: 1, Pos: 5, Writes: map[string]string{"z": "9"}},
+	}
+	vs := CheckQuiesced(logs, 1, commits)
+	if !hasViolation(vs, "L1", "stray") {
+		t.Fatalf("commit above truncation not flagged: %v", vs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Binary wire codec for Message and the UDP transport's envelope. The
@@ -12,31 +13,25 @@ import (
 //
 //	envelope: wireVersion(1) flags(1) id(uvarint) from(str) message
 //	message:  kind(1 | 0xFF+str) bools(1) group(str) pos(varint)
-//	          ballot(varint) ts(varint) key(str) value(str) err(str)
-//	          payload(bytes) keys([]str) vals([]str) founds(bitmap)
+//	          ballot(varint) ts(varint) epoch(varint) key(str) value(str)
+//	          err(str) payload(bytes) keys([]str) vals([]str) founds(bitmap)
 //	str:      len(uvarint) bytes;  []str: count(uvarint) str*
 //	bitmap:   count(uvarint) ceil(count/8) bytes, LSB first
 //
-// A leading wire-version byte (0xB1 or 0xB2) can never be the first byte of
-// a JSON envelope ('{'), so a receiver distinguishes binary from legacy JSON
-// datagrams by sniffing the first byte — the UDP transport answers each
-// request in the encoding (and binary version) it arrived in, keeping
-// mixed-version clusters talking during a rolling upgrade.
+// The codec is binary-only: the legacy JSON envelope and the pre-epoch 0xB1
+// layout were retired once every deployed peer spoke 0xB2. Datagrams whose
+// leading byte is not wireVersion are dropped.
 //
-// Version 0xB2 adds one field to the message layout: epoch(varint) after
-// ts (the master-epoch fencing field, DESIGN.md §11). 0xB1 envelopes decode
-// with Epoch = 0 and are answered in the 0xB1 layout, dropping the epoch a
-// legacy peer would not understand anyway.
+// Decoding is allocation-free in steady state: a decoder holds reusable
+// scratch (a bounded string intern table, a payload buffer, and Keys/Vals/
+// Founds backing arrays) so the hot path recycles memory across datagrams.
+// Decoded messages backed by a decoder are only valid until the decoder is
+// reused; paths whose result outlives the call (response correlation,
+// UnmarshalBinary) decode with fresh allocations instead.
 
 const (
-	// wireVersion is the leading byte of a legacy binary envelope (pre-epoch
-	// message layout). Still decoded; replies to it are encoded the same way.
-	wireVersion = 0xB1
-	// wireVersion2 is the leading byte of a current binary envelope, whose
-	// message layout carries the Epoch field.
-	wireVersion2 = 0xB2
-	// jsonFirstByte is the first byte of every JSON envelope.
-	jsonFirstByte = '{'
+	// wireVersion is the leading byte of every binary envelope.
+	wireVersion = 0xB2
 
 	// wireMaxStr caps decoded string lengths; wireMaxCount caps element
 	// counts. Both defend against corrupt or hostile datagrams.
@@ -74,6 +69,67 @@ const (
 	flagFound    = 1 << 1
 	flagCombined = 1 << 2
 )
+
+// Bounds of the decoder's string intern table: strings longer than
+// internMaxLen are never interned, and a table that reaches internMaxEntries
+// is discarded and rebuilt, so hostile traffic cannot grow it unboundedly.
+// Group names, keys, datacenter names, and error markers all repeat heavily
+// in steady state, which is what makes decode allocation-free.
+const (
+	internMaxLen     = 128
+	internMaxEntries = 4096
+)
+
+// decoder holds the reusable scratch for one in-flight datagram decode. The
+// UDP transport pools decoders: a request's decoder (and therefore every
+// string, the Payload, and the Keys/Vals/Founds arrays of its Message) stays
+// alive until the handler replies, then returns to the pool.
+type decoder struct {
+	interned map[string]string
+	payload  []byte
+	keys     []string
+	vals     []string
+	founds   []bool
+}
+
+// intern returns b as a string, reusing a previously allocated copy when the
+// table holds one. The m[string(b)] lookup compiles to an allocation-free
+// map probe, so repeated strings cost nothing after their first appearance.
+func (d *decoder) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > internMaxLen {
+		return string(b)
+	}
+	if s, ok := d.interned[string(b)]; ok {
+		return s
+	}
+	if d.interned == nil || len(d.interned) >= internMaxEntries {
+		d.interned = make(map[string]string, 64)
+	}
+	s := string(b)
+	d.interned[s] = s
+	return s
+}
+
+var decoderPool = sync.Pool{New: func() any { return new(decoder) }}
+
+// encBufPool recycles envelope encode buffers. Buffers that grew past
+// maxPooledBuf are dropped so one oversized datagram does not pin memory.
+var encBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+const maxPooledBuf = 64 * 1024
+
+func getEncBuf() *[]byte { return encBufPool.Get().(*[]byte) }
+func putEncBuf(b *[]byte) {
+	if cap(*b) <= maxPooledBuf {
+		encBufPool.Put(b)
+	}
+}
 
 func appendUvarint(b []byte, v uint64) []byte {
 	return binary.AppendUvarint(b, v)
@@ -114,15 +170,9 @@ func appendBools(b []byte, bs []bool) []byte {
 	return b
 }
 
-// AppendMessage appends m's binary encoding (the current layout, with the
-// epoch field) to dst and returns the extended slice.
+// AppendMessage appends m's binary encoding to dst and returns the extended
+// slice.
 func AppendMessage(dst []byte, m Message) []byte {
-	return appendMessage(dst, m, true)
-}
-
-// appendMessage appends m's binary encoding; withEpoch selects the current
-// (0xB2) or legacy (0xB1) layout.
-func appendMessage(dst []byte, m Message, withEpoch bool) []byte {
 	if code, ok := kindCode[m.Kind]; ok {
 		dst = append(dst, code)
 	} else {
@@ -144,9 +194,7 @@ func appendMessage(dst []byte, m Message, withEpoch bool) []byte {
 	dst = appendVarint(dst, m.Pos)
 	dst = appendVarint(dst, m.Ballot)
 	dst = appendVarint(dst, m.TS)
-	if withEpoch {
-		dst = appendVarint(dst, m.Epoch)
-	}
+	dst = appendVarint(dst, m.Epoch)
 	dst = appendStr(dst, m.Key)
 	dst = appendStr(dst, m.Value)
 	dst = appendStr(dst, m.Err)
@@ -158,9 +206,12 @@ func appendMessage(dst []byte, m Message, withEpoch bool) []byte {
 	return dst
 }
 
-// wireReader decodes the binary layout from a byte slice without copying.
+// wireReader decodes the binary layout from a byte slice. With a decoder
+// attached it reuses that decoder's scratch; without one every string and
+// slice is freshly allocated.
 type wireReader struct {
 	buf []byte
+	d   *decoder
 }
 
 func (r *wireReader) uvarint() (uint64, error) {
@@ -201,9 +252,12 @@ func (r *wireReader) str() (string, error) {
 	if uint64(len(r.buf)) < n {
 		return "", fmt.Errorf("%w: short string", ErrBadWire)
 	}
-	s := string(r.buf[:n])
+	b := r.buf[:n]
 	r.buf = r.buf[n:]
-	return s, nil
+	if r.d != nil {
+		return r.d.intern(b), nil
+	}
+	return string(b), nil
 }
 
 func (r *wireReader) bytes() ([]byte, error) {
@@ -220,13 +274,21 @@ func (r *wireReader) bytes() ([]byte, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	out := make([]byte, n)
-	copy(out, r.buf)
+	var out []byte
+	if r.d != nil {
+		r.d.payload = append(r.d.payload[:0], r.buf[:n]...)
+		out = r.d.payload
+	} else {
+		out = make([]byte, n)
+		copy(out, r.buf)
+	}
 	r.buf = r.buf[n:]
 	return out, nil
 }
 
-func (r *wireReader) strs() ([]string, error) {
+// strs decodes a string list. scratch, when non-nil, supplies (and receives
+// back) the reusable backing array.
+func (r *wireReader) strs(scratch *[]string) ([]string, error) {
 	n, err := r.uvarint()
 	if err != nil {
 		return nil, err
@@ -237,7 +299,12 @@ func (r *wireReader) strs() ([]string, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	out := make([]string, 0, n)
+	var out []string
+	if scratch != nil {
+		out = (*scratch)[:0]
+	} else {
+		out = make([]string, 0, n)
+	}
 	for i := uint64(0); i < n; i++ {
 		s, err := r.str()
 		if err != nil {
@@ -245,10 +312,13 @@ func (r *wireReader) strs() ([]string, error) {
 		}
 		out = append(out, s)
 	}
+	if scratch != nil {
+		*scratch = out
+	}
 	return out, nil
 }
 
-func (r *wireReader) bools() ([]bool, error) {
+func (r *wireReader) bools(scratch *[]bool) ([]bool, error) {
 	n, err := r.uvarint()
 	if err != nil {
 		return nil, err
@@ -263,7 +333,15 @@ func (r *wireReader) bools() ([]bool, error) {
 	if uint64(len(r.buf)) < nbytes {
 		return nil, fmt.Errorf("%w: short bitmap", ErrBadWire)
 	}
-	out := make([]bool, n)
+	var out []bool
+	if scratch != nil && uint64(cap(*scratch)) >= n {
+		out = (*scratch)[:n]
+	} else {
+		out = make([]bool, n)
+		if scratch != nil {
+			*scratch = out
+		}
+	}
 	for i := uint64(0); i < n; i++ {
 		out[i] = r.buf[i/8]&(1<<(i%8)) != 0
 	}
@@ -271,9 +349,8 @@ func (r *wireReader) bools() ([]bool, error) {
 	return out, nil
 }
 
-// readMessage decodes one Message from the reader; withEpoch selects the
-// current (0xB2) or legacy (0xB1) layout.
-func (r *wireReader) readMessage(withEpoch bool) (Message, error) {
+// readMessage decodes one Message from the reader.
+func (r *wireReader) readMessage() (Message, error) {
 	var m Message
 	kb, err := r.byte()
 	if err != nil {
@@ -310,10 +387,8 @@ func (r *wireReader) readMessage(withEpoch bool) (Message, error) {
 	if m.TS, err = r.varint(); err != nil {
 		return Message{}, err
 	}
-	if withEpoch {
-		if m.Epoch, err = r.varint(); err != nil {
-			return Message{}, err
-		}
+	if m.Epoch, err = r.varint(); err != nil {
+		return Message{}, err
 	}
 	if m.Key, err = r.str(); err != nil {
 		return Message{}, err
@@ -327,13 +402,18 @@ func (r *wireReader) readMessage(withEpoch bool) (Message, error) {
 	if m.Payload, err = r.bytes(); err != nil {
 		return Message{}, err
 	}
-	if m.Keys, err = r.strs(); err != nil {
+	var keys, vals *[]string
+	var founds *[]bool
+	if r.d != nil {
+		keys, vals, founds = &r.d.keys, &r.d.vals, &r.d.founds
+	}
+	if m.Keys, err = r.strs(keys); err != nil {
 		return Message{}, err
 	}
-	if m.Vals, err = r.strs(); err != nil {
+	if m.Vals, err = r.strs(vals); err != nil {
 		return Message{}, err
 	}
-	if m.Founds, err = r.bools(); err != nil {
+	if m.Founds, err = r.bools(founds); err != nil {
 		return Message{}, err
 	}
 	return m, nil
@@ -346,10 +426,11 @@ func MarshalBinary(m Message) []byte {
 }
 
 // UnmarshalBinary decodes a message produced by MarshalBinary. Corrupt or
-// truncated input returns ErrBadWire; it never panics.
+// truncated input returns ErrBadWire; it never panics. The result is freshly
+// allocated and safe to retain.
 func UnmarshalBinary(data []byte) (Message, error) {
 	r := wireReader{buf: data}
-	m, err := r.readMessage(true)
+	m, err := r.readMessage()
 	if err != nil {
 		return Message{}, err
 	}
@@ -362,11 +443,9 @@ func UnmarshalBinary(data []byte) (Message, error) {
 // Envelope flag bits.
 const envFlagResp = 1 << 0
 
-// appendEnvelope appends the binary envelope encoding to dst in the given
-// wire version (wireVersion2 normally; wireVersion when answering a legacy
-// peer in its own layout).
-func appendEnvelope(dst []byte, env envelope, ver byte) []byte {
-	dst = append(dst, ver)
+// appendEnvelope appends the binary envelope encoding to dst.
+func appendEnvelope(dst []byte, env envelope) []byte {
+	dst = append(dst, wireVersion)
 	var flags byte
 	if env.Resp {
 		flags |= envFlagResp
@@ -374,34 +453,34 @@ func appendEnvelope(dst []byte, env envelope, ver byte) []byte {
 	dst = append(dst, flags)
 	dst = appendUvarint(dst, env.ID)
 	dst = appendStr(dst, env.From)
-	return appendMessage(dst, env.Msg, ver != wireVersion)
+	return AppendMessage(dst, env.Msg)
 }
 
-// decodeEnvelope decodes a binary envelope (either wire version, identified
-// by its leading byte, which is returned so replies can match).
-func decodeEnvelope(data []byte) (envelope, byte, error) {
+// decodeEnvelope decodes a binary envelope. With d non-nil the decode reuses
+// d's scratch and the result is valid only until d's next use; with d nil
+// everything is freshly allocated.
+func decodeEnvelope(data []byte, d *decoder) (envelope, error) {
 	var env envelope
-	if len(data) == 0 || (data[0] != wireVersion && data[0] != wireVersion2) {
-		return envelope{}, 0, fmt.Errorf("%w: bad wire version", ErrBadWire)
+	if len(data) == 0 || data[0] != wireVersion {
+		return envelope{}, fmt.Errorf("%w: bad wire version", ErrBadWire)
 	}
-	ver := data[0]
-	r := wireReader{buf: data[1:]}
+	r := wireReader{buf: data[1:], d: d}
 	flags, err := r.byte()
 	if err != nil {
-		return envelope{}, 0, err
+		return envelope{}, err
 	}
 	env.Resp = flags&envFlagResp != 0
 	if env.ID, err = r.uvarint(); err != nil {
-		return envelope{}, 0, err
+		return envelope{}, err
 	}
 	if env.From, err = r.str(); err != nil {
-		return envelope{}, 0, err
+		return envelope{}, err
 	}
-	if env.Msg, err = r.readMessage(ver != wireVersion); err != nil {
-		return envelope{}, 0, err
+	if env.Msg, err = r.readMessage(); err != nil {
+		return envelope{}, err
 	}
 	if len(r.buf) != 0 {
-		return envelope{}, 0, fmt.Errorf("%w: %d trailing bytes", ErrBadWire, len(r.buf))
+		return envelope{}, fmt.Errorf("%w: %d trailing bytes", ErrBadWire, len(r.buf))
 	}
-	return env, ver, nil
+	return env, nil
 }

@@ -18,8 +18,11 @@
 //
 // Message is the single wire unit; the UDP transport encodes it with a
 // compact length-prefixed binary codec (codec.go, DESIGN.md §9) behind a
-// leading version byte, and still accepts and answers legacy JSON
-// envelopes, so mixed-version peers interoperate during a rolling upgrade.
-// Wire version 0xB2 added the master-epoch field (DESIGN.md §11); 0xB1
-// peers are answered in their own layout.
+// leading version byte (0xB2, the layout that carries the master-epoch
+// field of DESIGN.md §11). The codec is binary-only: the legacy JSON
+// envelope and the pre-epoch 0xB1 layout are gone, and datagrams in any
+// other format are dropped. The hot path is allocation-free in steady
+// state — encode buffers and decode scratch are pooled, and request
+// handling runs through AsyncHandler so the read loop never blocks on a
+// slow request (DESIGN.md §13).
 package network

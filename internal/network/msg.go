@@ -1,7 +1,6 @@
 package network
 
 import (
-	"encoding/json"
 	"fmt"
 )
 
@@ -63,35 +62,35 @@ const ResolvePos int64 = -1
 // Transaction Services. One flat struct (rather than per-kind types) keeps
 // the UDP codec trivial and mirrors the loosely-typed RPC of the prototype.
 type Message struct {
-	Kind  Kind   `json:"k"`
-	Group string `json:"g,omitempty"` // transaction group key
-	Pos   int64  `json:"p,omitempty"` // log position the message concerns
+	Kind  Kind
+	Group string // transaction group key
+	Pos   int64  // log position the message concerns
 
-	Ballot  int64  `json:"b,omitempty"` // proposal number
-	Payload []byte `json:"v,omitempty"` // encoded wal.Entry (vote or value)
+	Ballot  int64  // proposal number
+	Payload []byte // encoded wal.Entry (vote or value)
 
-	Key string `json:"key,omitempty"` // data item key (reads)
-	TS  int64  `json:"ts,omitempty"`  // timestamp / read position
+	Key string // data item key (reads)
+	TS  int64  // timestamp / read position
 
-	OK    bool   `json:"ok,omitempty"`  // success flag in replies
-	Value string `json:"val,omitempty"` // data item value in read replies
-	Found bool   `json:"f,omitempty"`   // read reply: key existed
-	Err   string `json:"e,omitempty"`   // error detail in failure replies
+	OK    bool   // success flag in replies
+	Value string // data item value in read replies
+	Found bool   // read reply: key existed
+	Err   string // error detail in failure replies
 
 	// Combined marks a submit reply whose transaction committed inside a
 	// multi-transaction log entry (the master's combination path).
-	Combined bool `json:"cb,omitempty"`
+	Combined bool
 
 	// Epoch carries the master epoch (DESIGN.md §11): in a submit reply, the
 	// epoch the transaction committed under; in a "not master" refusal, the
 	// prevailing epoch the refusing service has observed. 0 = unfenced.
-	Epoch int64 `json:"ep,omitempty"`
+	Epoch int64
 
 	// Multi-key read (KindReadMulti): the request lists Keys; the reply
 	// carries Vals and Founds parallel to the request's Keys.
-	Keys   []string `json:"keys,omitempty"`
-	Vals   []string `json:"vals,omitempty"`
-	Founds []bool   `json:"fnds,omitempty"`
+	Keys   []string
+	Vals   []string
+	Founds []bool
 }
 
 // Status constructs a generic success/failure reply.
@@ -102,16 +101,4 @@ func Status(ok bool, err string) Message {
 // String renders a compact debug form.
 func (m Message) String() string {
 	return fmt.Sprintf("%s{g=%s p=%d b=%d ok=%v}", m.Kind, m.Group, m.Pos, m.Ballot, m.OK)
-}
-
-// Marshal encodes m for the UDP transport.
-func Marshal(m Message) ([]byte, error) { return json.Marshal(m) }
-
-// Unmarshal decodes a datagram payload.
-func Unmarshal(data []byte) (Message, error) {
-	var m Message
-	if err := json.Unmarshal(data, &m); err != nil {
-		return Message{}, fmt.Errorf("network: bad message: %w", err)
-	}
-	return m, nil
 }

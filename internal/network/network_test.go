@@ -233,29 +233,23 @@ func TestSimConcurrentSends(t *testing.T) {
 	}
 }
 
-func TestMessageMarshalRoundTrip(t *testing.T) {
-	m := Message{
-		Kind: KindAccept, Group: "g1", Pos: 9, Ballot: 123,
-		Payload: []byte{0x01, 0xff, 0x00}, Key: "k", TS: 4,
-		OK: true, Value: "v", Found: true, Err: "",
-	}
-	data, err := Marshal(m)
+// TestSimAsyncEndpoint checks the async registration path: a handler that
+// moves its work to another goroutine before replying still completes the
+// round trip, and extra replies are dropped.
+func TestSimAsyncEndpoint(t *testing.T) {
+	sim := NewSim(NewTopology("A", "B"), SimConfig{Scale: 0.01})
+	a := sim.Endpoint("A", echoHandler("A"))
+	sim.EndpointAsync("B", func(from string, req Message, reply func(Message)) {
+		go func() {
+			reply(Message{Kind: KindStatus, OK: true, Err: "B<-" + from, Pos: req.Pos})
+			reply(Message{Kind: KindStatus, OK: false}) // ignored
+		}()
+	})
+	resp, err := a.Send(context.Background(), "B", Message{Kind: KindRead, Pos: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Unmarshal(data)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got.Kind != m.Kind || got.Group != m.Group || got.Pos != m.Pos ||
-		got.Ballot != m.Ballot || string(got.Payload) != string(m.Payload) ||
-		got.Key != m.Key || got.TS != m.TS || !got.OK || got.Value != "v" || !got.Found {
-		t.Fatalf("round trip mismatch: %+v vs %+v", m, got)
-	}
-}
-
-func TestUnmarshalRejectsGarbage(t *testing.T) {
-	if _, err := Unmarshal([]byte("{not json")); err == nil {
-		t.Fatal("garbage accepted")
+	if !resp.OK || resp.Err != "B<-A" || resp.Pos != 11 {
+		t.Fatalf("async reply = %+v", resp)
 	}
 }

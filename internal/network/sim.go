@@ -90,7 +90,7 @@ type Sim struct {
 	rng   *rand.Rand
 
 	mu       sync.RWMutex
-	handlers map[string]Handler
+	handlers map[string]AsyncHandler
 	down     map[string]bool
 	blocked  map[[2]string]bool
 	closed   bool
@@ -112,7 +112,7 @@ func NewSim(topo *Topology, cfg SimConfig) *Sim {
 		topo:     topo,
 		cfg:      cfg,
 		rng:      rand.New(rand.NewSource(seed)),
-		handlers: make(map[string]Handler),
+		handlers: make(map[string]AsyncHandler),
 		down:     make(map[string]bool),
 		blocked:  make(map[[2]string]bool),
 		lossRate: cfg.LossRate,
@@ -130,6 +130,15 @@ func (s *Sim) SetLossRate(rate float64) {
 // Endpoint registers dc's request handler and returns its transport endpoint.
 // Registering the same dc twice replaces the handler (used by recovery tests).
 func (s *Sim) Endpoint(dc string, h Handler) Transport {
+	return s.EndpointAsync(dc, func(from string, req Message, reply func(Message)) {
+		reply(h(from, req))
+	})
+}
+
+// EndpointAsync registers dc's asynchronous request handler and returns its
+// transport endpoint. The handler runs on the simulated delivery goroutine;
+// like the UDP transport's read path, it decides what work moves elsewhere.
+func (s *Sim) EndpointAsync(dc string, h AsyncHandler) Transport {
 	if !s.topo.Has(dc) {
 		panic(fmt.Sprintf("network: endpoint for unknown datacenter %q", dc))
 	}
@@ -202,7 +211,7 @@ func (s *Sim) dropped() bool {
 	return rate > 0 && s.randFloat() < rate
 }
 
-func (s *Sim) state(from, to string) (h Handler, lost bool, closed bool) {
+func (s *Sim) state(from, to string) (h AsyncHandler, lost bool, closed bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
@@ -262,7 +271,16 @@ func (e *simEndpoint) Send(ctx context.Context, to string, req Message) (Message
 			s.counters.Lost(req.Kind)
 			return
 		}
-		resp := h(e.dc, req)
+		// Deliver through the async handler; the delivery goroutine waits for
+		// the reply even when the handler hands the work to another goroutine.
+		replyCh := make(chan Message, 1)
+		h(e.dc, req, func(m Message) {
+			select {
+			case replyCh <- m:
+			default: // extra replies are dropped
+			}
+		})
+		resp := <-replyCh
 		s.counters.Sent(resp.Kind)
 
 		// Response flight.

@@ -29,6 +29,15 @@ const DefaultTimeout = 2 * time.Second
 // request in its own service process").
 type Handler func(from string, req Message) Message
 
+// AsyncHandler processes one inbound request and delivers the response
+// through reply, which must be called exactly once (extra calls are
+// ignored). The handler chooses where the work runs: cheap requests answer
+// inline on the transport's read path, expensive or blocking ones move to
+// another goroutine first. req — including the backing arrays of Payload,
+// Keys, Vals, and Founds — is only valid until reply is called; a handler
+// that retains any of it past the reply must copy first.
+type AsyncHandler func(from string, req Message, reply func(Message))
+
 // Transport sends a request to a peer datacenter and waits for its response.
 type Transport interface {
 	// Send delivers req to the named peer and returns its response. It

@@ -2,9 +2,9 @@ package network
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"net"
+	"net/netip"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -12,10 +12,10 @@ import (
 
 // envelope wraps a Message on the UDP wire with correlation metadata.
 type envelope struct {
-	ID   uint64  `json:"id"`
-	From string  `json:"from"`
-	Resp bool    `json:"resp,omitempty"`
-	Msg  Message `json:"msg"`
+	ID   uint64
+	From string
+	Resp bool
+	Msg  Message
 }
 
 // UDP is a real UDP transport: one socket per datacenter, binary datagrams
@@ -24,35 +24,48 @@ type envelope struct {
 // timeout; this transport reproduces those semantics faithfully — a dropped
 // datagram in either direction simply surfaces as ErrTimeout.
 //
-// Datagrams are encoded with the compact binary codec behind a version byte;
-// legacy JSON envelopes (which start with '{') are still accepted and
-// answered in JSON, so binary and JSON peers interoperate during a rolling
-// upgrade (DESIGN.md §9).
+// The read loop is allocation-free in steady state: datagrams are read with
+// ReadFromUDPAddrPort (no per-packet address allocation), requests decode
+// into pooled scratch that lives until the handler replies, and replies
+// encode into pooled buffers. Responses to our own requests are decoded with
+// fresh allocations because they outlive the loop iteration (they travel
+// through the pending-correlation channel to a waiting Send).
 type UDP struct {
 	local   string
 	conn    *net.UDPConn
-	handler Handler
+	handler AsyncHandler
+	// writeTo sends one datagram; a hook so tests can pin the serve path's
+	// allocation profile without a live peer.
+	writeTo func(b []byte, addr netip.AddrPort) (int, error)
 
 	mu      sync.RWMutex
-	peers   map[string]*net.UDPAddr
+	peers   map[string]netip.AddrPort
 	pending map[uint64]chan Message
 	closed  bool
-	// peerVer caches the envelope encoding each peer last spoke — a wire
-	// version byte, or jsonFirstByte for a legacy JSON peer. Outbound
-	// requests use it so a not-yet-upgraded peer is addressed in a layout
-	// it decodes (the docs' rolling-upgrade promise works in both
-	// directions); unknown peers get the current version.
-	peerVer map[string]byte
 
 	nextID atomic.Uint64
 	wg     sync.WaitGroup
 }
 
 // NewUDP binds a UDP socket on bindAddr (e.g. "127.0.0.1:7001") for the
-// datacenter named local and starts serving inbound requests with h. peers
-// maps every datacenter name (including local) to its UDP address. Peer
-// addresses are resolved eagerly so a bad address fails fast.
+// datacenter named local and serves each inbound request in its own
+// goroutine through the synchronous handler h. peers maps every datacenter
+// name (including local) to its UDP address.
 func NewUDP(local, bindAddr string, peers map[string]string, h Handler) (*UDP, error) {
+	var ah AsyncHandler
+	if h != nil {
+		ah = func(from string, req Message, reply func(Message)) {
+			go func() { reply(h(from, req)) }()
+		}
+	}
+	return NewUDPAsync(local, bindAddr, peers, ah)
+}
+
+// NewUDPAsync binds a UDP socket like NewUDP but serves inbound requests
+// through an AsyncHandler, which the read loop invokes directly: the handler
+// decides what runs inline and what moves to another goroutine. Peer
+// addresses are resolved eagerly so a bad address fails fast.
+func NewUDPAsync(local, bindAddr string, peers map[string]string, h AsyncHandler) (*UDP, error) {
 	laddr, err := net.ResolveUDPAddr("udp", bindAddr)
 	if err != nil {
 		return nil, fmt.Errorf("network: bind %q: %w", bindAddr, err)
@@ -65,12 +78,12 @@ func NewUDP(local, bindAddr string, peers map[string]string, h Handler) (*UDP, e
 		local:   local,
 		conn:    conn,
 		handler: h,
-		peers:   make(map[string]*net.UDPAddr, len(peers)),
+		peers:   make(map[string]netip.AddrPort, len(peers)),
 		pending: make(map[uint64]chan Message),
-		peerVer: make(map[string]byte),
 	}
+	u.writeTo = u.conn.WriteToUDPAddrPort
 	for name, addr := range peers {
-		a, err := net.ResolveUDPAddr("udp", addr)
+		a, err := resolveAddrPort(addr)
 		if err != nil {
 			conn.Close()
 			return nil, fmt.Errorf("network: peer %s=%q: %w", name, addr, err)
@@ -82,12 +95,25 @@ func NewUDP(local, bindAddr string, peers map[string]string, h Handler) (*UDP, e
 	return u, nil
 }
 
+// resolveAddrPort resolves a host:port string to a netip.AddrPort, going
+// through the resolver for hostnames.
+func resolveAddrPort(addr string) (netip.AddrPort, error) {
+	if ap, err := netip.ParseAddrPort(addr); err == nil {
+		return ap, nil
+	}
+	a, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return netip.AddrPort{}, err
+	}
+	return a.AddrPort(), nil
+}
+
 // LocalAddr returns the bound socket address (useful with port 0 in tests).
 func (u *UDP) LocalAddr() string { return u.conn.LocalAddr().String() }
 
 // SetPeer adds or updates a peer address after construction.
 func (u *UDP) SetPeer(name, addr string) error {
-	a, err := net.ResolveUDPAddr("udp", addr)
+	a, err := resolveAddrPort(addr)
 	if err != nil {
 		return fmt.Errorf("network: peer %s=%q: %w", name, addr, err)
 	}
@@ -118,67 +144,72 @@ func (u *UDP) readLoop() {
 	defer u.wg.Done()
 	buf := make([]byte, maxDatagram)
 	for {
-		n, raddr, err := u.conn.ReadFromUDP(buf)
+		n, raddr, err := u.conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			return // closed
 		}
-		var env envelope
-		// replyVer is the binary wire version to answer in; 0 means the
-		// request arrived as a legacy JSON envelope and is answered in JSON.
-		var replyVer byte
-		switch {
-		case n > 0 && (buf[0] == wireVersion || buf[0] == wireVersion2):
-			var err error
-			if env, replyVer, err = decodeEnvelope(buf[:n]); err != nil {
-				continue // drop malformed datagrams, as real UDP services must
-			}
-		case n > 0 && buf[0] == jsonFirstByte:
-			if err := json.Unmarshal(buf[:n], &env); err != nil {
-				continue
-			}
-		default:
-			continue
-		}
-		if env.From != "" {
-			ver := replyVer
-			if ver == 0 {
-				ver = jsonFirstByte
-			}
-			u.mu.Lock()
-			u.peerVer[env.From] = ver
-			u.mu.Unlock()
-		}
-		if env.Resp {
-			u.mu.RLock()
-			ch := u.pending[env.ID]
-			u.mu.RUnlock()
-			if ch != nil {
-				select {
-				case ch <- env.Msg:
-				default: // duplicate or late response; drop
-				}
-			}
-			continue
-		}
-		// Inbound request: serve in its own goroutine (stateless service
-		// processes, §2.2) and reply to the observed source address.
-		go u.serve(env, raddr, replyVer)
+		u.handleDatagram(buf[:n], raddr)
 	}
 }
 
-func (u *UDP) serve(env envelope, raddr *net.UDPAddr, replyVer byte) {
-	resp := u.handler(env.From, env.Msg)
-	reply := envelope{ID: env.ID, From: u.local, Resp: true, Msg: resp}
-	var out []byte
-	if replyVer == 0 {
-		var err error
-		if out, err = json.Marshal(reply); err != nil {
+// handleDatagram processes one inbound datagram: responses resolve a pending
+// Send, requests go to the handler. Malformed datagrams are dropped, as real
+// UDP services must.
+func (u *UDP) handleDatagram(data []byte, raddr netip.AddrPort) {
+	if len(data) < 2 || data[0] != wireVersion {
+		return
+	}
+	if data[1]&envFlagResp != 0 {
+		// Response: decoded without scratch because the message escapes to
+		// the waiting sender through the pending channel.
+		env, err := decodeEnvelope(data, nil)
+		if err != nil {
 			return
 		}
-	} else {
-		out = appendEnvelope(make([]byte, 0, 128), reply, replyVer)
+		u.mu.RLock()
+		ch := u.pending[env.ID]
+		u.mu.RUnlock()
+		if ch != nil {
+			select {
+			case ch <- env.Msg:
+			default: // duplicate or late response; drop
+			}
+		}
+		return
 	}
-	u.conn.WriteToUDP(out, raddr) // best effort; loss is the failure model
+	// Inbound request: decode into pooled scratch that stays alive until the
+	// handler replies.
+	dec := decoderPool.Get().(*decoder)
+	env, err := decodeEnvelope(data, dec)
+	if err != nil {
+		decoderPool.Put(dec)
+		return
+	}
+	u.serve(env, dec, raddr)
+}
+
+// serve hands one decoded request to the handler. The reply callback is
+// idempotent (extra calls are dropped), returns the request's decode scratch
+// to the pool, and sends the response from a pooled encode buffer.
+func (u *UDP) serve(env envelope, dec *decoder, raddr netip.AddrPort) {
+	id := env.ID
+	var replied atomic.Bool
+	reply := func(resp Message) {
+		if !replied.CompareAndSwap(false, true) {
+			return
+		}
+		decoderPool.Put(dec)
+		bp := getEncBuf()
+		out := appendEnvelope((*bp)[:0], envelope{ID: id, From: u.local, Resp: true, Msg: resp})
+		u.writeTo(out, raddr) // best effort; loss is the failure model
+		*bp = out
+		putEncBuf(bp)
+	}
+	if u.handler == nil {
+		reply(Status(false, "no handler"))
+		return
+	}
+	u.handler(env.From, env.Msg, reply)
 }
 
 // Send implements Transport.
@@ -210,31 +241,15 @@ func (u *UDP) Send(ctx context.Context, to string, req Message) (Message, error)
 		u.mu.Unlock()
 	}()
 
-	// Speak the encoding the peer last spoke to us (current version for a
-	// peer we have not heard from), so mixed-version clusters interoperate
-	// in both directions during a rolling upgrade.
-	u.mu.RLock()
-	ver, known := u.peerVer[to]
-	u.mu.RUnlock()
-	env := envelope{ID: id, From: u.local, Msg: req}
-	var out []byte
-	if known && ver == jsonFirstByte {
-		var err error
-		if out, err = json.Marshal(env); err != nil {
-			return Message{}, fmt.Errorf("network: encode request: %w", err)
-		}
-	} else {
-		if !known {
-			ver = wireVersion2
-		}
-		out = appendEnvelope(make([]byte, 0, 128), env, ver)
-	}
-	if _, err := u.conn.WriteToUDP(out, addr); err != nil {
+	bp := getEncBuf()
+	out := appendEnvelope((*bp)[:0], envelope{ID: id, From: u.local, Msg: req})
+	_, err := u.writeTo(out, addr)
+	*bp = out
+	putEncBuf(bp)
+	if err != nil {
 		// Treat send failure like loss: wait out the timeout so callers see
 		// uniform behaviour, unless the context is already done.
-		select {
-		case <-ctx.Done():
-		}
+		<-ctx.Done()
 		return Message{}, ErrTimeout
 	}
 	select {

@@ -1,0 +1,104 @@
+package replog
+
+import "sync"
+
+// applyPool shards apply scheduling for the Logs of one Set across a fixed
+// set of workers keyed by group, so one group with a deep pending run cannot
+// serialize every other group's watermark advance behind a single goroutine
+// — while each group's own entries still apply strictly in log order,
+// because a group is pinned to one shard and a worker drains one log at a
+// time (DESIGN.md §13). Per-group ordering is what the fencing invariants
+// F1–F3 and the write invariants W1–W4 rest on; cross-group ordering was
+// never promised.
+type applyPool struct {
+	workers  []applyWorker
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+type applyWorker struct {
+	mu    sync.Mutex
+	queue []*Log        // logs with (possibly) undrained pending entries
+	wake  chan struct{} // capacity 1
+}
+
+func newApplyPool(n int) *applyPool {
+	if n < 1 {
+		n = 1
+	}
+	p := &applyPool{workers: make([]applyWorker, n), stopCh: make(chan struct{})}
+	for i := range p.workers {
+		p.workers[i].wake = make(chan struct{}, 1)
+		p.wg.Add(1)
+		go p.run(&p.workers[i])
+	}
+	return p
+}
+
+// schedule queues l on its shard's worker unless it is already queued.
+// Callers may hold l.mu: the lock order is l.mu → w.mu only (the worker
+// never holds w.mu while taking l.mu).
+func (p *applyPool) schedule(l *Log) {
+	if !l.sched.CompareAndSwap(false, true) {
+		return // already queued; the pending drain will absorb this notify
+	}
+	w := &p.workers[l.shard%uint32(len(p.workers))]
+	w.mu.Lock()
+	w.queue = append(w.queue, l)
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (p *applyPool) run(w *applyWorker) {
+	defer p.wg.Done()
+	for {
+		w.mu.Lock()
+		var l *Log
+		if len(w.queue) > 0 {
+			l = w.queue[0]
+			copy(w.queue, w.queue[1:])
+			w.queue[len(w.queue)-1] = nil
+			w.queue = w.queue[:len(w.queue)-1]
+		}
+		w.mu.Unlock()
+		if l == nil {
+			select {
+			case <-w.wake:
+			case <-p.stopCh:
+				return
+			}
+			continue
+		}
+		// Clear the queued mark before draining: a notify landing during the
+		// drain re-queues the log, and drain itself loops until no contiguous
+		// pending run remains, so a notify in the gap between the Store and
+		// the drain's last pass is never lost.
+		l.sched.Store(false)
+		if !l.stopped() {
+			l.drain()
+		}
+	}
+}
+
+// close stops the workers after they finish the log currently draining.
+// Queued logs that were already Closed are skipped, not drained.
+func (p *applyPool) close() {
+	p.stopOnce.Do(func() { close(p.stopCh) })
+	p.wg.Wait()
+}
+
+// GroupShard maps a group name to a stable shard index (FNV-1a), shared by
+// the replog apply pool and the service dispatcher so both pin a group to
+// one worker.
+func GroupShard(group string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(group); i++ {
+		h ^= uint32(group[i])
+		h *= 16777619
+	}
+	return h
+}

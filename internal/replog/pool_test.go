@@ -1,0 +1,103 @@
+package replog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"paxoscp/internal/kvstore"
+)
+
+// TestSetApplyPoolManyGroups drives appends into many groups of one Set —
+// far more groups than pool workers — from concurrent goroutines, and checks
+// every group's watermark advances to its full run. This is the pooled
+// equivalent of the per-log apply goroutine: same per-group ordering, shared
+// workers.
+func TestSetApplyPoolManyGroups(t *testing.T) {
+	store := kvstore.New()
+	set := NewSet(store)
+	defer set.Close()
+
+	const groups, entries = 32, 25
+	var wg sync.WaitGroup
+	for g := 0; g < groups; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			l := set.Get(fmt.Sprintf("g%02d", g))
+			for pos := int64(1); pos <= entries; pos++ {
+				entry := testEntry(fmt.Sprintf("t%d-%d", g, pos), pos-1,
+					map[string]string{"k": fmt.Sprintf("v%d", pos)})
+				if _, err := l.Append(pos, entry); err != nil {
+					t.Errorf("group %d append %d: %v", g, pos, err)
+					return
+				}
+			}
+			if err := l.WaitApplied(waitCtx(t), entries); err != nil {
+				t.Errorf("group %d wait: %v", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < groups; g++ {
+		l := set.Get(fmt.Sprintf("g%02d", g))
+		if got := l.Applied(); got != entries {
+			t.Fatalf("group %d applied = %d, want %d", g, got, entries)
+		}
+		v, ts, err := store.Read(DataKey(l.Group(), "k"), kvstore.Latest)
+		if err != nil || v["v"] != fmt.Sprintf("v%d", entries) || ts != entries {
+			t.Fatalf("group %d data row = %v @%d (%v)", g, v, ts, err)
+		}
+	}
+}
+
+// TestSetApplyPoolNotifyDuringDrain pins the schedule/drain race: a notify
+// landing while the shard worker is mid-drain must re-queue the log, never
+// drop the wakeup (the sched flag is cleared before drain runs).
+func TestSetApplyPoolNotifyDuringDrain(t *testing.T) {
+	set := NewSet(kvstore.New())
+	defer set.Close()
+	l := set.Get("g")
+	for round := int64(0); round < 200; round++ {
+		pos := round*2 + 1
+		if _, err := l.Append(pos, testEntry(fmt.Sprintf("a%d", pos), pos-1, nil)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Append(pos+1, testEntry(fmt.Sprintf("a%d", pos+1), pos, nil)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.WaitApplied(waitCtx(t), pos+1); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+// TestSetCloseStopsPool checks Close is safe with queued work and that a
+// late Get on a closed Set returns a closed log rather than hanging.
+func TestSetCloseStopsPool(t *testing.T) {
+	set := NewSet(kvstore.New())
+	l := set.Get("g")
+	for pos := int64(1); pos <= 10; pos++ {
+		if _, err := l.Append(pos, testEntry(fmt.Sprintf("c%d", pos), pos-1, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set.Close()
+	late := set.Get("h")
+	if err := late.WaitApplied(waitCtx(t), 1); err != ErrClosed {
+		t.Fatalf("wait on closed-set log = %v, want ErrClosed", err)
+	}
+}
+
+func TestGroupShardStable(t *testing.T) {
+	if GroupShard("users/42") != GroupShard("users/42") {
+		t.Fatal("groupShard not deterministic")
+	}
+	distinct := map[uint32]bool{}
+	for i := 0; i < 64; i++ {
+		distinct[GroupShard(fmt.Sprintf("g%d", i))%8] = true
+	}
+	if len(distinct) < 4 {
+		t.Fatalf("64 groups landed on %d of 8 shards — hash badly skewed", len(distinct))
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"paxoscp/internal/kvstore"
@@ -52,6 +54,13 @@ type Log struct {
 	stopCh     chan struct{}
 	stopOnce   sync.Once
 
+	// Apply scheduling. A standalone Log (Open) runs a dedicated apply
+	// goroutine; a Set-owned Log shares the Set's applyPool, with sched
+	// marking whether the log is already queued on its shard's worker.
+	pool  *applyPool
+	shard uint32
+	sched atomic.Bool
+
 	// Epoch fencing state (DESIGN.md §11): the prevailing master epoch at
 	// the applied watermark, maintained by drain as claim entries apply in
 	// log order, durable in the meta row. renewedAt is the local wall-clock
@@ -78,9 +87,17 @@ type EpochState struct {
 // row, and any decided-but-unapplied entries (written durably before a
 // restart) into the pending set, which the apply goroutine then drains.
 func Open(store *kvstore.Store, group string) *Log {
+	return open(store, group, nil)
+}
+
+// open builds the Log. With a nil pool the log runs its own apply goroutine;
+// otherwise apply work is scheduled on the pool's shard worker for the group.
+func open(store *kvstore.Store, group string, pool *applyPool) *Log {
 	l := &Log{
 		group:     group,
 		store:     store,
+		pool:      pool,
+		shard:     GroupShard(group),
 		pending:   make(map[int64]wal.Entry),
 		cache:     make(map[int64]wal.Entry),
 		voided:    make(map[int64]bool),
@@ -120,7 +137,9 @@ func Open(store *kvstore.Store, group string) *Log {
 	if len(l.pending) > 0 {
 		l.drain()
 	}
-	go l.run()
+	if l.pool == nil {
+		go l.run()
+	}
 	return l
 }
 
@@ -478,9 +497,23 @@ func (l *Log) InstallSnapshot(horizon int64, epoch EpochState) error {
 // --- apply goroutine ------------------------------------------------------
 
 func (l *Log) notify() {
+	if l.pool != nil {
+		l.pool.schedule(l)
+		return
+	}
 	select {
 	case l.notifyCh <- struct{}{}:
 	default:
+	}
+}
+
+// stopped reports whether Close has been called.
+func (l *Log) stopped() bool {
+	select {
+	case <-l.stopCh:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -648,9 +681,12 @@ func (l *Log) drain() {
 }
 
 // Set owns the Logs of every group served over one store; the Transaction
-// Service holds one Set in place of the seed's per-group mutex maps.
+// Service holds one Set in place of the seed's per-group mutex maps. A Set's
+// logs share one applyPool with GOMAXPROCS workers keyed by group, instead
+// of one apply goroutine each (DESIGN.md §13).
 type Set struct {
 	store *kvstore.Store
+	pool  *applyPool
 
 	mu     sync.Mutex
 	logs   map[string]*Log
@@ -659,7 +695,11 @@ type Set struct {
 
 // NewSet returns an empty Set over store. Logs open lazily on first Get.
 func NewSet(store *kvstore.Store) *Set {
-	return &Set{store: store, logs: make(map[string]*Log)}
+	return &Set{
+		store: store,
+		pool:  newApplyPool(runtime.GOMAXPROCS(0)),
+		logs:  make(map[string]*Log),
+	}
 }
 
 // Get returns group's Log, opening it on first use.
@@ -668,7 +708,7 @@ func (s *Set) Get(group string) *Log {
 	defer s.mu.Unlock()
 	l := s.logs[group]
 	if l == nil {
-		l = Open(s.store, group)
+		l = open(s.store, group, s.pool)
 		if s.closed {
 			l.Close()
 		}
@@ -691,12 +731,13 @@ func (s *Set) Groups() []string {
 	return out
 }
 
-// Close stops every open Log's apply goroutine.
+// Close stops every open Log and then the shared apply pool.
 func (s *Set) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.closed = true
 	for _, l := range s.logs {
 		l.Close()
 	}
+	s.mu.Unlock()
+	s.pool.close()
 }

@@ -23,6 +23,10 @@ const (
 	// Failed means the protocol could not complete (no majority reachable
 	// before the retry budget was exhausted).
 	Failed
+	// Rejected means admission control refused the transaction before any
+	// protocol work: the master's submit queue was at capacity (DESIGN.md
+	// §13). Nothing reached the log, so the client may safely retry.
+	Rejected
 )
 
 func (o Outcome) String() string {
@@ -33,6 +37,8 @@ func (o Outcome) String() string {
 		return "abort"
 	case Failed:
 		return "failed"
+	case Rejected:
+		return "rejected"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -88,6 +94,7 @@ type Summary struct {
 	Commits   int
 	Aborts    int
 	Failures  int
+	Rejects   int // refused by admission control before any protocol work
 	Combined  int
 	MaxRound  int
 	ByRound   []RoundSummary // index = promotion round, commits only
@@ -140,6 +147,8 @@ func Summarize(samples []Sample) Summary {
 			sum.Aborts++
 		case Failed:
 			sum.Failures++
+		case Rejected:
+			sum.Rejects++
 		}
 	}
 	sum.ByRound = make([]RoundSummary, sum.MaxRound+1)
@@ -215,6 +224,9 @@ func (s Summary) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "commits=%d/%d (%.1f%%) aborts=%d failures=%d mean=%s",
 		s.Commits, s.Total, 100*s.CommitRate(), s.Aborts, s.Failures, s.AllCommit.Mean)
+	if s.Rejects > 0 {
+		fmt.Fprintf(&b, " rejects=%d", s.Rejects)
+	}
 	if s.MaxRound > 0 {
 		fmt.Fprintf(&b, " rounds=[")
 		for r, rs := range s.ByRound {

@@ -39,6 +39,15 @@ type Thread struct {
 	// throughput figures that retry measure time-to-commit, not
 	// time-to-verdict.
 	RetryAborts int
+	// RetryRejects re-submits a transaction the master's admission control
+	// refused (stats.Rejected — the retryable overloaded verdict, DESIGN.md
+	// §13), up to this many extra attempts, pausing RejectBackoff between
+	// attempts (doubling per consecutive reject, capped at 32x). 0 drops a
+	// rejected transaction after its single attempt.
+	RetryRejects int
+	// RejectBackoff is the initial pause before re-submitting a rejected
+	// transaction. Zero means 1ms; experiments pass a scaled value.
+	RejectBackoff time.Duration
 }
 
 // Runner drives a set of workload threads and gathers their outcomes.
@@ -110,17 +119,48 @@ func (r *Runner) runThread(ctx context.Context, th Thread, collector *stats.Coll
 }
 
 // runTxn executes one generated transaction end to end, re-attempting
-// conflict aborts up to th.RetryAborts times. Failures before the commit
-// protocol (begin or read errors) count as Failed samples so runs under
-// fault injection still account for every transaction. The generator picks
-// the transaction's group (sharded workloads rotate over all groups).
+// conflict aborts up to th.RetryAborts times and admission rejects up to
+// th.RetryRejects times (with backoff — the well-behaved client response to
+// the overloaded verdict). Failures before the commit protocol (begin or
+// read errors) count as Failed samples so runs under fault injection still
+// account for every transaction. The generator picks the transaction's
+// group (sharded workloads rotate over all groups).
 func (r *Runner) runTxn(ctx context.Context, th Thread, collector *stats.Collector) {
 	group, ops := th.Gen.Next()
-	for attempt := 0; ; attempt++ {
+	aborts, rejects := 0, 0
+	for {
 		outcome := r.attemptTxn(ctx, th, group, ops, collector)
-		if outcome != stats.Aborted || attempt >= th.RetryAborts || ctx.Err() != nil {
+		if ctx.Err() != nil {
 			return
 		}
+		switch {
+		case outcome == stats.Aborted && aborts < th.RetryAborts:
+			aborts++
+		case outcome == stats.Rejected && rejects < th.RetryRejects:
+			rejects++
+			r.rejectPause(ctx, th, rejects)
+		default:
+			return
+		}
+	}
+}
+
+// rejectPause backs off before re-submitting a rejected transaction:
+// doubling per consecutive reject so a saturated master's refusal cost stays
+// one cheap round trip instead of a synchronized retry storm.
+func (r *Runner) rejectPause(ctx context.Context, th Thread, streak int) {
+	base := th.RejectBackoff
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if streak > 6 {
+		streak = 6
+	}
+	t := time.NewTimer(base << (streak - 1))
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
 	}
 }
 
