@@ -5,10 +5,10 @@
 SHELL := /bin/bash
 GO ?= go
 
-.PHONY: check build fmt vet mdcheck examples test race cover bench-smoke fig-smoke shards-smoke saturation-smoke bench-json bench-compare bench-compare-strict clean
+.PHONY: check build fmt vet mdcheck examples test race cover bench-smoke fig-smoke shards-smoke saturation-smoke durability-smoke bench-json bench-compare bench-compare-strict clean
 
 ## check: everything CI gates a PR on
-check: fmt vet mdcheck examples race bench-smoke fig-smoke shards-smoke saturation-smoke bench-compare-strict
+check: fmt vet mdcheck examples race bench-smoke fig-smoke shards-smoke saturation-smoke durability-smoke bench-compare-strict
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,12 @@ shards-smoke:
 ## plateau/p99 assertion is TestSaturationPlateau)
 saturation-smoke:
 	$(GO) run ./cmd/paxosbench -fig saturation -scale 0.01 -txns 240 -q
+
+## durability-smoke: the fsync-policy sweep on the disk engine (CI "bench"
+## job; runs at real fsync cost, no sim scaling — the batch ≥ 3x sync
+## assertion is TestDurabilityBatchAbsorption)
+durability-smoke:
+	$(GO) run ./cmd/paxosbench -fig durability -txns 240 -q
 
 ## bench-json: convert existing go-bench output (BENCH_IN) to JSON
 bench-json:

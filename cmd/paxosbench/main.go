@@ -37,7 +37,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 4a 4b 5a 5b 6 7 8 ablation promo msgs leader pipeline reads failover avail shards saturation all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 4a 4b 5a 5b 6 7 8 ablation promo msgs leader pipeline reads failover avail shards saturation durability all")
 		scale     = flag.Float64("scale", 1.0/15, "latency scale factor (1.0 = paper wall-clock)")
 		txns      = flag.Int("txns", 500, "transactions per experiment (paper: 500)")
 		threads   = flag.Int("threads", 4, "concurrent workload threads (paper: 4)")
@@ -104,6 +104,7 @@ func main() {
 		{[]string{"avail"}, bench.Availability},
 		{[]string{"shards"}, bench.Shards},
 		{[]string{"saturation", "sat"}, bench.Saturation},
+		{[]string{"durability", "dur"}, bench.Durability},
 	}
 
 	want := strings.ToLower(*fig)

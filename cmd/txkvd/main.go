@@ -24,6 +24,7 @@ import (
 
 	"paxoscp/internal/core"
 	"paxoscp/internal/kvstore"
+	"paxoscp/internal/kvstore/disk"
 	"paxoscp/internal/network"
 	"paxoscp/internal/placement"
 )
@@ -34,8 +35,8 @@ func main() {
 		bind     = flag.String("bind", "127.0.0.1:0", "UDP address to listen on")
 		peers    = flag.String("peers", "", "comma-separated name=addr peer list, including self (required)")
 		timeout  = flag.Duration("timeout", network.DefaultTimeout, "message-loss detection timeout")
-		dataPath = flag.String("data", "", "snapshot file for persistence (empty = in-memory only)")
-		saveIvl  = flag.Duration("save-interval", 30*time.Second, "periodic snapshot interval when -data is set")
+		dataDir  = flag.String("data-dir", "", "durable data directory: write-ahead log + snapshots; a kill -9'd daemon restarts from it with nothing acknowledged lost (empty = in-memory only)")
+		fsyncPol = flag.String("fsync", "batch", "WAL fsync policy when -data-dir is set: sync (fsync per write), batch (group commit), interval (timer-based, may lose the last interval on power loss)")
 		window   = flag.Int("submit-window", core.DefaultSubmitWindow, "master submit pipeline depth (positions in flight per group; 1 = serial)")
 		combine  = flag.Int("submit-combine", core.DefaultSubmitCombine, "max transactions combined per log entry on the master submit path")
 		subQueue = flag.Int("submit-queue", core.DefaultSubmitQueue, "per-group submit admission cap: beyond this queue depth new submits fail fast with the retryable 'overloaded' marker (negative = unbounded)")
@@ -56,12 +57,21 @@ func main() {
 	}
 
 	store := kvstore.New()
-	if *dataPath != "" {
-		store, err = kvstore.LoadFile(*dataPath)
+	if *dataDir != "" {
+		policy, err := disk.ParsePolicy(*fsyncPol)
 		if err != nil {
 			log.Fatalf("txkvd: %v", err)
 		}
-		log.Printf("txkvd: loaded %d rows from %s", store.Len(), *dataPath)
+		// disk.Open replays the WAL tail over the newest snapshot and logs a
+		// "disk: recovered ..." line (docs/OPERATIONS.md explains the fields).
+		// Everything above the store — acceptor promises, log entries, applied
+		// watermarks, epochs — lives in store rows, so recovering the store
+		// recovers the whole replica.
+		store, _, err = disk.Open(*dataDir, disk.Options{Fsync: policy, Logf: log.Printf})
+		if err != nil {
+			log.Fatalf("txkvd: %v", err)
+		}
+		log.Printf("txkvd: %d rows recovered from %s (fsync=%s)", store.Len(), *dataDir, policy)
 	}
 	// Two-phase wiring: the UDP transport needs the handler, and the
 	// service needs the transport (for catch-up). The async registration
@@ -96,39 +106,20 @@ func main() {
 	log.Printf("txkvd: datacenter %s serving on %s (%d peers, timeout %v)",
 		*dc, transport.LocalAddr(), len(peerMap), *timeout)
 
-	stopSaver := make(chan struct{})
-	if *dataPath != "" {
-		go func() {
-			t := time.NewTicker(*saveIvl)
-			defer t.Stop()
-			for {
-				select {
-				case <-t.C:
-					if err := store.SaveFile(*dataPath); err != nil {
-						log.Printf("txkvd: periodic snapshot: %v", err)
-					}
-				case <-stopSaver:
-					return
-				}
-			}
-		}()
-	}
-
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("txkvd: shutting down")
-	close(stopSaver)
 	transport.Close()
 	service.Close()
-	if *dataPath != "" {
-		if err := store.SaveFile(*dataPath); err != nil {
-			log.Printf("txkvd: final snapshot: %v", err)
-		} else {
-			log.Printf("txkvd: state saved to %s", *dataPath)
-		}
-	}
+	// Closing the store flushes and fsyncs the engine's queue; with -data-dir
+	// every acknowledged write is already durable per the fsync policy, so a
+	// clean shutdown and a kill -9 recover identically (minus the unflushed
+	// tail under -fsync interval).
 	store.Close()
+	if *dataDir != "" {
+		log.Printf("txkvd: state durable in %s", *dataDir)
+	}
 	time.Sleep(50 * time.Millisecond)
 }
 

@@ -15,7 +15,7 @@ import (
 // slugs). External http(s) links are not fetched (CI must not depend on the
 // network); they are only checked for obvious malformation.
 func TestMarkdownLinks(t *testing.T) {
-	docs := []string{"README.md", "DESIGN.md", "examples/README.md", "CHANGES.md", "ROADMAP.md"}
+	docs := []string{"README.md", "DESIGN.md", "docs/OPERATIONS.md", "examples/README.md", "CHANGES.md", "ROADMAP.md"}
 	for _, doc := range docs {
 		doc := doc
 		t.Run(doc, func(t *testing.T) {

@@ -3,11 +3,13 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"paxoscp/internal/core"
 	"paxoscp/internal/kvstore"
+	"paxoscp/internal/kvstore/disk"
 	"paxoscp/internal/network"
 	"paxoscp/internal/placement"
 )
@@ -49,15 +51,30 @@ type Config struct {
 	// datacenters round-robin (MasterOf). 0 or 1 means the single-group
 	// deployment every earlier experiment ran.
 	Groups int
+	// DataDir, when set, makes every datacenter's store disk-backed: replica
+	// dc recovers from and durably logs to DataDir/<dc> (DESIGN.md §14),
+	// which is what enables Crash and Restart. Empty means in-memory stores,
+	// the sim/test default.
+	DataDir string
+	// Fsync selects the disk engine's sync policy when DataDir is set; empty
+	// means disk.SyncBatch (group commit).
+	Fsync disk.SyncPolicy
 }
 
 // Cluster is a running multi-datacenter deployment.
 type Cluster struct {
-	cfg      Config
-	sim      *network.Sim
+	cfg   Config
+	sim   *network.Sim
+	place *placement.Placement
+
+	// svcMu guards the per-datacenter replica state, which Crash and
+	// Restart swap at runtime. The endpoint dispatch closure takes the read
+	// lock on every message; a crashed replica's entry is nil and its
+	// messages are dropped, which is exactly what a kill -9'd process does.
+	svcMu    sync.RWMutex
 	stores   map[string]*kvstore.Store
 	services map[string]*core.Service
-	place    *placement.Placement
+	engines  map[string]*disk.Engine
 
 	mu        sync.Mutex
 	nextCID   int
@@ -77,34 +94,34 @@ func New(cfg Config) *Cluster {
 		sim:       network.NewSim(cfg.Topology, cfg.NetConfig),
 		stores:    make(map[string]*kvstore.Store),
 		services:  make(map[string]*core.Service),
+		engines:   make(map[string]*disk.Engine),
 		endpoints: make(map[string]network.Transport),
 	}
 	// Two-phase wiring: services need endpoints for catch-up, and endpoints
 	// need the service handler. Register a dispatching handler first. The
 	// async registration routes requests through each service's sharded
-	// dispatch workers (core.AsyncHandler, DESIGN.md §13).
+	// dispatch workers (core.AsyncHandler, DESIGN.md §13). The handler
+	// re-resolves the service on every message so Crash (nil entry: drop)
+	// and Restart (new service) take effect without re-registering.
 	for _, dc := range cfg.Topology.DCs() {
 		dc := dc
-		store := kvstore.New()
+		store, engine, err := c.openStore(dc)
+		if err != nil {
+			panic(fmt.Sprintf("cluster: %v", err))
+		}
 		c.stores[dc] = store
+		c.engines[dc] = engine
 		ep := c.sim.EndpointAsync(dc, func(from string, req network.Message, reply func(network.Message)) {
-			c.services[dc].AsyncHandler()(from, req, reply)
+			c.svcMu.RLock()
+			svc := c.services[dc]
+			c.svcMu.RUnlock()
+			if svc == nil {
+				return // crashed replica: messages fall on the floor
+			}
+			svc.AsyncHandler()(from, req, reply)
 		})
 		c.endpoints[dc] = ep
-		opts := []core.ServiceOption{core.WithServiceTimeout(cfg.Timeout)}
-		if cfg.SubmitWindow > 0 {
-			opts = append(opts, core.WithSubmitWindow(cfg.SubmitWindow))
-		}
-		if cfg.SubmitCombine > 0 {
-			opts = append(opts, core.WithSubmitCombine(cfg.SubmitCombine))
-		}
-		if cfg.SubmitQueue != 0 {
-			opts = append(opts, core.WithSubmitQueue(cfg.SubmitQueue))
-		}
-		if cfg.LeaseDuration > 0 {
-			opts = append(opts, core.WithLeaseDuration(cfg.LeaseDuration))
-		}
-		c.services[dc] = core.NewService(dc, store, ep, opts...)
+		c.services[dc] = c.buildService(dc, store)
 	}
 	groups := cfg.Groups
 	if groups < 1 {
@@ -119,6 +136,95 @@ func New(cfg Config) *Cluster {
 		}
 	}
 	return c
+}
+
+// openStore builds one datacenter's store: disk-backed under
+// DataDir/<dc> when Config.DataDir is set, in-memory otherwise.
+func (c *Cluster) openStore(dc string) (*kvstore.Store, *disk.Engine, error) {
+	if c.cfg.DataDir == "" {
+		return kvstore.New(), nil, nil
+	}
+	return disk.Open(filepath.Join(c.cfg.DataDir, dc), disk.Options{Fsync: c.cfg.Fsync})
+}
+
+// buildService constructs a datacenter's Transaction Service over store with
+// the cluster's configured options, reusing the datacenter's registered
+// endpoint. Shared by New and Restart.
+func (c *Cluster) buildService(dc string, store *kvstore.Store) *core.Service {
+	cfg := c.cfg
+	opts := []core.ServiceOption{core.WithServiceTimeout(cfg.Timeout)}
+	if cfg.SubmitWindow > 0 {
+		opts = append(opts, core.WithSubmitWindow(cfg.SubmitWindow))
+	}
+	if cfg.SubmitCombine > 0 {
+		opts = append(opts, core.WithSubmitCombine(cfg.SubmitCombine))
+	}
+	if cfg.SubmitQueue != 0 {
+		opts = append(opts, core.WithSubmitQueue(cfg.SubmitQueue))
+	}
+	if cfg.LeaseDuration > 0 {
+		opts = append(opts, core.WithLeaseDuration(cfg.LeaseDuration))
+	}
+	return core.NewService(dc, store, c.endpoints[dc], opts...)
+}
+
+// Crash hard-kills a datacenter's replica process: the durability engine
+// suffers a simulated power loss (unflushed writes are gone), the service's
+// goroutines stop, and every message to the datacenter is dropped without a
+// reply — peers see timeouts, exactly as with a kill -9. Only disk-backed
+// clusters (Config.DataDir) can crash: an in-memory replica would forget its
+// Paxos promises, which no restart could make safe. Restart brings the
+// replica back from its data directory.
+func (c *Cluster) Crash(dc string) error {
+	c.svcMu.Lock()
+	svc := c.services[dc]
+	eng := c.engines[dc]
+	store := c.stores[dc]
+	if svc == nil {
+		c.svcMu.Unlock()
+		return fmt.Errorf("cluster: %s is already crashed", dc)
+	}
+	if eng == nil {
+		c.svcMu.Unlock()
+		return fmt.Errorf("cluster: %s has no disk engine (set Config.DataDir to crash replicas)", dc)
+	}
+	c.services[dc] = nil
+	c.svcMu.Unlock()
+	c.sim.SetDown(dc, true)
+	// Power loss first, teardown second: anything the service's goroutines
+	// try to flush after this point fails against the poisoned engine, so
+	// nothing "durable" happens after the crash instant.
+	eng.Crash()
+	svc.Close()
+	store.Close()
+	return nil
+}
+
+// Restart recovers a crashed datacenter from its data directory: reopen the
+// disk store (snapshot + WAL-tail replay), rebuild the service over it — the
+// replicated logs, applied watermarks, and epoch state all rebuild from the
+// recovered rows (replog.Open) — and reconnect the network. The replica
+// rejoins with everything it acknowledged before the crash; call Recover to
+// catch it up on entries committed during the outage.
+func (c *Cluster) Restart(dc string) error {
+	c.svcMu.Lock()
+	defer c.svcMu.Unlock()
+	if c.services[dc] != nil {
+		return fmt.Errorf("cluster: %s is not crashed", dc)
+	}
+	store, engine, err := c.openStore(dc)
+	if err != nil {
+		return err
+	}
+	svc := c.buildService(dc, store)
+	if len(c.place.Groups()) > 1 {
+		svc.EnsureGroups(c.place.Groups()...)
+	}
+	c.stores[dc] = store
+	c.engines[dc] = engine
+	c.services[dc] = svc
+	c.sim.SetDown(dc, false)
+	return nil
 }
 
 // Placement returns the cluster's key->group placement (a single-group
@@ -156,17 +262,25 @@ func (c *Cluster) NewKV(dc string, cfg core.Config) *core.KV {
 // DCs returns the cluster's datacenter names in stable order.
 func (c *Cluster) DCs() []string { return c.cfg.Topology.DCs() }
 
-// Service returns the Transaction Service of a datacenter.
+// Service returns the Transaction Service of a datacenter, or nil while the
+// datacenter is crashed.
 func (c *Cluster) Service(dc string) *core.Service {
+	c.svcMu.RLock()
 	s, ok := c.services[dc]
+	c.svcMu.RUnlock()
 	if !ok {
 		panic(fmt.Sprintf("cluster: unknown datacenter %q", dc))
 	}
 	return s
 }
 
-// Store returns a datacenter's key-value store.
-func (c *Cluster) Store(dc string) *kvstore.Store { return c.stores[dc] }
+// Store returns a datacenter's key-value store (the recovered one after a
+// Restart).
+func (c *Cluster) Store(dc string) *kvstore.Store {
+	c.svcMu.RLock()
+	defer c.svcMu.RUnlock()
+	return c.stores[dc]
+}
 
 // Sim exposes the simulated network for fault injection and counters.
 func (c *Cluster) Sim() *network.Sim { return c.sim }
@@ -178,7 +292,10 @@ func (c *Cluster) Timeout() time.Duration { return c.cfg.Timeout }
 // assigned uniquely by the cluster. The client's timeout defaults to the
 // cluster's timeout when the config leaves it zero.
 func (c *Cluster) NewClient(dc string, cfg core.Config) *core.Client {
-	if _, ok := c.services[dc]; !ok {
+	c.svcMu.RLock()
+	_, ok := c.services[dc]
+	c.svcMu.RUnlock()
+	if !ok {
 		panic(fmt.Sprintf("cluster: unknown datacenter %q", dc))
 	}
 	if cfg.Timeout <= 0 {
@@ -206,15 +323,24 @@ func (c *Cluster) Heal(a, b string) { c.sim.Unpartition(a, b) }
 // Recover runs the §4.1 recovery procedure for group on a datacenter that
 // was down: it learns every log entry committed during the outage.
 func (c *Cluster) Recover(ctx context.Context, dc, group string) error {
-	return c.services[dc].Recover(ctx, group)
+	svc := c.Service(dc)
+	if svc == nil {
+		return fmt.Errorf("cluster: %s is crashed; Restart it before Recover", dc)
+	}
+	return svc.Recover(ctx, group)
 }
 
 // Close shuts the cluster down: the network first, then each service's
-// replicated-log apply goroutines, then the stores.
+// replicated-log apply goroutines, then the stores (which flush and close
+// any attached disk engines).
 func (c *Cluster) Close() {
 	c.sim.Close()
+	c.svcMu.Lock()
+	defer c.svcMu.Unlock()
 	for _, s := range c.services {
-		s.Close()
+		if s != nil {
+			s.Close()
+		}
 	}
 	for _, s := range c.stores {
 		s.Close()

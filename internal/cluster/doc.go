@@ -13,8 +13,15 @@
 // key placement, spreads per-group masterships across the datacenters
 // (MasterOf), and NewKV hands out routed clients over it.
 //
-// The fault-injection surface (SetDown, Partition, Heal, Recover) is what
-// the nemesis and failover test batteries drive; every such test ends by
-// recovering all replicas and running the package history checker over the
-// merged logs.
+// Config.DataDir puts each datacenter's store on the disk engine
+// (DESIGN.md §14, one subdirectory per datacenter, fsync policy from
+// Config.Fsync), which unlocks the hard end of the fault surface: Crash
+// hard-kills a datacenter — simulated power loss, unflushed WAL bytes
+// discarded, in-flight messages dropped — and Restart recovers it from its
+// data directory, exactly as a kill -9'd txkvd would.
+//
+// The fault-injection surface (SetDown, Partition, Heal, Recover, Crash,
+// Restart) is what the nemesis and failover test batteries drive; every
+// such test ends by recovering all replicas and running the package history
+// checker over the merged logs.
 package cluster

@@ -1,0 +1,497 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"paxoscp/internal/kvstore"
+)
+
+// SyncPolicy selects when the engine fsyncs the write-ahead log relative to
+// acknowledging a mutation (the txkvd -fsync flag; bench.Durability measures
+// the three against each other).
+type SyncPolicy string
+
+const (
+	// SyncEvery fsyncs once per acknowledged mutation — the honest
+	// no-batching baseline. Durability bound: nothing acknowledged is ever
+	// lost.
+	SyncEvery SyncPolicy = "sync"
+	// SyncBatch (the default) group-commits: the first waiter performs the
+	// fsync and every mutation that queued behind it during that fsync is
+	// absorbed into the next one, so N concurrent writers pay ~2 fsyncs,
+	// not N. Durability bound: same as SyncEvery — every acknowledged
+	// mutation is durable — only the acknowledgement latency differs.
+	SyncBatch SyncPolicy = "batch"
+	// SyncInterval acknowledges immediately and fsyncs on a timer. The only
+	// policy that can lose acknowledged mutations on power loss (up to one
+	// interval's worth); a clean Close still flushes everything.
+	SyncInterval SyncPolicy = "interval"
+)
+
+// ParsePolicy converts a -fsync flag value into a SyncPolicy.
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(s) {
+	case SyncEvery, SyncBatch, SyncInterval:
+		return SyncPolicy(s), nil
+	case "":
+		return SyncBatch, nil
+	}
+	return "", fmt.Errorf("disk: unknown fsync policy %q (want sync, batch, or interval)", s)
+}
+
+// Options tunes an engine. The zero value is usable: batch fsync, 4 MiB
+// segments, compaction after 2 sealed segments, 50 ms interval-policy timer,
+// silent logging.
+type Options struct {
+	// Fsync is the sync policy; empty means SyncBatch.
+	Fsync SyncPolicy
+	// SegmentBytes rotates the active WAL segment once its durable size
+	// reaches this many bytes. Default 4 MiB.
+	SegmentBytes int64
+	// CompactSegments triggers a snapshot + log compaction when this many
+	// sealed (rotated-out) segments exist. Default 2.
+	CompactSegments int
+	// Interval is the SyncInterval flush period. Default 50 ms.
+	Interval time.Duration
+	// Logf receives recovery and compaction log lines (docs/OPERATIONS.md
+	// documents the format). nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Fsync == "" {
+		o.Fsync = SyncBatch
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.CompactSegments <= 0 {
+		o.CompactSegments = 2
+	}
+	if o.Interval <= 0 {
+		o.Interval = 50 * time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// ErrCrashed is the sticky failure installed by Crash: the simulated
+// power loss every subsequent operation reports.
+var ErrCrashed = errors.New("disk: engine crashed (simulated power loss)")
+
+var errClosed = errors.New("disk: engine closed")
+
+// Engine is the disk-backed kvstore.Engine: an append-only WAL with
+// group-commit fsync batching, segment rotation, and snapshot-based
+// compaction. Construct with Open, which also performs crash recovery.
+//
+// Writes take two locks in sequence, never nested the other way: mu guards
+// the in-memory queue (encode + sequence assignment, O(record) work) and
+// flushMu serializes the write+fsync+rotate cycle. An fsync holds only
+// flushMu, so appends keep queuing while it runs — that queue is exactly the
+// batch the next fsync absorbs.
+type Engine struct {
+	dir   string
+	opts  Options
+	store *kvstore.Store
+
+	// flushMu serializes flush cycles (file write, fsync, rotation).
+	flushMu sync.Mutex
+
+	mu       sync.Mutex
+	buf      []byte // records encoded but not yet written to the file
+	spare    []byte // recycled buf to keep steady-state appends allocation-free
+	appended uint64 // seq of the last record in buf (or flushed)
+	flushed  uint64 // seq of the last record durable on disk
+	// Group-commit election state (SyncBatch only): one flusher at a time;
+	// riders wait on batchCond (signaled on &mu) and are all woken by the
+	// flusher's broadcast when their records land.
+	batchFlushing bool
+	batchCond     *sync.Cond
+	f             *os.File // active segment
+	size          int64    // durable bytes in the active segment
+	segStart      uint64   // first seq of the active segment
+	fsyncs        uint64   // segment fsyncs performed (group-commit absorption metric)
+	err           error    // sticky failure; fail-stop
+	closed        bool
+
+	snapWG   sync.WaitGroup
+	snapBusy bool // single-flight snapshot/compaction
+
+	stop chan struct{} // interval-policy ticker shutdown
+	done chan struct{}
+}
+
+// Append implements kvstore.Engine: encode muts into the in-memory queue and
+// assign them the next sequence numbers. No file I/O happens here.
+func (e *Engine) Append(muts []kvstore.Mutation) (uint64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return 0, e.err
+	}
+	if e.closed {
+		return 0, errClosed
+	}
+	for i := range muts {
+		e.buf = appendRecord(e.buf, muts[i])
+	}
+	e.appended += uint64(len(muts))
+	return e.appended, nil
+}
+
+// Sync implements kvstore.Engine per the configured policy.
+func (e *Engine) Sync(seq uint64) error {
+	switch e.opts.Fsync {
+	case SyncInterval:
+		// Acknowledge immediately; the ticker flushes. Only the sticky
+		// failure is surfaced.
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return e.err
+	case SyncEvery:
+		// One unconditional fsync per acknowledged mutation, even when a
+		// predecessor's fsync already covered this record: this is the
+		// honest no-batching baseline bench.Durability compares against.
+		e.flushMu.Lock()
+		defer e.flushMu.Unlock()
+		return e.flush(true)
+	default: // SyncBatch
+		// Group commit without a waiter convoy: the first uncovered caller
+		// elects itself flusher (batchFlushing); everyone else waits on the
+		// condition variable and is woken — all at once — by the flusher's
+		// broadcast. Riders never queue on a mutex just to learn they're
+		// covered: with serial mutex hand-off a hot writer barges the lock
+		// back and degenerates group commit into one fsync per record.
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		for {
+			if e.err != nil {
+				return e.err
+			}
+			if e.flushed >= seq {
+				return nil
+			}
+			if e.batchFlushing {
+				e.batchCond.Wait()
+				continue
+			}
+			e.batchFlushing = true
+			e.mu.Unlock()
+			// Gather step: yield once so every writer that is runnable right
+			// now — typically the riders the previous broadcast released —
+			// Appends before we capture the batch. On few-core machines the
+			// runtime rarely hands our P off mid-fsync, so without this the
+			// batch would hold only the records queued while we slept.
+			runtime.Gosched()
+			e.flushMu.Lock()
+			err := e.flush(false)
+			e.flushMu.Unlock()
+			e.mu.Lock()
+			e.batchFlushing = false
+			e.batchCond.Broadcast()
+			if err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// flush drains the queue to the active segment and fsyncs. Caller must hold
+// flushMu. force fsyncs even when the queue is empty (SyncEvery, Close).
+func (e *Engine) flush(force bool) error {
+	e.mu.Lock()
+	if e.err != nil {
+		e.mu.Unlock()
+		return e.err
+	}
+	buf := e.buf
+	e.buf = e.spare[:0]
+	seq := e.appended
+	f := e.f
+	e.mu.Unlock()
+	synced := false
+	if len(buf) > 0 || force {
+		if _, err := f.Write(buf); err != nil {
+			return e.fail(fmt.Errorf("disk: segment write: %w", err))
+		}
+		if err := f.Sync(); err != nil {
+			return e.fail(fmt.Errorf("disk: segment fsync: %w", err))
+		}
+		synced = true
+	}
+	e.mu.Lock()
+	if synced {
+		e.fsyncs++
+	}
+	e.flushed = seq
+	e.size += int64(len(buf))
+	e.spare = buf[:0]
+	size := e.size
+	e.mu.Unlock()
+	if size >= e.opts.SegmentBytes {
+		return e.rotate(seq)
+	}
+	return nil
+}
+
+// rotate seals the active segment (already fsynced by flush) and opens a
+// fresh one starting at flushedSeq+1. Caller must hold flushMu.
+func (e *Engine) rotate(flushedSeq uint64) error {
+	next, err := createSegment(e.dir, flushedSeq+1)
+	if err != nil {
+		return e.fail(err)
+	}
+	e.mu.Lock()
+	old := e.f
+	e.f = next
+	e.size = 0
+	e.segStart = flushedSeq + 1
+	e.mu.Unlock()
+	if err := old.Close(); err != nil {
+		return e.fail(fmt.Errorf("disk: sealing segment: %w", err))
+	}
+	sealed, _, err := listSegments(e.dir)
+	if err != nil {
+		return e.fail(err)
+	}
+	if len(sealed)-1 >= e.opts.CompactSegments {
+		e.maybeSnapshot()
+	}
+	return nil
+}
+
+// maybeSnapshot kicks off one background snapshot + compaction unless one is
+// already running or the engine is closed/poisoned.
+func (e *Engine) maybeSnapshot() {
+	e.mu.Lock()
+	if e.snapBusy || e.closed || e.err != nil {
+		e.mu.Unlock()
+		return
+	}
+	e.snapBusy = true
+	e.mu.Unlock()
+	e.snapWG.Add(1)
+	go func() {
+		defer e.snapWG.Done()
+		err := e.snapshot()
+		e.mu.Lock()
+		e.snapBusy = false
+		e.mu.Unlock()
+		if err != nil {
+			e.fail(err)
+		}
+	}()
+}
+
+// snapshot writes a durable snapshot at the current append horizon and
+// removes the log segments (and older snapshots) it supersedes.
+//
+// Safety of the capture point: S is read under mu, so every record with
+// sequence number <= S was Appended — and, by the store's
+// apply-then-Append mutation protocol, applied to the in-memory image —
+// before the capture. Store.Save therefore reflects every mutation <= S,
+// and any sealed segment whose records all have seq <= S is redundant once
+// the snapshot is durable.
+func (e *Engine) snapshot() error {
+	e.mu.Lock()
+	s := e.appended
+	e.mu.Unlock()
+	if err := writeSnapshot(e.dir, s, e.store); err != nil {
+		return err
+	}
+	removed, err := compactTo(e.dir, s)
+	if err != nil {
+		return err
+	}
+	e.opts.Logf("disk: snapshot seq=%d dir=%s removed_segments=%d", s, e.dir, removed)
+	return nil
+}
+
+// fail records the first failure; the engine (and the store above it,
+// through kvstore's sticky engineErr) fail-stops all further mutations.
+func (e *Engine) fail(err error) error {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+		e.opts.Logf("disk: engine failed (fail-stop): %v", err)
+	} else {
+		err = e.err
+	}
+	e.mu.Unlock()
+	return err
+}
+
+// Close flushes and fsyncs everything queued, waits for any in-flight
+// snapshot, and releases the segment file. Idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	if e.stop != nil {
+		close(e.stop)
+		<-e.done
+	}
+	e.snapWG.Wait()
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	err := e.flush(false)
+	e.mu.Lock()
+	f := e.f
+	crashed := errors.Is(e.err, ErrCrashed)
+	e.mu.Unlock()
+	if cerr := f.Close(); cerr != nil && err == nil && !crashed {
+		err = cerr
+	}
+	if crashed {
+		return nil // Crash already sealed the files; nothing left to flush
+	}
+	return err
+}
+
+// Crash simulates power loss for tests: every queued-but-unflushed byte
+// (the "page cache") is discarded, the active segment is truncated to its
+// durable prefix, and the engine is poisoned so the store above fail-stops.
+// The on-disk state is exactly what a kill -9 plus machine reset would
+// leave; reopen the directory with Open to recover.
+func (e *Engine) Crash() {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	e.snapWG.Wait()
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = ErrCrashed
+	}
+	e.buf = nil
+	e.spare = nil
+	f := e.f
+	size := e.size
+	e.mu.Unlock()
+	_ = f.Truncate(size)
+	_ = f.Close()
+}
+
+// Dir returns the engine's data directory.
+func (e *Engine) Dir() string { return e.dir }
+
+// Fsyncs returns how many segment fsyncs the engine has performed. The
+// group-commit absorption metric: under SyncBatch, N concurrent acknowledged
+// writes cost far fewer than N fsyncs (bench.Durability and its pinned test).
+func (e *Engine) Fsyncs() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fsyncs
+}
+
+// helpers shared with open.go
+
+func createSegment(dir string, startSeq uint64) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, segmentName(startSeq)),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("disk: create segment: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("disk: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("disk: fsync dir: %w", err)
+	}
+	return nil
+}
+
+// writeSnapshot durably writes snap-<seq>.snap via temp file + rename + dir
+// fsync, so a crash at any point leaves either no snapshot or a complete one.
+func writeSnapshot(dir string, seq uint64, s *kvstore.Store) error {
+	tmp, err := os.CreateTemp(dir, ".disk-snap-*")
+	if err != nil {
+		return fmt.Errorf("disk: snapshot temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := s.Save(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("disk: snapshot save: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("disk: snapshot fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("disk: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, snapshotName(seq))); err != nil {
+		return fmt.Errorf("disk: snapshot rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// compactTo removes snapshots older than seq and every sealed segment whose
+// records are all <= seq (the newest segment — the active one — is never
+// removed). Returns the number of segments removed.
+func compactTo(dir string, seq uint64) (int, error) {
+	segs, snaps, err := listSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, s := range snaps {
+		if s < seq {
+			if err := os.Remove(filepath.Join(dir, snapshotName(s))); err != nil {
+				return removed, fmt.Errorf("disk: compact: %w", err)
+			}
+		}
+	}
+	// Segment i covers [segs[i], segs[i+1]-1]: removable when the next
+	// segment starts at or below seq+1.
+	for i := 0; i+1 < len(segs) && segs[i+1] <= seq+1; i++ {
+		if err := os.Remove(filepath.Join(dir, segmentName(segs[i]))); err != nil {
+			return removed, fmt.Errorf("disk: compact: %w", err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		return removed, syncDir(dir)
+	}
+	return removed, nil
+}
+
+// listSegments returns the start sequence numbers of all WAL segments and
+// all snapshot sequence numbers in dir, each sorted ascending.
+func listSegments(dir string) (segs, snaps []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("disk: read dir: %w", err)
+	}
+	for _, ent := range entries {
+		if n, ok := parseSeq(ent.Name(), "wal-", ".log"); ok {
+			segs = append(segs, n)
+		} else if n, ok := parseSeq(ent.Name(), "snap-", ".snap"); ok {
+			snaps = append(snaps, n)
+		}
+	}
+	// os.ReadDir sorts by name and the names are zero-padded to 20 digits,
+	// so both slices are already ascending.
+	return segs, snaps, nil
+}

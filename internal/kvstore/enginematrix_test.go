@@ -1,0 +1,20 @@
+package kvstore_test
+
+import (
+	"testing"
+
+	"paxoscp/internal/kvstore"
+	"paxoscp/internal/kvstore/storetest"
+)
+
+// TestMemoryEngineConformance runs the engine-independent conformance suite
+// against the in-memory backend (nil engine). The disk backend runs the same
+// suite in internal/kvstore/disk, so `go test ./...` covers the full
+// cross-engine matrix.
+func TestMemoryEngineConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) *kvstore.Store {
+		s := kvstore.New()
+		t.Cleanup(s.Close)
+		return s
+	})
+}

@@ -94,13 +94,22 @@ type shard struct {
 	rows map[string]*row
 }
 
-// Store is an in-memory multi-version key-value store. The zero value is not
-// usable; construct with New. All methods are safe for concurrent use.
+// Store is a multi-version key-value store whose working image lives in
+// memory. The zero value is not usable; construct with New. All methods are
+// safe for concurrent use. With no engine attached (the default) the store
+// is purely in-memory; AttachEngine wires a durability backend that logs
+// every mutation before it is acknowledged (engine.go, DESIGN.md §14).
 type Store struct {
 	shards [numShards]*shard
 
-	mu     sync.Mutex
-	closed bool
+	// engine is the durability backend; nil means in-memory only. Written
+	// once by AttachEngine before the store is shared, read without
+	// synchronization on every mutation.
+	engine Engine
+
+	mu        sync.Mutex
+	closed    bool
+	engineErr error // sticky engine failure: mutations fail-stop
 }
 
 // PosKey builds the per-position row name "<prefix><group>/<pos>" shared by
@@ -155,6 +164,23 @@ func (s *Store) isClosed() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.closed
+}
+
+// mutGate is the entry check for every mutating operation: the store must be
+// open and the durability engine (when attached) must not have fail-stopped.
+// Reads deliberately keep working after an engine failure — the in-memory
+// image is intact and peers may still catch up from it — but no new mutation
+// may acknowledge once durability is gone.
+func (s *Store) mutGate() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.engineErr != nil {
+		return &EngineError{Err: s.engineErr}
+	}
+	return nil
 }
 
 // Read returns the most recent version of key with a timestamp less than or
@@ -260,12 +286,11 @@ func (s *Store) ReadMulti(keys []string, ts int64) ([]MultiResult, error) {
 // Writing the same timestamp twice is rejected (timestamps are log positions
 // and each position is written once).
 func (s *Store) Write(key string, value Value, ts int64) (int64, error) {
-	if s.isClosed() {
-		return 0, ErrClosed
+	if err := s.mutGate(); err != nil {
+		return 0, err
 	}
 	r := s.getRow(key, true)
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	last := r.latest()
 	if ts < 0 {
 		ts = 0
@@ -273,10 +298,19 @@ func (s *Store) Write(key string, value Value, ts int64) (int64, error) {
 			ts = last.Timestamp + 1
 		}
 	} else if last != nil && last.Timestamp >= ts {
+		have := last.Timestamp
+		r.mu.Unlock()
 		return 0, fmt.Errorf("%w: have ts=%d, write ts=%d key=%q",
-			ErrStaleWrite, last.Timestamp, ts, key)
+			ErrStaleWrite, have, ts, key)
 	}
-	r.versions = append(r.versions, Version{Timestamp: ts, Value: value.Clone()})
+	stored := value.Clone()
+	r.versions = append(r.versions, Version{Timestamp: ts, Value: stored})
+	r.mu.Unlock()
+	if s.engine != nil {
+		if err := s.logMut(Mutation{Op: OpWrite, Key: key, TS: ts, Value: stored}); err != nil {
+			return 0, err
+		}
+	}
 	return ts, nil
 }
 
@@ -299,21 +333,23 @@ func (r *row) checkIdempotent(ts int64, value Value) error {
 // different value is a conflict. When clone is false the row takes ownership
 // of value (the batched apply path hands over freshly built maps; everything
 // else must pass clone=true to preserve the store's copy-on-write contract).
-// Caller must hold r.mu.
-func (r *row) applyIdempotent(ts int64, value Value, clone bool) error {
+// The changed result reports whether the row actually mutated — duplicate
+// deliveries return false, which the engine-logging callers use to keep
+// replayed apply messages out of the write-ahead log. Caller must hold r.mu.
+func (r *row) applyIdempotent(ts int64, value Value, clone bool) (changed bool, err error) {
 	if clone {
 		value = value.Clone()
 	}
 	last := r.latest()
 	if last == nil || last.Timestamp < ts {
 		r.versions = append(r.versions, Version{Timestamp: ts, Value: value})
-		return nil
+		return true, nil
 	}
 	if v := r.at(ts); v != nil && v.Timestamp == ts {
 		if v.Value.Equal(value) {
-			return nil
+			return false, nil
 		}
-		return fmt.Errorf("%w: conflicting rewrite of ts=%d", ErrStaleWrite, ts)
+		return false, fmt.Errorf("%w: conflicting rewrite of ts=%d", ErrStaleWrite, ts)
 	}
 	// A newer version exists but this exact timestamp was never written:
 	// insert in order to keep historical reads correct.
@@ -323,7 +359,7 @@ func (r *row) applyIdempotent(ts int64, value Value, clone bool) error {
 	r.versions = append(r.versions, Version{})
 	copy(r.versions[i+1:], r.versions[i:])
 	r.versions[i] = Version{Timestamp: ts, Value: value}
-	return nil
+	return true, nil
 }
 
 // WriteIdempotent is Write except that re-writing an existing timestamp with
@@ -331,17 +367,25 @@ func (r *row) applyIdempotent(ts int64, value Value, clone bool) error {
 // replayed log entries (after recovery or duplicated apply messages) are
 // harmless.
 func (s *Store) WriteIdempotent(key string, value Value, ts int64) error {
-	if s.isClosed() {
-		return ErrClosed
+	if err := s.mutGate(); err != nil {
+		return err
 	}
 	if ts < 0 {
 		return fmt.Errorf("kvstore: WriteIdempotent requires explicit timestamp")
 	}
 	r := s.getRow(key, true)
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.applyIdempotent(ts, value, true); err != nil {
+	changed, err := r.applyIdempotent(ts, value, true)
+	r.mu.Unlock()
+	if err != nil {
 		return fmt.Errorf("%w key=%q", err, key)
+	}
+	// Duplicate deliveries (changed == false) left the image untouched, so
+	// they are already represented in the log and are not re-logged.
+	if changed && s.engine != nil {
+		if err := s.logMut(Mutation{Op: OpWrite, Key: key, TS: ts, Value: value}); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -372,8 +416,8 @@ type BatchWrite struct {
 // gates visibility through its applied watermark instead, which only
 // advances after ApplyBatch returns (see internal/replog and DESIGN.md §4).
 func (s *Store) ApplyBatch(writes []BatchWrite) error {
-	if s.isClosed() {
-		return ErrClosed
+	if err := s.mutGate(); err != nil {
+		return err
 	}
 	if len(writes) == 0 {
 		return nil
@@ -415,12 +459,39 @@ func (s *Store) ApplyBatch(writes []BatchWrite) error {
 			return fmt.Errorf("%w key=%q", err, writes[i].Key)
 		}
 	}
+	var changedAny bool
+	var changedAt []bool
+	if s.engine != nil {
+		changedAt = make([]bool, len(writes))
+	}
 	for i := range writes {
 		rows[i].mu.Lock()
-		err := rows[i].applyIdempotent(writes[i].TS, writes[i].Value, false)
+		changed, err := rows[i].applyIdempotent(writes[i].TS, writes[i].Value, false)
 		rows[i].mu.Unlock()
 		if err != nil {
 			return fmt.Errorf("%w key=%q", err, writes[i].Key)
+		}
+		if changed {
+			changedAny = true
+			if s.engine != nil {
+				changedAt[i] = true
+			}
+		}
+	}
+	// One engine round for the whole batch: a single Append/Sync, so the
+	// group-commit fsync absorbs every write the batch carried. Replayed
+	// batches (nothing changed) are already in the log and skip the engine.
+	if changedAny && s.engine != nil {
+		muts := make([]Mutation, 0, len(writes))
+		for i := range writes {
+			if changedAt[i] {
+				muts = append(muts, Mutation{
+					Op: OpWrite, Key: writes[i].Key, TS: writes[i].TS, Value: writes[i].Value,
+				})
+			}
+		}
+		if err := s.logMut(muts...); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -435,25 +506,32 @@ func (s *Store) ApplyBatch(writes []BatchWrite) error {
 // This is the operation Algorithm 1 of the paper relies on to make Paxos
 // acceptor state transitions atomic.
 func (s *Store) CheckAndWrite(key, testAttr, testValue string, value Value) error {
-	if s.isClosed() {
-		return ErrClosed
+	if err := s.mutGate(); err != nil {
+		return err
 	}
 	r := s.getRow(key, true)
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	cur := ""
 	last := r.latest()
 	if last != nil {
 		cur = last.Value[testAttr]
 	}
 	if cur != testValue {
+		r.mu.Unlock()
 		return fmt.Errorf("%w: attr %q is %q, want %q", ErrCheckFailed, testAttr, cur, testValue)
 	}
 	ts := int64(0)
 	if last != nil {
 		ts = last.Timestamp + 1
 	}
-	r.versions = append(r.versions, Version{Timestamp: ts, Value: value.Clone()})
+	stored := value.Clone()
+	r.versions = append(r.versions, Version{Timestamp: ts, Value: stored})
+	r.mu.Unlock()
+	if s.engine != nil {
+		if err := s.logMut(Mutation{Op: OpWrite, Key: key, TS: ts, Value: stored}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -463,12 +541,11 @@ func (s *Store) CheckAndWrite(key, testAttr, testValue string, value Value) erro
 // Update exists for maintenance paths (GC bookkeeping, tooling); the Paxos
 // protocol itself uses only Read/Write/CheckAndWrite per the paper.
 func (s *Store) Update(key string, fn func(Value) (Value, error)) error {
-	if s.isClosed() {
-		return ErrClosed
+	if err := s.mutGate(); err != nil {
+		return err
 	}
 	r := s.getRow(key, true)
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	var cur Value
 	var ts int64
 	if last := r.latest(); last != nil {
@@ -477,9 +554,17 @@ func (s *Store) Update(key string, fn func(Value) (Value, error)) error {
 	}
 	next, err := fn(cur)
 	if err != nil {
+		r.mu.Unlock()
 		return err
 	}
-	r.versions = append(r.versions, Version{Timestamp: ts, Value: next.Clone()})
+	stored := next.Clone()
+	r.versions = append(r.versions, Version{Timestamp: ts, Value: stored})
+	r.mu.Unlock()
+	if s.engine != nil {
+		if err := s.logMut(Mutation{Op: OpWrite, Key: key, TS: ts, Value: stored}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -499,6 +584,19 @@ func (s *Store) Versions(key string) int {
 // newer) survive, so reads at timestamps >= keepFrom are unaffected.
 // It returns the number of versions discarded.
 func (s *Store) GC(key string, keepFrom int64) int {
+	dropped := s.gcRow(key, keepFrom)
+	// A lost GC record only costs disk space after a crash (the discarded
+	// versions reappear), never correctness, so engine failures surface via
+	// the sticky fail-stop flag rather than a return value here.
+	if dropped > 0 && s.engine != nil {
+		_ = s.logMut(Mutation{Op: OpGC, Key: key, TS: keepFrom})
+	}
+	return dropped
+}
+
+// gcRow is GC's in-memory half, shared with the recovery replay path
+// (ApplyMutation), which must not re-log the mutation.
+func (s *Store) gcRow(key string, keepFrom int64) int {
 	r := s.getRow(key, false)
 	if r == nil {
 		return 0
@@ -520,12 +618,18 @@ func (s *Store) GC(key string, keepFrom int64) int {
 }
 
 // Delete removes a row and all its versions. Used by log compaction to
-// scavenge decided Paxos instance state and old log entries.
+// scavenge decided Paxos instance state and old log entries. Like GC, a
+// lost delete record costs space after a crash, not correctness, so engine
+// failures are surfaced by the sticky fail-stop flag, not here.
 func (s *Store) Delete(key string) {
 	sh := s.shards[shardFor(key)]
 	sh.mu.Lock()
+	_, existed := sh.rows[key]
 	delete(sh.rows, key)
 	sh.mu.Unlock()
+	if existed && s.engine != nil {
+		_ = s.logMut(Mutation{Op: OpDelete, Key: key})
+	}
 }
 
 // KeysWithPrefix returns all keys starting with prefix, sorted.
@@ -581,9 +685,16 @@ func (s *Store) Len() int {
 	return n
 }
 
-// Close marks the store closed; subsequent operations return ErrClosed.
+// Close marks the store closed and closes the attached engine (flushing and
+// syncing everything logged); subsequent operations return ErrClosed. Engine
+// Close is idempotent, so closing a store whose engine was already closed by
+// its opener is harmless.
 func (s *Store) Close() {
 	s.mu.Lock()
+	alreadyClosed := s.closed
 	s.closed = true
 	s.mu.Unlock()
+	if !alreadyClosed && s.engine != nil {
+		_ = s.engine.Close()
+	}
 }

@@ -11,7 +11,10 @@
 // key-value store, a coarse per-group apply mutex in the Transaction
 // Service, and meta-row round trips on every read-position request. The Log
 // keeps the same durable row layout (see keys.go) — services stay stateless
-// in the paper's sense, a restart rebuilds the Log from the store — but the
+// in the paper's sense, a restart rebuilds the Log from the store, and on a
+// disk-backed store (DESIGN.md §14) that covers real crashes: the drain
+// logs a run's data batch before its meta-row watermark update, so a
+// recovered watermark never leads its recovered data (invariant D3) — but the
 // hot-path state (watermark, pending entries, decoded cache) lives in
 // memory, readers block on the watermark through WaitApplied instead of
 // polling the meta row, and application is batched: one kvstore.ApplyBatch

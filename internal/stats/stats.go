@@ -211,19 +211,34 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[rank]
 }
 
-// CommitRate returns commits/total, or 0 for an empty summary.
+// Decided returns the number of samples that carry a protocol verdict:
+// commits, aborts, and failures. Rejected samples are excluded — a reject is
+// admission control refusing to even start an attempt, and a retried
+// transaction records one Rejected sample per refusal, so counting them
+// alongside verdicts would let a burst of cheap refusals skew every
+// verdict-denominated rate.
+func (s Summary) Decided() int {
+	return s.Total - s.Rejects
+}
+
+// CommitRate returns commits as a fraction of decided transactions
+// (commits + aborts + failures), or 0 for an empty summary. Rejects are
+// reported separately (Rejects; String appends a rejects= field): under
+// overload with reject-retry enabled, one committing transaction may record
+// many Rejected samples first, and folding those into the denominator would
+// understate the commit rate of the work the system actually admitted.
 func (s Summary) CommitRate() float64 {
-	if s.Total == 0 {
+	if s.Decided() == 0 {
 		return 0
 	}
-	return float64(s.Commits) / float64(s.Total)
+	return float64(s.Commits) / float64(s.Decided())
 }
 
 // String renders a one-line summary.
 func (s Summary) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "commits=%d/%d (%.1f%%) aborts=%d failures=%d mean=%s",
-		s.Commits, s.Total, 100*s.CommitRate(), s.Aborts, s.Failures, s.AllCommit.Mean)
+		s.Commits, s.Decided(), 100*s.CommitRate(), s.Aborts, s.Failures, s.AllCommit.Mean)
 	if s.Rejects > 0 {
 		fmt.Fprintf(&b, " rejects=%d", s.Rejects)
 	}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -45,6 +46,35 @@ func TestSummarizeCountsAndRounds(t *testing.T) {
 	}
 	if got := sum.CommitRate(); got != 0.6 {
 		t.Fatalf("CommitRate = %v", got)
+	}
+}
+
+// TestCommitRateExcludesRejects is the regression test for the reject-skew
+// bug: a transaction refused by admission control and later committed records
+// one Rejected sample per refusal, and those refusals must not dilute the
+// commit rate of the decided population.
+func TestCommitRateExcludesRejects(t *testing.T) {
+	samples := []Sample{
+		{Outcome: Rejected, Latency: ms(1)},
+		{Outcome: Rejected, Latency: ms(1)},
+		{Outcome: Rejected, Latency: ms(1)},
+		{Outcome: Committed, Latency: ms(10)},
+		{Outcome: Aborted, Latency: ms(8)},
+	}
+	sum := Summarize(samples)
+	if sum.Total != 5 || sum.Rejects != 3 || sum.Decided() != 2 {
+		t.Fatalf("counts wrong: %+v", sum)
+	}
+	if got := sum.CommitRate(); got != 0.5 {
+		t.Fatalf("CommitRate = %v, want 0.5 (1 commit of 2 decided; 3 rejects reported separately)", got)
+	}
+	// All-rejects: nothing decided, so the rate is 0 rather than 0/0.
+	onlyRejects := Summarize([]Sample{{Outcome: Rejected}, {Outcome: Rejected}})
+	if got := onlyRejects.CommitRate(); got != 0 {
+		t.Fatalf("all-rejects CommitRate = %v", got)
+	}
+	if s := sum.String(); !strings.Contains(s, "commits=1/2") || !strings.Contains(s, "rejects=3") {
+		t.Fatalf("String() = %q, want decided denominator and separate rejects field", s)
 	}
 }
 

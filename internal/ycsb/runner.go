@@ -44,6 +44,14 @@ type Thread struct {
 	// §13), up to this many extra attempts, pausing RejectBackoff between
 	// attempts (doubling per consecutive reject, capped at 32x). 0 drops a
 	// rejected transaction after its single attempt.
+	//
+	// Every refused attempt records its own stats.Rejected sample, so an
+	// overloaded run can hold many more samples than generated transactions.
+	// Summaries keep the two populations apart: stats.Summary.CommitRate and
+	// its rendered percentage are denominated in decided samples only
+	// (commit/abort/fail), with rejects reported separately — otherwise a
+	// transaction that is refused five times and then commits would read as
+	// a 17% commit rate instead of 100% with five rejects.
 	RetryRejects int
 	// RejectBackoff is the initial pause before re-submitting a rejected
 	// transaction. Zero means 1ms; experiments pass a scaled value.
