@@ -81,10 +81,26 @@ type Cluster struct {
 	endpoints map[string]network.Transport
 }
 
-// New builds and starts a cluster over the given topology.
+// New builds and starts a cluster over the given topology. It panics when
+// the config is invalid or a datacenter's store fails to open — the
+// convenience contract for sim and test call sites, where both are
+// programming errors. A disk-backed deployment (Config.DataDir), whose data
+// directories can be corrupt or incomplete for operator-facing reasons,
+// should use Open and handle the error.
 func New(cfg Config) *Cluster {
+	c, err := Open(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return c
+}
+
+// Open builds and starts a cluster over the given topology, surfacing
+// store-recovery failures (e.g. a corrupt sealed WAL segment or missing
+// segments under Config.DataDir) as errors instead of panicking.
+func Open(cfg Config) (*Cluster, error) {
 	if cfg.Topology == nil {
-		panic("cluster: missing topology")
+		return nil, fmt.Errorf("cluster: missing topology")
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = network.DefaultTimeout
@@ -107,7 +123,13 @@ func New(cfg Config) *Cluster {
 		dc := dc
 		store, engine, err := c.openStore(dc)
 		if err != nil {
-			panic(fmt.Sprintf("cluster: %v", err))
+			// Tear down the partially built cluster: the already-recovered
+			// stores hold open segment files and flusher goroutines.
+			c.sim.Close()
+			for _, s := range c.stores {
+				s.Close()
+			}
+			return nil, fmt.Errorf("cluster: open %s: %w", dc, err)
 		}
 		c.stores[dc] = store
 		c.engines[dc] = engine
@@ -135,7 +157,7 @@ func New(cfg Config) *Cluster {
 			s.EnsureGroups(c.place.Groups()...)
 		}
 	}
-	return c
+	return c, nil
 }
 
 // openStore builds one datacenter's store: disk-backed under

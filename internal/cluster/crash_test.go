@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -25,6 +27,24 @@ func diskCluster(t *testing.T, spec string) *Cluster {
 	})
 	t.Cleanup(c.Close)
 	return c
+}
+
+// TestOpenUnusableDataDir: a disk-backed cluster whose data directory
+// cannot be recovered is an operator-facing condition — Open must surface
+// it as an error (New keeps the panic contract for sim/test call sites).
+func TestOpenUnusableDataDir(t *testing.T) {
+	dataDir := t.TempDir()
+	// Occupy V1's directory path with a regular file so disk.Open fails.
+	if err := os.WriteFile(filepath.Join(dataDir, "V1"), []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{
+		Topology: MustPaperTopology("VVV"),
+		Timeout:  50 * time.Millisecond,
+		DataDir:  dataDir,
+	}); err == nil {
+		t.Fatal("Open succeeded over an unusable data directory")
+	}
 }
 
 // TestCrashRestartDeterministic is the single-shot version of the nemesis:

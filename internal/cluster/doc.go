@@ -18,7 +18,11 @@
 // Config.Fsync), which unlocks the hard end of the fault surface: Crash
 // hard-kills a datacenter — simulated power loss, unflushed WAL bytes
 // discarded, in-flight messages dropped — and Restart recovers it from its
-// data directory, exactly as a kill -9'd txkvd would.
+// data directory, exactly as a kill -9'd txkvd would. Disk-backed
+// deployments should construct with Open, which surfaces store-recovery
+// failures (corrupt or incomplete data directories) as errors; New is the
+// panic-on-error convenience wrapper for sim and test call sites, where a
+// bad config is a programming error.
 //
 // The fault-injection surface (SetDown, Partition, Heal, Recover, Crash,
 // Restart) is what the nemesis and failover test batteries drive; every

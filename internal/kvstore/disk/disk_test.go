@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"paxoscp/internal/kvstore"
 )
@@ -388,6 +389,178 @@ func TestGCAndDeleteSurviveRestart(t *testing.T) {
 	}
 	if _, _, err := s2.Read("doomed", kvstore.Latest); !errors.Is(err, kvstore.ErrNotFound) {
 		t.Fatalf("deleted key resurrected after restart: err=%v", err)
+	}
+}
+
+// TestSnapshotHorizonIsDurable: a snapshot must capture the durable
+// (flushed) horizon, never the append horizon. A snapshot claiming
+// still-queued sequence numbers can outlive them across a power loss;
+// Open would then hand those sequence numbers to new acknowledged writes
+// and the *next* recovery would silently skip them (a D1 violation).
+func TestSnapshotHorizonIsDurable(t *testing.T) {
+	dir := t.TempDir()
+	s, e := mustOpen(t, dir, Options{Fsync: SyncInterval, Interval: time.Hour})
+	muts := mutHistory(20, 4)
+	for _, m := range muts {
+		if err := s.WriteIdempotent(m.Key, m.Value, m.TS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All 20 writes are acknowledged but queued (the hour-long interval
+	// ticker never fires), so the durable log still ends at seq 0.
+	if err := e.snapshot(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	_, snaps, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sn := range snaps {
+		if sn > 0 {
+			t.Fatalf("snapshot claims seq %d but the durable log ends at 0", sn)
+		}
+	}
+	e.Crash() // power loss: the queued records are gone
+
+	// Writes acknowledged after recovery must survive the next recovery.
+	s2, e2 := mustOpen(t, dir, Options{})
+	post := mutHistory(15, 3)
+	for _, m := range post {
+		if err := s2.WriteIdempotent(m.Key, m.Value, m.TS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, e3 := mustOpen(t, dir, Options{})
+	defer e3.Close()
+	for _, m := range post {
+		v, ts, err := s3.Read(m.Key, m.TS)
+		if err != nil {
+			t.Fatalf("post-recovery write %s@%d lost: %v", m.Key, m.TS, err)
+		}
+		if ts != m.TS || !v.Equal(m.Value) {
+			t.Fatalf("post-recovery write %s@%d = (%v, %d), want (%v, %d)", m.Key, m.TS, v, ts, m.Value, m.TS)
+		}
+	}
+}
+
+// TestOpenSnapshotBeyondLogEnd: a directory whose newest snapshot claims
+// sequence numbers past the log end (the layout a pre-fix engine could
+// leave after a power loss) must recover without reusing the covered
+// sequence numbers — Open restarts the log at snapSeq+1.
+func TestOpenSnapshotBeyondLogEnd(t *testing.T) {
+	dir := t.TempDir()
+	muts := mutHistory(10, 2)
+	ref := kvstore.New()
+	var enc []byte
+	for _, m := range muts {
+		if err := ref.ApplyMutation(m); err != nil {
+			t.Fatal(err)
+		}
+		enc = appendRecord(enc, m)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot claims seq 30; the WAL ends at seq 10.
+	if err := writeSnapshot(dir, 30, ref); err != nil {
+		t.Fatal(err)
+	}
+
+	s, e := mustOpen(t, dir, Options{})
+	expectState(t, s, muts, len(muts))
+	if _, err := s.Write("post", kvstore.Value{"v": "1"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 || segs[0] <= 30 {
+		t.Fatalf("log was not restarted past the snapshot horizon: segments %v", segs)
+	}
+
+	s2, e2 := mustOpen(t, dir, Options{})
+	defer e2.Close()
+	if _, _, err := s2.Read("post", kvstore.Latest); err != nil {
+		t.Fatalf("write after guarded recovery lost on the next recovery: %v", err)
+	}
+	for _, m := range muts {
+		if v, ts, err := s2.Read(m.Key, m.TS); err != nil || ts != m.TS || !v.Equal(m.Value) {
+			t.Fatalf("snapshot state %s@%d = (%v, %d, %v), want (%v, %d)", m.Key, m.TS, v, ts, err, m.Value, m.TS)
+		}
+	}
+}
+
+// TestDeleteWriteReplayConvergence: Delete and Write racing on the same
+// keys must reach the WAL in apply order (both append under the row lock),
+// so recovery replay converges on the exact pre-crash image — no
+// resurrected rows, no lost acknowledged writes, no bogus conflicting-
+// rewrite corruption reports from out-of-order (key, ts) reuse.
+func TestDeleteWriteReplayConvergence(t *testing.T) {
+	dir := t.TempDir()
+	s, e := mustOpen(t, dir, Options{})
+	keys := []string{"hot-0", "hot-1", "hot-2"}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				key := keys[(w+i)%len(keys)]
+				if _, err := s.Write(key, kvstore.Value{"w": strconv.Itoa(w), "i": strconv.Itoa(i)}, -1); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 120; j++ {
+			s.Delete(keys[j%len(keys)])
+		}
+	}()
+	wg.Wait()
+
+	type keyState struct {
+		found bool
+		ts    int64
+		v     kvstore.Value
+		n     int
+	}
+	mem := map[string]keyState{}
+	for _, k := range keys {
+		v, ts, err := s.Read(k, kvstore.Latest)
+		mem[k] = keyState{found: err == nil, ts: ts, v: v, n: s.Versions(k)}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, e2, err := Open(dir, Options{Logf: quiet})
+	if err != nil {
+		t.Fatalf("recovery after delete/write races: %v", err)
+	}
+	defer e2.Close()
+	for _, k := range keys {
+		want := mem[k]
+		v, ts, rerr := s2.Read(k, kvstore.Latest)
+		if (rerr == nil) != want.found {
+			t.Fatalf("key %s: recovered found=%v (err=%v), memory found=%v", k, rerr == nil, rerr, want.found)
+		}
+		if want.found && (ts != want.ts || !v.Equal(want.v)) {
+			t.Fatalf("key %s: recovered (%v, %d), memory had (%v, %d)", k, v, ts, want.v, want.ts)
+		}
+		if got := s2.Versions(k); got != want.n {
+			t.Fatalf("key %s: %d versions recovered, memory had %d", k, got, want.n)
+		}
 	}
 }
 

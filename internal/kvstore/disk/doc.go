@@ -15,7 +15,8 @@
 //	.disk-*              snapshot temp files (deleted on open)
 //
 // The durability contract is the store's mutation protocol (kvstore/engine.go):
-// apply in memory, then Append + Sync, then acknowledge. Sync blocks per the
+// apply in memory and Append under the row lock (pinning WAL order to apply
+// order per row), then Sync, then acknowledge. Sync blocks per the
 // configured SyncPolicy — per-write fsync (SyncEvery), group commit
 // (SyncBatch, the default), or timer-based (SyncInterval). Invariants D1–D3
 // and their proof obligations are in DESIGN.md §14; docs/OPERATIONS.md is the

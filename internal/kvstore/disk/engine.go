@@ -292,8 +292,9 @@ func (e *Engine) maybeSnapshot() {
 	}()
 }
 
-// snapshot writes a durable snapshot at the current append horizon and
-// removes the log segments (and older snapshots) it supersedes.
+// snapshot writes a durable snapshot at the current durable horizon
+// (flushed, NOT appended) and removes the log segments (and older
+// snapshots) it supersedes.
 //
 // Safety of the capture point: S is read under mu, so every record with
 // sequence number <= S was Appended — and, by the store's
@@ -301,9 +302,17 @@ func (e *Engine) maybeSnapshot() {
 // before the capture. Store.Save therefore reflects every mutation <= S,
 // and any sealed segment whose records all have seq <= S is redundant once
 // the snapshot is durable.
+//
+// The horizon must be the flushed seq, not the appended one: records still
+// queued in buf are not yet on disk, so a snapshot claiming to cover them
+// could outlive them — after a power loss the WAL ends at some F < S while
+// snap-S survives, Open resumes appending at F+1, and acknowledged writes
+// get assigned sequence numbers <= S that the next recovery would silently
+// skip. flushed records, by contrast, are durable before S is captured, so
+// snapSeq can never exceed the log end a crash leaves behind.
 func (e *Engine) snapshot() error {
 	e.mu.Lock()
-	s := e.appended
+	s := e.flushed
 	e.mu.Unlock()
 	if err := writeSnapshot(e.dir, s, e.store); err != nil {
 		return err

@@ -86,6 +86,24 @@ func Open(dir string, opts Options) (*kvstore.Store, *Engine, error) {
 		lastSeq = end
 	}
 
+	// A snapshot horizon past the log end means appending at lastSeq+1 would
+	// reuse sequence numbers the snapshot claims to cover — the next
+	// recovery would silently skip those acknowledged writes. The engine
+	// only snapshots at the flushed (durable) horizon so this cannot arise
+	// from a crash; it can still appear in directories written by older
+	// builds or hand-edited ones. Recover by dropping the fully-covered
+	// segments and restarting the log at snapSeq+1.
+	if lastSeq < snapSeq {
+		opts.Logf("disk: snapshot seq=%d is past the log end seq=%d; restarting the log at %d", snapSeq, lastSeq, snapSeq+1)
+		for _, start := range segs {
+			if err := os.Remove(filepath.Join(dir, segmentName(start))); err != nil {
+				return nil, nil, fmt.Errorf("disk: drop covered segment: %w", err)
+			}
+		}
+		segs = nil
+		lastSeq = snapSeq
+	}
+
 	// Older snapshots are never read again once a newer one loaded.
 	for _, s := range snaps {
 		if s < snapSeq {
@@ -166,6 +184,24 @@ func replaySegment(dir string, start, snapSeq uint64, final bool, store *kvstore
 			truncated = st.Size() - recStart
 			if terr := os.Truncate(path, recStart); terr != nil {
 				return 0, 0, 0, fmt.Errorf("disk: truncate torn tail: %w", terr)
+			}
+			// Make the truncation durable before the segment is appended to
+			// again: without the fsync a second crash could bring the stale
+			// torn-tail bytes back, interleaved after newly appended records
+			// at a boundary the CRC framing is not guaranteed to reject.
+			tf, terr := os.OpenFile(path, os.O_WRONLY, 0)
+			if terr != nil {
+				return 0, 0, 0, fmt.Errorf("disk: reopen truncated segment: %w", terr)
+			}
+			serr = tf.Sync()
+			if cerr := tf.Close(); serr == nil {
+				serr = cerr
+			}
+			if serr != nil {
+				return 0, 0, 0, fmt.Errorf("disk: fsync truncated segment: %w", serr)
+			}
+			if derr := syncDir(dir); derr != nil {
+				return 0, 0, 0, derr
 			}
 			return seq, applied, truncated, nil
 		}

@@ -13,15 +13,20 @@ import "fmt"
 //
 //  1. validate and apply the mutation to the in-memory image under the
 //     row (or shard) lock, exactly as before;
-//  2. release the lock;
-//  3. Append the corresponding Mutation records to the engine — the engine
-//     encodes them before returning, so the caller's maps are never
-//     retained — and Sync to the returned sequence number;
+//  2. still under that lock, Append the corresponding Mutation records to
+//     the engine — Append only encodes and assigns sequence numbers, it
+//     never blocks on I/O, and the engine encodes before returning so the
+//     caller's maps are never retained;
+//  3. release the lock, then Sync to the returned sequence number;
 //  4. only then return success to the caller.
 //
 // Because the ack waits for Sync, a write the caller saw succeed is durable
-// to the engine's sync policy (invariant D1). Because Append happens after
-// the in-memory apply, a snapshot of the memory image taken after observing
+// to the engine's sync policy (invariant D1). Because Append happens under
+// the same lock as the apply, the WAL orders the mutations of any one row
+// exactly as they were applied, so recovery replay converges on the
+// pre-crash acknowledged state even for non-commutative pairs (a Delete
+// racing a Write on the same key). Because Append happens after the
+// in-memory apply, a snapshot of the memory image taken after observing
 // sequence number S reflects every logged mutation <= S, which is what lets
 // the disk engine truncate log segments behind a snapshot (DESIGN.md §14).
 // Replay is idempotent (invariant D2): OpWrite carries an explicit version
@@ -88,26 +93,41 @@ type Engine interface {
 // field is read without synchronization afterwards.
 func (s *Store) AttachEngine(e Engine) { s.engine = e }
 
-// logMut records muts in the engine and waits for durability per its sync
-// policy. Callers check s.engine != nil first so the memory-only path never
-// builds the variadic slice. An engine failure is sticky: every subsequent
-// mutating operation fails with it (fail-stop), while reads keep serving
-// the in-memory image so a wedged replica can still be inspected and its
-// peers caught up from it.
-func (s *Store) logMut(muts ...Mutation) error {
+// appendMut enqueues muts in the engine. Append never blocks on I/O, so
+// callers invoke it while still holding the row (or shard) lock of the row
+// they just mutated — that is what pins the WAL order of a row's mutations
+// to their apply order (see the protocol comment above). Callers check
+// s.engine != nil first so the memory-only path never builds the variadic
+// slice. An engine failure is sticky (fail-stop), as with syncMut.
+func (s *Store) appendMut(muts ...Mutation) (uint64, error) {
 	seq, err := s.engine.Append(muts)
-	if err == nil {
-		err = s.engine.Sync(seq)
-	}
 	if err != nil {
-		s.mu.Lock()
-		if s.engineErr == nil {
-			s.engineErr = err
-		}
-		s.mu.Unlock()
+		s.stickEngineErr(err)
+		return 0, &EngineError{Err: err}
+	}
+	return seq, nil
+}
+
+// syncMut waits for sequence number seq to be durable per the engine's sync
+// policy. Called after the row lock is released, so an fsync never stalls
+// readers or other writers of the row. An engine failure is sticky: every
+// subsequent mutating operation fails with it (fail-stop), while reads keep
+// serving the in-memory image so a wedged replica can still be inspected
+// and its peers caught up from it.
+func (s *Store) syncMut(seq uint64) error {
+	if err := s.engine.Sync(seq); err != nil {
+		s.stickEngineErr(err)
 		return &EngineError{Err: err}
 	}
 	return nil
+}
+
+func (s *Store) stickEngineErr(err error) {
+	s.mu.Lock()
+	if s.engineErr == nil {
+		s.engineErr = err
+	}
+	s.mu.Unlock()
 }
 
 // EngineError wraps a durability-engine failure surfaced by a store
@@ -139,7 +159,12 @@ func (s *Store) ApplyMutation(m Mutation) error {
 	case OpDelete:
 		sh := s.shards[shardFor(m.Key)]
 		sh.mu.Lock()
-		delete(sh.rows, m.Key)
+		if r := sh.rows[m.Key]; r != nil {
+			r.mu.Lock()
+			r.gone = true
+			r.mu.Unlock()
+			delete(sh.rows, m.Key)
+		}
 		sh.mu.Unlock()
 		return nil
 	case OpGC:

@@ -63,6 +63,12 @@ type Version struct {
 type row struct {
 	mu       sync.Mutex
 	versions []Version
+	// gone marks a row Delete removed from its shard map. A writer that
+	// pinned the row pointer before the delete must not mutate the orphaned
+	// object (the mutation would be invisible to readers yet still reach the
+	// WAL); lockRow/lockPinned re-resolve through the shard map instead.
+	// Written and read under mu.
+	gone bool
 }
 
 // latest returns the newest version, or nil if none exist.
@@ -156,6 +162,36 @@ func (s *Store) getRow(key string, create bool) *row {
 	if r = sh.rows[key]; r == nil {
 		r = &row{}
 		sh.rows[key] = r
+	}
+	return r
+}
+
+// lockRow returns key's row with its lock held, creating the row when
+// absent and retrying when a concurrent Delete marked the locked row gone
+// (the recreated row starts empty, exactly as the deleted one ended).
+// Every write-family operation goes through this so no mutation ever lands
+// on an orphaned row object.
+func (s *Store) lockRow(key string) *row {
+	for {
+		r := s.getRow(key, true)
+		r.mu.Lock()
+		if !r.gone {
+			return r
+		}
+		r.mu.Unlock()
+	}
+}
+
+// lockPinned locks a row pinned earlier (ApplyBatch pins all rows of a
+// batch up front with one shard-lock round per shard), re-resolving it
+// through the shard map when a concurrent Delete scavenged it between the
+// pin and the lock.
+func (s *Store) lockPinned(r *row, key string) *row {
+	r.mu.Lock()
+	for r.gone {
+		r.mu.Unlock()
+		r = s.getRow(key, true)
+		r.mu.Lock()
 	}
 	return r
 }
@@ -289,8 +325,7 @@ func (s *Store) Write(key string, value Value, ts int64) (int64, error) {
 	if err := s.mutGate(); err != nil {
 		return 0, err
 	}
-	r := s.getRow(key, true)
-	r.mu.Lock()
+	r := s.lockRow(key)
 	last := r.latest()
 	if ts < 0 {
 		ts = 0
@@ -305,9 +340,19 @@ func (s *Store) Write(key string, value Value, ts int64) (int64, error) {
 	}
 	stored := value.Clone()
 	r.versions = append(r.versions, Version{Timestamp: ts, Value: stored})
-	r.mu.Unlock()
+	var seq uint64
+	logged := false
 	if s.engine != nil {
-		if err := s.logMut(Mutation{Op: OpWrite, Key: key, TS: ts, Value: stored}); err != nil {
+		sq, err := s.appendMut(Mutation{Op: OpWrite, Key: key, TS: ts, Value: stored})
+		if err != nil {
+			r.mu.Unlock()
+			return 0, err
+		}
+		seq, logged = sq, true
+	}
+	r.mu.Unlock()
+	if logged {
+		if err := s.syncMut(seq); err != nil {
 			return 0, err
 		}
 	}
@@ -373,17 +418,27 @@ func (s *Store) WriteIdempotent(key string, value Value, ts int64) error {
 	if ts < 0 {
 		return fmt.Errorf("kvstore: WriteIdempotent requires explicit timestamp")
 	}
-	r := s.getRow(key, true)
-	r.mu.Lock()
+	r := s.lockRow(key)
 	changed, err := r.applyIdempotent(ts, value, true)
-	r.mu.Unlock()
 	if err != nil {
+		r.mu.Unlock()
 		return fmt.Errorf("%w key=%q", err, key)
 	}
 	// Duplicate deliveries (changed == false) left the image untouched, so
 	// they are already represented in the log and are not re-logged.
+	var seq uint64
+	logged := false
 	if changed && s.engine != nil {
-		if err := s.logMut(Mutation{Op: OpWrite, Key: key, TS: ts, Value: value}); err != nil {
+		sq, aerr := s.appendMut(Mutation{Op: OpWrite, Key: key, TS: ts, Value: value})
+		if aerr != nil {
+			r.mu.Unlock()
+			return aerr
+		}
+		seq, logged = sq, true
+	}
+	r.mu.Unlock()
+	if logged {
+		if err := s.syncMut(seq); err != nil {
 			return err
 		}
 	}
@@ -452,45 +507,45 @@ func (s *Store) ApplyBatch(writes []BatchWrite) error {
 	}
 	// Validate everything first so a conflicting batch mutates nothing.
 	for i := range writes {
-		rows[i].mu.Lock()
-		err := rows[i].checkIdempotent(writes[i].TS, writes[i].Value)
-		rows[i].mu.Unlock()
+		r := s.lockPinned(rows[i], writes[i].Key)
+		rows[i] = r
+		err := r.checkIdempotent(writes[i].TS, writes[i].Value)
+		r.mu.Unlock()
 		if err != nil {
 			return fmt.Errorf("%w key=%q", err, writes[i].Key)
 		}
 	}
-	var changedAny bool
-	var changedAt []bool
-	if s.engine != nil {
-		changedAt = make([]bool, len(writes))
-	}
+	// Each element's WAL record is appended under its row's lock (Append is
+	// queue-only, no I/O) so the log orders it against racing mutations of
+	// the same row, and one Sync at the end covers the whole batch — the
+	// group-commit fsync still absorbs every write the batch carried.
+	// Replayed batches (nothing changed) are already in the log and skip the
+	// engine; sequence numbers are monotone, so the last append's seq covers
+	// all of them.
+	var seq uint64
+	logged := false
 	for i := range writes {
-		rows[i].mu.Lock()
-		changed, err := rows[i].applyIdempotent(writes[i].TS, writes[i].Value, false)
-		rows[i].mu.Unlock()
+		r := s.lockPinned(rows[i], writes[i].Key)
+		rows[i] = r
+		changed, err := r.applyIdempotent(writes[i].TS, writes[i].Value, false)
 		if err != nil {
+			r.mu.Unlock()
 			return fmt.Errorf("%w key=%q", err, writes[i].Key)
 		}
-		if changed {
-			changedAny = true
-			if s.engine != nil {
-				changedAt[i] = true
+		if changed && s.engine != nil {
+			sq, aerr := s.appendMut(Mutation{
+				Op: OpWrite, Key: writes[i].Key, TS: writes[i].TS, Value: writes[i].Value,
+			})
+			if aerr != nil {
+				r.mu.Unlock()
+				return aerr
 			}
+			seq, logged = sq, true
 		}
+		r.mu.Unlock()
 	}
-	// One engine round for the whole batch: a single Append/Sync, so the
-	// group-commit fsync absorbs every write the batch carried. Replayed
-	// batches (nothing changed) are already in the log and skip the engine.
-	if changedAny && s.engine != nil {
-		muts := make([]Mutation, 0, len(writes))
-		for i := range writes {
-			if changedAt[i] {
-				muts = append(muts, Mutation{
-					Op: OpWrite, Key: writes[i].Key, TS: writes[i].TS, Value: writes[i].Value,
-				})
-			}
-		}
-		if err := s.logMut(muts...); err != nil {
+	if logged {
+		if err := s.syncMut(seq); err != nil {
 			return err
 		}
 	}
@@ -509,8 +564,7 @@ func (s *Store) CheckAndWrite(key, testAttr, testValue string, value Value) erro
 	if err := s.mutGate(); err != nil {
 		return err
 	}
-	r := s.getRow(key, true)
-	r.mu.Lock()
+	r := s.lockRow(key)
 	cur := ""
 	last := r.latest()
 	if last != nil {
@@ -526,9 +580,19 @@ func (s *Store) CheckAndWrite(key, testAttr, testValue string, value Value) erro
 	}
 	stored := value.Clone()
 	r.versions = append(r.versions, Version{Timestamp: ts, Value: stored})
-	r.mu.Unlock()
+	var seq uint64
+	logged := false
 	if s.engine != nil {
-		if err := s.logMut(Mutation{Op: OpWrite, Key: key, TS: ts, Value: stored}); err != nil {
+		sq, err := s.appendMut(Mutation{Op: OpWrite, Key: key, TS: ts, Value: stored})
+		if err != nil {
+			r.mu.Unlock()
+			return err
+		}
+		seq, logged = sq, true
+	}
+	r.mu.Unlock()
+	if logged {
+		if err := s.syncMut(seq); err != nil {
 			return err
 		}
 	}
@@ -544,8 +608,7 @@ func (s *Store) Update(key string, fn func(Value) (Value, error)) error {
 	if err := s.mutGate(); err != nil {
 		return err
 	}
-	r := s.getRow(key, true)
-	r.mu.Lock()
+	r := s.lockRow(key)
 	var cur Value
 	var ts int64
 	if last := r.latest(); last != nil {
@@ -559,9 +622,19 @@ func (s *Store) Update(key string, fn func(Value) (Value, error)) error {
 	}
 	stored := next.Clone()
 	r.versions = append(r.versions, Version{Timestamp: ts, Value: stored})
-	r.mu.Unlock()
+	var seq uint64
+	logged := false
 	if s.engine != nil {
-		if err := s.logMut(Mutation{Op: OpWrite, Key: key, TS: ts, Value: stored}); err != nil {
+		sq, aerr := s.appendMut(Mutation{Op: OpWrite, Key: key, TS: ts, Value: stored})
+		if aerr != nil {
+			r.mu.Unlock()
+			return aerr
+		}
+		seq, logged = sq, true
+	}
+	r.mu.Unlock()
+	if logged {
+		if err := s.syncMut(seq); err != nil {
 			return err
 		}
 	}
@@ -584,17 +657,35 @@ func (s *Store) Versions(key string) int {
 // newer) survive, so reads at timestamps >= keepFrom are unaffected.
 // It returns the number of versions discarded.
 func (s *Store) GC(key string, keepFrom int64) int {
-	dropped := s.gcRow(key, keepFrom)
+	r := s.getRow(key, false)
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	if r.gone {
+		r.mu.Unlock()
+		return 0
+	}
+	dropped := r.gc(keepFrom)
 	// A lost GC record only costs disk space after a crash (the discarded
 	// versions reappear), never correctness, so engine failures surface via
-	// the sticky fail-stop flag rather than a return value here.
+	// the sticky fail-stop flag rather than a return value here. Appended
+	// under the row lock so replay scavenges in apply order.
+	var seq uint64
+	logged := false
 	if dropped > 0 && s.engine != nil {
-		_ = s.logMut(Mutation{Op: OpGC, Key: key, TS: keepFrom})
+		if sq, err := s.appendMut(Mutation{Op: OpGC, Key: key, TS: keepFrom}); err == nil {
+			seq, logged = sq, true
+		}
+	}
+	r.mu.Unlock()
+	if logged {
+		_ = s.syncMut(seq)
 	}
 	return dropped
 }
 
-// gcRow is GC's in-memory half, shared with the recovery replay path
+// gcRow is GC's in-memory half, used by the recovery replay path
 // (ApplyMutation), which must not re-log the mutation.
 func (s *Store) gcRow(key string, keepFrom int64) int {
 	r := s.getRow(key, false)
@@ -603,6 +694,12 @@ func (s *Store) gcRow(key string, keepFrom int64) int {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.gc(keepFrom)
+}
+
+// gc discards versions strictly older than the newest one at or below
+// keepFrom. Caller must hold r.mu.
+func (r *row) gc(keepFrom int64) int {
 	i := sort.Search(len(r.versions), func(i int) bool {
 		return r.versions[i].Timestamp > keepFrom
 	})
@@ -621,14 +718,36 @@ func (s *Store) gcRow(key string, keepFrom int64) int {
 // scavenge decided Paxos instance state and old log entries. Like GC, a
 // lost delete record costs space after a crash, not correctness, so engine
 // failures are surfaced by the sticky fail-stop flag, not here.
+//
+// The delete is applied and logged while holding both the shard lock and
+// the row lock: the gone mark makes a racing writer that pinned the row
+// re-resolve (lockRow) instead of mutating the orphaned object, and the
+// under-lock Append pins the WAL order of the delete against that row's
+// other mutations — without it, a Delete racing a Write could be logged in
+// the opposite order of application, and recovery replay would resurrect
+// the deleted row or drop the acknowledged write.
 func (s *Store) Delete(key string) {
 	sh := s.shards[shardFor(key)]
 	sh.mu.Lock()
-	_, existed := sh.rows[key]
+	r := sh.rows[key]
+	if r == nil {
+		sh.mu.Unlock()
+		return
+	}
+	r.mu.Lock()
+	r.gone = true
 	delete(sh.rows, key)
+	var seq uint64
+	logged := false
+	if s.engine != nil {
+		if sq, err := s.appendMut(Mutation{Op: OpDelete, Key: key}); err == nil {
+			seq, logged = sq, true
+		}
+	}
+	r.mu.Unlock()
 	sh.mu.Unlock()
-	if existed && s.engine != nil {
-		_ = s.logMut(Mutation{Op: OpDelete, Key: key})
+	if logged {
+		_ = s.syncMut(seq)
 	}
 }
 
