@@ -5,10 +5,10 @@
 SHELL := /bin/bash
 GO ?= go
 
-.PHONY: check build fmt vet mdcheck examples test race cover bench-smoke fig-smoke shards-smoke saturation-smoke durability-smoke bench-json bench-compare bench-compare-strict clean
+.PHONY: check build fmt vet mdcheck examples test race cover faults-smoke bench-smoke fig-smoke shards-smoke saturation-smoke durability-smoke bench-json bench-compare bench-compare-strict clean
 
 ## check: everything CI gates a PR on
-check: fmt vet mdcheck examples race bench-smoke fig-smoke shards-smoke saturation-smoke durability-smoke bench-compare-strict
+check: fmt vet mdcheck examples race faults-smoke bench-smoke fig-smoke shards-smoke saturation-smoke durability-smoke bench-compare-strict
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,14 @@ race:
 ## to $GITHUB_STEP_SUMMARY)
 cover:
 	set -o pipefail; $(GO) test -count=1 -cover ./... | tee cover.txt
+
+## faults-smoke: the storage fault-injection battery on fixed seeds — the
+## fsyncgate pin, the seeded-random durability property, the scrub rot
+## detection, and the combined disk+network nemesis (CI "test" job; the
+## same tests also run shuffled under -race via `race`)
+faults-smoke:
+	$(GO) test -count=1 -run 'TestFsyncFailureNeverAcksNeverRetries|TestRandomFaultDurability|TestScrubDetects|TestEngineFailStopFailsOver|TestReplicaFailedVerdictReachesClient|TestDiskFaultNemesis' \
+		./internal/kvstore/disk/faultfs ./internal/cluster
 
 ## bench-smoke: one iteration of every benchmark + BENCH_ci.json (CI "bench" job)
 bench-smoke:

@@ -169,8 +169,20 @@ func main() {
 			if len(st.Groups) > 1 {
 				discovered = fmt.Sprintf(" groups=%d[%s]", len(st.Groups), strings.Join(st.Groups, ","))
 			}
-			fmt.Printf("%-6s applied=%-6d compacted=%-6d logEntries=%-6d dataKeys=%-6d leader=%s%s%s\n",
-				st.DC, st.LastApplied, st.CompactedTo, st.LogEntries, st.DataKeys, st.Leader, lease, discovered)
+			// Engine health: a faulted replica serves reads but refuses
+			// every mutation (fail-stop); scrub findings are rot detected
+			// in sealed files that recovery would otherwise hit first.
+			health := ""
+			if st.Fault != "" {
+				health = fmt.Sprintf(" FAULT=%q", st.Fault)
+			}
+			if len(st.ScrubCorrupt) > 0 {
+				health += fmt.Sprintf(" SCRUB-CORRUPT=[%s]", strings.Join(st.ScrubCorrupt, ","))
+			} else if st.ScrubRuns > 0 {
+				health += fmt.Sprintf(" scrubs=%d", st.ScrubRuns)
+			}
+			fmt.Printf("%-6s applied=%-6d compacted=%-6d logEntries=%-6d dataKeys=%-6d leader=%s%s%s%s\n",
+				st.DC, st.LastApplied, st.CompactedTo, st.LogEntries, st.DataKeys, st.Leader, lease, discovered, health)
 		}
 	case "compact":
 		if len(args) != 2 {

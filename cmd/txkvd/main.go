@@ -67,9 +67,32 @@ func main() {
 		// Everything above the store — acceptor promises, log entries, applied
 		// watermarks, epochs — lives in store rows, so recovering the store
 		// recovers the whole replica.
-		store, _, err = disk.Open(*dataDir, disk.Options{Fsync: policy, Logf: log.Printf})
+		var engine *disk.Engine
+		store, engine, err = disk.Open(*dataDir, disk.Options{
+			Fsync: policy,
+			Logf:  log.Printf,
+			// Background scrub: re-verify sealed segments and snapshots
+			// every 10 minutes so bit rot is a health alert (GroupStatus
+			// fault/scrub fields, txkvctl status), not a surprise at the
+			// next recovery.
+			ScrubInterval: 10 * time.Minute,
+			// A fail-stopped engine is an operator event, not a log whisper:
+			// the engine already prints its two ERROR lines, this adds the
+			// daemon-level alert with the operational next step.
+			OnFail: func(err error) {
+				log.Printf("txkvd: ERROR: STORAGE ENGINE FAILED (fail-stop): %v", err)
+				log.Printf("txkvd: ERROR: this replica refuses all mutations with %q; clients fail over once the lease lapses — replace the disk and restart", core.ErrReplicaFailed)
+			},
+		})
 		if err != nil {
 			log.Fatalf("txkvd: %v", err)
+		}
+		if ferr := engine.Fault(); ferr != nil {
+			// Refuse to serve on storage that is already dead: a daemon that
+			// came up poisoned would answer reads while silently refusing
+			// every write. Exit non-zero so supervisors see the failure.
+			store.Close()
+			log.Fatalf("txkvd: storage engine poisoned at startup: %v", ferr)
 		}
 		log.Printf("txkvd: %d rows recovered from %s (fsync=%s)", store.Len(), *dataDir, policy)
 	}

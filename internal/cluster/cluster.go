@@ -59,6 +59,14 @@ type Config struct {
 	// Fsync selects the disk engine's sync policy when DataDir is set; empty
 	// means disk.SyncBatch (group commit).
 	Fsync disk.SyncPolicy
+	// DiskOptions, when non-nil, supplies each datacenter's full disk
+	// engine options (only meaningful with DataDir set). It is how the
+	// fault nemesis wires a faultfs injector under one replica's engine
+	// and how tests shrink segments to force rotation. Fsync falls back to
+	// Config.Fsync when the returned options leave it empty; Restart calls
+	// it again, so injected faults can span or be cleared across a
+	// crash+restart.
+	DiskOptions func(dc string) disk.Options
 }
 
 // Cluster is a running multi-datacenter deployment.
@@ -166,7 +174,14 @@ func (c *Cluster) openStore(dc string) (*kvstore.Store, *disk.Engine, error) {
 	if c.cfg.DataDir == "" {
 		return kvstore.New(), nil, nil
 	}
-	return disk.Open(filepath.Join(c.cfg.DataDir, dc), disk.Options{Fsync: c.cfg.Fsync})
+	opts := disk.Options{Fsync: c.cfg.Fsync}
+	if c.cfg.DiskOptions != nil {
+		opts = c.cfg.DiskOptions(dc)
+		if opts.Fsync == "" {
+			opts.Fsync = c.cfg.Fsync
+		}
+	}
+	return disk.Open(filepath.Join(c.cfg.DataDir, dc), opts)
 }
 
 // buildService constructs a datacenter's Transaction Service over store with
@@ -302,6 +317,16 @@ func (c *Cluster) Store(dc string) *kvstore.Store {
 	c.svcMu.RLock()
 	defer c.svcMu.RUnlock()
 	return c.stores[dc]
+}
+
+// Engine returns a datacenter's disk engine: nil for in-memory clusters,
+// the poisoned pre-crash engine while the datacenter is crashed, the
+// recovered engine after Restart. Fault-injection tests use it to run
+// scrub passes and observe engine health directly.
+func (c *Cluster) Engine(dc string) *disk.Engine {
+	c.svcMu.RLock()
+	defer c.svcMu.RUnlock()
+	return c.engines[dc]
 }
 
 // Sim exposes the simulated network for fault injection and counters.

@@ -42,6 +42,16 @@ type GroupStatus struct {
 	// replica for the status of one group and learns the full group set of
 	// the deployment in the same reply.
 	Groups []string `json:"groups,omitempty"`
+	// Fault is the replica's storage-engine fail-stop reason, "" while
+	// healthy. A faulted replica refuses mutations with ErrReplicaFailed
+	// and declines mastership; reads and catch-up keep serving (DESIGN.md
+	// §14, fail-stop → failover).
+	Fault string `json:"fault,omitempty"`
+	// ScrubRuns counts completed background scrub passes and ScrubCorrupt
+	// lists the files the latest pass found corrupt (disk engine only;
+	// both zero/empty for in-memory replicas or before the first pass).
+	ScrubRuns    int      `json:"scrubRuns,omitempty"`
+	ScrubCorrupt []string `json:"scrubCorrupt,omitempty"`
 }
 
 // Status reports this replica's view of a group. The applied horizon and
@@ -50,7 +60,7 @@ type GroupStatus struct {
 func (s *Service) Status(group string) GroupStatus {
 	last := s.lastApplied(group)
 	epoch, leaseValid := s.Mastership(group)
-	return GroupStatus{
+	st := GroupStatus{
 		DC:          s.dc,
 		Group:       group,
 		LastApplied: last,
@@ -63,6 +73,22 @@ func (s *Service) Status(group string) GroupStatus {
 		LeaseValid:  leaseValid,
 		Groups:      s.Groups(),
 	}
+	if err := s.replicaFault(); err != nil {
+		st.Fault = err.Error()
+	}
+	// The scrub lives in the disk engine; probe it through the optional
+	// health interface so core stays decoupled from the disk package.
+	if hr, ok := s.store.Engine().(interface {
+		HealthSummary() (string, int, []string)
+	}); ok {
+		fault, runs, corrupt := hr.HealthSummary()
+		if st.Fault == "" {
+			st.Fault = fault
+		}
+		st.ScrubRuns = runs
+		st.ScrubCorrupt = corrupt
+	}
+	return st
 }
 
 // handleStats serves a status request; the reply payload is JSON.

@@ -79,6 +79,13 @@ func (s *Service) ClaimMastership(ctx context.Context, group string) (int64, err
 	if !s.fencing {
 		return 0, nil
 	}
+	if err := s.replicaFault(); err != nil {
+		// A replica whose disk has died must not take (or re-take)
+		// mastership: it could replicate entries but never apply them, and
+		// its stamped traffic would keep the group leased to a master that
+		// commits nothing. Decline; a healthy peer claims instead.
+		return 0, fmt.Errorf("core: claim %s: declining, storage failed: %w", group, err)
+	}
 	lock := s.claimLock(group)
 	lock.Lock()
 	defer lock.Unlock()
@@ -359,6 +366,11 @@ func (s *Service) absorbTo(ctx context.Context, group string, target int64) erro
 func (s *Service) RenewLease(ctx context.Context, group string) (int64, error) {
 	if !s.fencing {
 		return 0, nil
+	}
+	if err := s.replicaFault(); err != nil {
+		// Same rule as ClaimMastership: a fail-stopped replica lets its
+		// lease lapse so mastership moves to a healthy peer.
+		return 0, fmt.Errorf("core: renew %s: declining, storage failed: %w", group, err)
 	}
 	lg := s.log(group)
 	st := lg.Epoch()

@@ -63,7 +63,14 @@ func (c *Client) commitMaster(ctx context.Context, t *Tx) (CommitResult, error) 
 		timeout = network.DefaultTimeout
 	}
 	const maxHops = 3
-	for hop := 0; ; hop++ {
+	// attempts bounds the whole loop: each iteration costs at most one
+	// send round trip or one lease-lapse wait, so the dance around a
+	// fail-stopped replica (below) terminates even if no replica ever
+	// claims.
+	const attempts = 12
+	hops := 0
+	var failed map[string]bool // replicas that answered ErrReplicaFailed
+	for attempt := 0; attempt < attempts; attempt++ {
 		// The submit round trip covers the master's replication work, so
 		// give it two message timeouts.
 		cctx, cancel := context.WithTimeout(ctx, 2*timeout)
@@ -84,12 +91,42 @@ func (c *Client) commitMaster(ctx context.Context, t *Tx) (CommitResult, error) 
 			// reached the log, so the caller may retry. resp.TS carries the
 			// master's queue depth as a backpressure hint.
 			return CommitResult{Status: stats.Rejected}, nil
-		case resp.Err == ErrNotMaster && resp.Value != "" && resp.Value != master && hop < maxHops:
+		case resp.Err == ErrReplicaFailed:
+			// The replica's storage engine has fail-stopped: definitive
+			// there for the life of its process, but nothing reached the
+			// log, so submit to a healthy replica instead — it claims the
+			// group's next epoch once the dead master's lease lapses.
+			if failed == nil {
+				failed = make(map[string]bool)
+			}
+			failed[master] = true
+			next := ""
+			for _, dc := range c.transport.Peers() {
+				if !failed[dc] {
+					next = dc
+					break
+				}
+			}
+			if next == "" {
+				return CommitResult{Status: stats.Failed}, fmt.Errorf("core: master %s: %s (%s); no healthy replica left", master, resp.Err, resp.Value)
+			}
+			master = next
+		case resp.Err == ErrNotMaster && failed[resp.Value]:
+			// This healthy replica still honors the fail-stopped master's
+			// lease. Following the hint would just bounce off the dead
+			// replica again — stand by for the lease to lapse here, then
+			// re-submit to this same replica so it claims.
+			if serr := sleepCtx(ctx, timeout); serr != nil {
+				return CommitResult{Status: stats.Failed}, fmt.Errorf("core: master %s failed, lease not yet lapsed at %s: %w", resp.Value, master, serr)
+			}
+		case resp.Err == ErrNotMaster && resp.Value != "" && resp.Value != master && hops < maxHops:
+			hops++
 			master = resp.Value // follow the hint to the prevailing master
 		default:
 			return CommitResult{Status: stats.Failed}, fmt.Errorf("core: master %s: %s", master, resp.Err)
 		}
 	}
+	return CommitResult{Status: stats.Failed}, fmt.Errorf("core: submit gave up after %d attempts (master %s)", attempts, master)
 }
 
 // masterConflict is the wire marker for a conflict abort verdict.

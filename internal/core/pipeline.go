@@ -164,6 +164,14 @@ func (p *pipeline) Submit(txn wal.Txn) network.Message {
 // replicates (DESIGN.md §13).
 func (p *pipeline) SubmitAsync(txn wal.Txn, deliver func(network.Message)) {
 	ps := &pendingSubmit{txn: txn, deliver: deliver}
+	if err := p.svc.replicaFault(); err != nil {
+		// Fail-stopped storage: refuse before any protocol work, with the
+		// verdict that tells the client to go elsewhere (health.go). The
+		// check repeats in place() for submissions already queued when the
+		// engine died.
+		ps.reply(replicaFailedReply(err))
+		return
+	}
 	ps.timer.Store(time.AfterFunc(4*p.svc.timeout, func() {
 		ps.reply(network.Status(false, "master: submit timed out in pipeline"))
 	}))
@@ -332,6 +340,17 @@ func (p *pipeline) isDeposed() bool {
 func (p *pipeline) place(batch []*pendingSubmit) {
 	ctx, cancel := context.WithTimeout(context.Background(), 4*p.svc.timeout)
 	defer cancel()
+
+	if err := p.svc.replicaFault(); err != nil {
+		// The engine died while this batch sat in the queue. Placing it
+		// would replicate entries this replica can never apply — and, worse,
+		// keep refreshing the dead master's lease at every peer. Drain with
+		// the definitive local refusal instead (health.go).
+		for _, ps := range batch {
+			ps.reply(replicaFailedReply(err))
+		}
+		return
+	}
 
 	var epoch int64
 	if p.svc.fencing {

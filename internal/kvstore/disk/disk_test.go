@@ -272,7 +272,7 @@ func TestSnapshotCompactionAndReplay(t *testing.T) {
 	if err := e.Close(); err != nil {
 		t.Fatalf("close: %v", err)
 	}
-	segs, snaps, err := listSegments(dir)
+	segs, snaps, err := listSegments(osFS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +411,7 @@ func TestSnapshotHorizonIsDurable(t *testing.T) {
 	if err := e.snapshot(); err != nil {
 		t.Fatalf("snapshot: %v", err)
 	}
-	_, snaps, err := listSegments(dir)
+	_, snaps, err := listSegments(osFS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -465,7 +465,7 @@ func TestOpenSnapshotBeyondLogEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Snapshot claims seq 30; the WAL ends at seq 10.
-	if err := writeSnapshot(dir, 30, ref); err != nil {
+	if err := writeSnapshot(osFS{}, dir, 30, ref); err != nil {
 		t.Fatal(err)
 	}
 
@@ -477,7 +477,7 @@ func TestOpenSnapshotBeyondLogEnd(t *testing.T) {
 	if err := e.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, _, err := listSegments(dir)
+	segs, _, err := listSegments(osFS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -62,6 +62,22 @@ type Options struct {
 	// Logf receives recovery and compaction log lines (docs/OPERATIONS.md
 	// documents the format). nil discards them.
 	Logf func(format string, args ...any)
+	// FS routes every file operation the engine performs; nil means the
+	// real filesystem (OSFS). Tests inject storage faults through
+	// internal/kvstore/disk/faultfs.
+	FS FS
+	// OnFail is invoked exactly once, with the first failure, when the
+	// engine fail-stops (fsync error, write error, ENOSPC, simulated power
+	// loss). It runs on the failing goroutine and may be called while
+	// engine locks are held by callers — keep it quick and do not call back
+	// into the engine. nil disables the callback.
+	OnFail func(error)
+	// ScrubInterval enables the background checksum scrub: every interval,
+	// the engine re-reads all sealed WAL segments (verifying each record's
+	// CRC framing) and all snapshots (verifying they still decode) and
+	// records any corruption as health state — never as a crash. 0 disables
+	// the background pass; Engine.Scrub still runs one on demand.
+	ScrubInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +95,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
+	}
+	if o.FS == nil {
+		o.FS = osFS{}
 	}
 	return o
 }
@@ -101,6 +120,7 @@ var errClosed = errors.New("disk: engine closed")
 type Engine struct {
 	dir   string
 	opts  Options
+	fs    FS
 	store *kvstore.Store
 
 	// flushMu serializes flush cycles (file write, fsync, rotation).
@@ -116,18 +136,27 @@ type Engine struct {
 	// flusher's broadcast when their records land.
 	batchFlushing bool
 	batchCond     *sync.Cond
-	f             *os.File // active segment
-	size          int64    // durable bytes in the active segment
-	segStart      uint64   // first seq of the active segment
-	fsyncs        uint64   // segment fsyncs performed (group-commit absorption metric)
-	err           error    // sticky failure; fail-stop
+	f             File   // active segment
+	size          int64  // durable bytes in the active segment
+	segStart      uint64 // first seq of the active segment
+	fsyncs        uint64 // segment fsyncs performed (group-commit absorption metric)
+	err           error  // sticky failure; fail-stop
 	closed        bool
 
 	snapWG   sync.WaitGroup
 	snapBusy bool // single-flight snapshot/compaction
 
+	// Scrub health (scrub.go): passes completed and the corrupt files the
+	// latest pass found. Corruption is reported here — health, not a crash.
+	scrubMu      sync.Mutex
+	scrubRuns    int
+	scrubCorrupt []string
+
 	stop chan struct{} // interval-policy ticker shutdown
 	done chan struct{}
+
+	scrubStop chan struct{} // background scrub shutdown
+	scrubDone chan struct{}
 }
 
 // Append implements kvstore.Engine: encode muts into the in-memory queue and
@@ -246,7 +275,7 @@ func (e *Engine) flush(force bool) error {
 // rotate seals the active segment (already fsynced by flush) and opens a
 // fresh one starting at flushedSeq+1. Caller must hold flushMu.
 func (e *Engine) rotate(flushedSeq uint64) error {
-	next, err := createSegment(e.dir, flushedSeq+1)
+	next, err := createSegment(e.fs, e.dir, flushedSeq+1)
 	if err != nil {
 		return e.fail(err)
 	}
@@ -259,7 +288,7 @@ func (e *Engine) rotate(flushedSeq uint64) error {
 	if err := old.Close(); err != nil {
 		return e.fail(fmt.Errorf("disk: sealing segment: %w", err))
 	}
-	sealed, _, err := listSegments(e.dir)
+	sealed, _, err := listSegments(e.fs, e.dir)
 	if err != nil {
 		return e.fail(err)
 	}
@@ -314,10 +343,10 @@ func (e *Engine) snapshot() error {
 	e.mu.Lock()
 	s := e.flushed
 	e.mu.Unlock()
-	if err := writeSnapshot(e.dir, s, e.store); err != nil {
+	if err := writeSnapshot(e.fs, e.dir, s, e.store); err != nil {
 		return err
 	}
-	removed, err := compactTo(e.dir, s)
+	removed, err := compactTo(e.fs, e.dir, s)
 	if err != nil {
 		return err
 	}
@@ -327,16 +356,34 @@ func (e *Engine) snapshot() error {
 
 // fail records the first failure; the engine (and the store above it,
 // through kvstore's sticky engineErr) fail-stops all further mutations.
+// The first failure is reported loudly — one ERROR-level line describing
+// the fail-stop and its operational consequence, plus the Options.OnFail
+// callback — so a replica dying of a sick disk is visible to operators,
+// not just to the clients whose writes start failing.
 func (e *Engine) fail(err error) error {
 	e.mu.Lock()
-	if e.err == nil {
+	first := e.err == nil
+	if first {
 		e.err = err
-		e.opts.Logf("disk: engine failed (fail-stop): %v", err)
+		e.opts.Logf("disk: ERROR: engine failed (fail-stop): %v", err)
+		e.opts.Logf("disk: this replica no longer acknowledges mutations (dir=%s); reads keep serving the in-memory image, and mastership fails over once the lease lapses", e.dir)
 	} else {
 		err = e.err
 	}
 	e.mu.Unlock()
+	if first && e.opts.OnFail != nil {
+		e.opts.OnFail(err)
+	}
 	return err
+}
+
+// Fault reports the engine's sticky failure, nil while healthy. The
+// fail-stop is permanent for the process: recovery requires reopening the
+// data directory (disk.Open), typically after replacing the bad disk.
+func (e *Engine) Fault() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
 }
 
 // Close flushes and fsyncs everything queued, waits for any in-flight
@@ -352,6 +399,10 @@ func (e *Engine) Close() error {
 	if e.stop != nil {
 		close(e.stop)
 		<-e.done
+	}
+	if e.scrubStop != nil {
+		close(e.scrubStop)
+		<-e.scrubDone
 	}
 	e.snapWG.Wait()
 	e.flushMu.Lock()
@@ -406,21 +457,21 @@ func (e *Engine) Fsyncs() uint64 {
 
 // helpers shared with open.go
 
-func createSegment(dir string, startSeq uint64) (*os.File, error) {
-	f, err := os.OpenFile(filepath.Join(dir, segmentName(startSeq)),
+func createSegment(fs FS, dir string, startSeq uint64) (File, error) {
+	f, err := fs.OpenFile(filepath.Join(dir, segmentName(startSeq)),
 		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("disk: create segment: %w", err)
 	}
-	if err := syncDir(dir); err != nil {
+	if err := syncDir(fs, dir); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return f, nil
 }
 
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fs FS, dir string) error {
+	d, err := fs.OpenFile(dir, os.O_RDONLY, 0)
 	if err != nil {
 		return fmt.Errorf("disk: open dir: %w", err)
 	}
@@ -433,12 +484,12 @@ func syncDir(dir string) error {
 
 // writeSnapshot durably writes snap-<seq>.snap via temp file + rename + dir
 // fsync, so a crash at any point leaves either no snapshot or a complete one.
-func writeSnapshot(dir string, seq uint64, s *kvstore.Store) error {
-	tmp, err := os.CreateTemp(dir, ".disk-snap-*")
+func writeSnapshot(fs FS, dir string, seq uint64, s *kvstore.Store) error {
+	tmp, err := fs.CreateTemp(dir, ".disk-snap-*")
 	if err != nil {
 		return fmt.Errorf("disk: snapshot temp: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	defer fs.Remove(tmp.Name())
 	if err := s.Save(tmp); err != nil {
 		tmp.Close()
 		return fmt.Errorf("disk: snapshot save: %w", err)
@@ -450,24 +501,24 @@ func writeSnapshot(dir string, seq uint64, s *kvstore.Store) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("disk: snapshot close: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, snapshotName(seq))); err != nil {
+	if err := fs.Rename(tmp.Name(), filepath.Join(dir, snapshotName(seq))); err != nil {
 		return fmt.Errorf("disk: snapshot rename: %w", err)
 	}
-	return syncDir(dir)
+	return syncDir(fs, dir)
 }
 
 // compactTo removes snapshots older than seq and every sealed segment whose
 // records are all <= seq (the newest segment — the active one — is never
 // removed). Returns the number of segments removed.
-func compactTo(dir string, seq uint64) (int, error) {
-	segs, snaps, err := listSegments(dir)
+func compactTo(fs FS, dir string, seq uint64) (int, error) {
+	segs, snaps, err := listSegments(fs, dir)
 	if err != nil {
 		return 0, err
 	}
 	removed := 0
 	for _, s := range snaps {
 		if s < seq {
-			if err := os.Remove(filepath.Join(dir, snapshotName(s))); err != nil {
+			if err := fs.Remove(filepath.Join(dir, snapshotName(s))); err != nil {
 				return removed, fmt.Errorf("disk: compact: %w", err)
 			}
 		}
@@ -475,21 +526,21 @@ func compactTo(dir string, seq uint64) (int, error) {
 	// Segment i covers [segs[i], segs[i+1]-1]: removable when the next
 	// segment starts at or below seq+1.
 	for i := 0; i+1 < len(segs) && segs[i+1] <= seq+1; i++ {
-		if err := os.Remove(filepath.Join(dir, segmentName(segs[i]))); err != nil {
+		if err := fs.Remove(filepath.Join(dir, segmentName(segs[i]))); err != nil {
 			return removed, fmt.Errorf("disk: compact: %w", err)
 		}
 		removed++
 	}
 	if removed > 0 {
-		return removed, syncDir(dir)
+		return removed, syncDir(fs, dir)
 	}
 	return removed, nil
 }
 
 // listSegments returns the start sequence numbers of all WAL segments and
 // all snapshot sequence numbers in dir, each sorted ascending.
-func listSegments(dir string) (segs, snaps []uint64, err error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fs FS, dir string) (segs, snaps []uint64, err error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("disk: read dir: %w", err)
 	}

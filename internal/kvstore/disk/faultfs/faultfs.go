@@ -1,0 +1,323 @@
+// Package faultfs is a fault-injecting implementation of disk.FS: it
+// forwards every operation to a base filesystem (the real one by default)
+// and interposes the storage faults production disks actually exhibit —
+// fsync errors (transient and sticky), ENOSPC after a byte budget, short
+// (torn) writes at crash points, and bit rot observed on read of sealed
+// segments and snapshots.
+//
+// Faults are armed two ways:
+//
+//   - Scripted: FailFsyncs / StickyFailFsyncs / WriteBudget / TornWrite /
+//     FlipBitOnRead arm one precise fault, for tests that pin a single
+//     behavior (the fsyncgate pin, the ENOSPC fail-stop, the scrub
+//     detection test, the cluster disk-death nemesis).
+//   - Seeded-random: NewSeeded draws per-operation faults from a
+//     deterministic rng, for property tests that sweep many schedules
+//     (every acked write durable, every lost write errored).
+//
+// Injection policy: fault accounting applies only to writable handles, so
+// a scripted "fail the 3rd fsync" counts WAL/snapshot fsyncs, not the
+// directory fsyncs interleaved between them; bit flips apply only to
+// read-only handles (recovery and scrub reads) and corrupt the bytes
+// observed, never the file itself. The injector is safe for concurrent use
+// and counts every fault it fires (Stats).
+package faultfs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+
+	"math/rand"
+
+	"paxoscp/internal/kvstore/disk"
+)
+
+// Injected fault errors. ErrDiskFull wraps syscall.ENOSPC so callers (and
+// the engine's fail-stop message) see the errno a real full disk reports.
+var (
+	ErrFsync    = fmt.Errorf("faultfs: injected fsync failure: %w", syscall.EIO)
+	ErrWrite    = fmt.Errorf("faultfs: injected write failure: %w", syscall.EIO)
+	ErrDiskFull = fmt.Errorf("faultfs: injected disk full: %w", syscall.ENOSPC)
+)
+
+// Stats counts the faults the injector has fired.
+type Stats struct {
+	FsyncFails int
+	DiskFulls  int
+	TornWrites int
+	BitFlips   int
+}
+
+// Rates are the per-operation fault probabilities for seeded-random mode.
+// Zero values inject nothing.
+type Rates struct {
+	// FsyncFail is the chance each fsync of a writable file fails.
+	FsyncFail float64
+	// TornWrite is the chance each write persists only a random prefix and
+	// reports an I/O error.
+	TornWrite float64
+	// BitFlip is the chance each read from a WAL segment or snapshot
+	// observes one flipped bit.
+	BitFlip float64
+}
+
+// FS is the injector. The zero value is not usable; construct with New or
+// NewSeeded.
+type FS struct {
+	mu   sync.Mutex
+	base disk.FS
+	rng  *rand.Rand // nil in scripted-only mode
+	prob Rates
+
+	// Scripted fsync fault: after `fsyncAfter` more successful fsyncs,
+	// the next `fsyncFail` fsyncs fail (-1 = every one, forever).
+	fsyncAfter int
+	fsyncFail  int
+
+	budget   int64            // bytes writable before ENOSPC; -1 = unlimited
+	tornKeep int              // next write persists only this many bytes; -1 = off
+	flips    map[string]int64 // base name -> byte offset read with bit 0 flipped
+
+	st Stats
+}
+
+// New returns a scripted-mode injector over base (nil base = the real
+// filesystem). Until a fault is armed it is a transparent proxy.
+func New(base disk.FS) *FS {
+	if base == nil {
+		base = disk.OSFS()
+	}
+	return &FS{base: base, budget: -1, tornKeep: -1, flips: map[string]int64{}}
+}
+
+// NewSeeded returns an injector drawing faults from a deterministic rng.
+// Scripted faults may still be armed on top.
+func NewSeeded(base disk.FS, seed int64, rates Rates) *FS {
+	f := New(base)
+	f.rng = rand.New(rand.NewSource(seed))
+	f.prob = rates
+	return f
+}
+
+// FailFsyncs arms a transient fsync fault: after `after` more successful
+// fsyncs of writable files, the next `count` fsyncs fail.
+func (f *FS) FailFsyncs(after, count int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fsyncAfter, f.fsyncFail = after, count
+}
+
+// StickyFailFsyncs arms a sticky fsync fault: after `after` more successful
+// fsyncs, every fsync fails forever — the dying-disk signature the cluster
+// nemesis uses to kill a datacenter's storage.
+func (f *FS) StickyFailFsyncs(after int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fsyncAfter, f.fsyncFail = after, -1
+}
+
+// WriteBudget arms ENOSPC: writes succeed until n more bytes have been
+// written, then every write fails with a wrapped syscall.ENOSPC (the write
+// straddling the boundary persists the prefix that fits — what a real full
+// disk does). n < 0 disarms.
+func (f *FS) WriteBudget(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budget = n
+}
+
+// TornWrite arms a short write at the next crash point: the next write to
+// any writable file persists only the first keep bytes and reports an I/O
+// error, simulating power failing mid-write.
+func (f *FS) TornWrite(keep int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tornKeep = keep
+}
+
+// FlipBitOnRead arms bit rot on one file: every read-only handle of the
+// file with base name `name` observes bit 0 of byte `off` flipped. The
+// file on disk is untouched — exactly a decaying sector returning wrong
+// bits.
+func (f *FS) FlipBitOnRead(name string, off int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.flips[name] = off
+}
+
+// Clear disarms every scripted fault (seeded rates keep drawing).
+func (f *FS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fsyncAfter, f.fsyncFail = 0, 0
+	f.budget = -1
+	f.tornKeep = -1
+	f.flips = map[string]int64{}
+}
+
+// Stats returns the fault counters.
+func (f *FS) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st
+}
+
+// syncErr decides one writable-file fsync's fate.
+func (f *FS) syncErr() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fsyncFail != 0 {
+		if f.fsyncAfter > 0 {
+			f.fsyncAfter--
+		} else {
+			if f.fsyncFail > 0 {
+				f.fsyncFail--
+			}
+			f.st.FsyncFails++
+			return ErrFsync
+		}
+	}
+	if f.rng != nil && f.prob.FsyncFail > 0 && f.rng.Float64() < f.prob.FsyncFail {
+		f.st.FsyncFails++
+		return ErrFsync
+	}
+	return nil
+}
+
+// writeFate decides one write's fate: how many of n bytes to persist, and
+// the error to report (nil = full clean write).
+func (f *FS) writeFate(n int) (keep int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.tornKeep >= 0 {
+		keep = f.tornKeep
+		if keep > n {
+			keep = n
+		}
+		f.tornKeep = -1
+		f.st.TornWrites++
+		return keep, ErrWrite
+	}
+	if f.budget >= 0 {
+		if int64(n) > f.budget {
+			keep = int(f.budget)
+			f.budget = 0
+			f.st.DiskFulls++
+			return keep, ErrDiskFull
+		}
+		f.budget -= int64(n)
+	}
+	if f.rng != nil && f.prob.TornWrite > 0 && f.rng.Float64() < f.prob.TornWrite {
+		f.st.TornWrites++
+		return f.rng.Intn(n + 1), ErrWrite
+	}
+	return n, nil
+}
+
+// readCorruption reports the flips to apply to a read of `name` covering
+// bytes [off, off+n): scripted offsets plus (for WAL segments and
+// snapshots) a seeded-random single-bit flip.
+func (f *FS) readCorruption(name string, off int64, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var at []int
+	if fo, ok := f.flips[name]; ok && fo >= off && fo < off+int64(n) {
+		at = append(at, int(fo-off))
+		f.st.BitFlips++
+	}
+	if f.rng != nil && f.prob.BitFlip > 0 && walOrSnap(name) && f.rng.Float64() < f.prob.BitFlip {
+		at = append(at, f.rng.Intn(n))
+		f.st.BitFlips++
+	}
+	return at
+}
+
+func walOrSnap(name string) bool {
+	return strings.HasPrefix(name, "wal-") || strings.HasPrefix(name, "snap-")
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, os.PathSeparator); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// disk.FS implementation.
+
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (disk.File, error) {
+	h, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{File: h, fs: f, name: baseName(name), writable: flag&(os.O_WRONLY|os.O_RDWR) != 0}, nil
+}
+
+func (f *FS) CreateTemp(dir, pattern string) (disk.File, error) {
+	h, err := f.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &file{File: h, fs: f, name: baseName(h.Name()), writable: true}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error { return f.base.Rename(oldpath, newpath) }
+
+func (f *FS) Remove(name string) error { return f.base.Remove(name) }
+
+func (f *FS) ReadDir(name string) ([]os.DirEntry, error) { return f.base.ReadDir(name) }
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error { return f.base.MkdirAll(path, perm) }
+
+func (f *FS) Truncate(name string, size int64) error { return f.base.Truncate(name, size) }
+
+// file wraps one handle. Reads track the handle's sequential offset so bit
+// flips land on absolute file positions.
+type file struct {
+	disk.File
+	fs       *FS
+	name     string
+	writable bool
+	off      int64 // read offset (read-only handles are never written)
+}
+
+func (h *file) Read(p []byte) (int, error) {
+	n, err := h.File.Read(p)
+	if !h.writable {
+		for _, at := range h.fs.readCorruption(h.name, h.off, n) {
+			p[at] ^= 1
+		}
+		h.off += int64(n)
+	}
+	return n, err
+}
+
+func (h *file) Write(p []byte) (int, error) {
+	if !h.writable {
+		return h.File.Write(p)
+	}
+	keep, ferr := h.fs.writeFate(len(p))
+	if ferr == nil {
+		return h.File.Write(p)
+	}
+	n := 0
+	if keep > 0 {
+		n, _ = h.File.Write(p[:keep])
+	}
+	return n, ferr
+}
+
+func (h *file) Sync() error {
+	if h.writable {
+		if err := h.fs.syncErr(); err != nil {
+			return err
+		}
+	}
+	return h.File.Sync()
+}

@@ -1,0 +1,84 @@
+package disk
+
+import (
+	"io"
+	"os"
+)
+
+// FS abstracts every file operation the engine performs — segment and
+// snapshot creation, appends, fsyncs, renames, removals, directory listing —
+// so tests can interpose storage faults without touching the real
+// filesystem. Options.FS selects the implementation; nil means the real
+// filesystem (OSFS). internal/kvstore/disk/faultfs provides an injector
+// that wraps any FS with scripted or seeded-random faults: fsync errors,
+// ENOSPC, torn writes, and bit rot on read.
+//
+// The interface is deliberately the engine's exact I/O footprint, not a
+// general VFS: adding an operation here means the engine grew a new way to
+// touch the disk, which the fault battery must then cover.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics (flags include
+	// O_CREATE|O_EXCL for new segments, O_WRONLY|O_APPEND for reopens,
+	// O_RDONLY for recovery and scrub reads — directories included, for
+	// directory fsync).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp creates a snapshot temp file, os.CreateTemp semantics.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically publishes a completed snapshot.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a compacted segment, superseded snapshot, or temp file.
+	Remove(name string) error
+	// ReadDir lists a data directory (os.ReadDir semantics: sorted by name).
+	ReadDir(name string) ([]os.DirEntry, error)
+	// MkdirAll creates the data directory on first open.
+	MkdirAll(path string, perm os.FileMode) error
+	// Truncate cuts a torn tail off the final WAL segment during recovery.
+	Truncate(name string, size int64) error
+}
+
+// File is the subset of *os.File the engine uses on an open handle.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync is fsync. The engine treats any Sync failure as fatal for the
+	// handle (fail-stop): a failed fsync is never retried, because the page
+	// cache may already have dropped the dirty pages the retry would
+	// claim to persist.
+	Sync() error
+	Stat() (os.FileInfo, error)
+	Truncate(size int64) error
+	Name() string
+}
+
+// OSFS returns the real-filesystem implementation, the default when
+// Options.FS is nil.
+func OSFS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }

@@ -32,13 +32,14 @@ import (
 // directory are not detected.
 func Open(dir string, opts Options) (*kvstore.Store, *Engine, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opts.FS
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("disk: open: %w", err)
 	}
-	if err := removeTemps(dir); err != nil {
+	if err := removeTemps(fs, dir); err != nil {
 		return nil, nil, err
 	}
-	segs, snaps, err := listSegments(dir)
+	segs, snaps, err := listSegments(fs, dir)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -47,7 +48,7 @@ func Open(dir string, opts Options) (*kvstore.Store, *Engine, error) {
 	var snapSeq uint64
 	if len(snaps) > 0 {
 		snapSeq = snaps[len(snaps)-1]
-		f, err := os.Open(filepath.Join(dir, snapshotName(snapSeq)))
+		f, err := fs.OpenFile(filepath.Join(dir, snapshotName(snapSeq)), os.O_RDONLY, 0)
 		if err != nil {
 			return nil, nil, fmt.Errorf("disk: open snapshot: %w", err)
 		}
@@ -61,7 +62,7 @@ func Open(dir string, opts Options) (*kvstore.Store, *Engine, error) {
 	// Drop segments the snapshot fully covers (normally compaction already
 	// removed them; a crash between snapshot and compaction leaves them).
 	for len(segs) > 1 && segs[1] <= snapSeq+1 {
-		if err := os.Remove(filepath.Join(dir, segmentName(segs[0]))); err != nil {
+		if err := fs.Remove(filepath.Join(dir, segmentName(segs[0]))); err != nil {
 			return nil, nil, fmt.Errorf("disk: drop covered segment: %w", err)
 		}
 		segs = segs[1:]
@@ -74,7 +75,7 @@ func Open(dir string, opts Options) (*kvstore.Store, *Engine, error) {
 	replayed, truncated := 0, int64(0)
 	for i, start := range segs {
 		final := i == len(segs)-1
-		end, n, trunc, err := replaySegment(dir, start, snapSeq, final, store)
+		end, n, trunc, err := replaySegment(fs, dir, start, snapSeq, final, store)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -96,7 +97,7 @@ func Open(dir string, opts Options) (*kvstore.Store, *Engine, error) {
 	if lastSeq < snapSeq {
 		opts.Logf("disk: snapshot seq=%d is past the log end seq=%d; restarting the log at %d", snapSeq, lastSeq, snapSeq+1)
 		for _, start := range segs {
-			if err := os.Remove(filepath.Join(dir, segmentName(start))); err != nil {
+			if err := fs.Remove(filepath.Join(dir, segmentName(start))); err != nil {
 				return nil, nil, fmt.Errorf("disk: drop covered segment: %w", err)
 			}
 		}
@@ -107,7 +108,7 @@ func Open(dir string, opts Options) (*kvstore.Store, *Engine, error) {
 	// Older snapshots are never read again once a newer one loaded.
 	for _, s := range snaps {
 		if s < snapSeq {
-			if err := os.Remove(filepath.Join(dir, snapshotName(s))); err != nil {
+			if err := fs.Remove(filepath.Join(dir, snapshotName(s))); err != nil {
 				return nil, nil, fmt.Errorf("disk: drop old snapshot: %w", err)
 			}
 		}
@@ -116,6 +117,7 @@ func Open(dir string, opts Options) (*kvstore.Store, *Engine, error) {
 	e := &Engine{
 		dir:      dir,
 		opts:     opts,
+		fs:       fs,
 		store:    store,
 		appended: lastSeq,
 		flushed:  lastSeq,
@@ -123,14 +125,14 @@ func Open(dir string, opts Options) (*kvstore.Store, *Engine, error) {
 	e.batchCond = sync.NewCond(&e.mu)
 	if len(segs) == 0 {
 		e.segStart = snapSeq + 1
-		e.f, err = createSegment(dir, e.segStart)
+		e.f, err = createSegment(fs, dir, e.segStart)
 		if err != nil {
 			return nil, nil, err
 		}
 	} else {
 		e.segStart = segs[len(segs)-1]
 		name := filepath.Join(dir, segmentName(e.segStart))
-		e.f, err = os.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0)
+		e.f, err = fs.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0)
 		if err != nil {
 			return nil, nil, fmt.Errorf("disk: reopen segment: %w", err)
 		}
@@ -146,6 +148,11 @@ func Open(dir string, opts Options) (*kvstore.Store, *Engine, error) {
 		e.done = make(chan struct{})
 		go e.intervalLoop()
 	}
+	if opts.ScrubInterval > 0 {
+		e.scrubStop = make(chan struct{})
+		e.scrubDone = make(chan struct{})
+		go e.scrubLoop()
+	}
 	store.AttachEngine(e)
 	opts.Logf("disk: recovered dir=%s snapshot_seq=%d segments=%d replayed=%d truncated_bytes=%d last_seq=%d fsync=%s",
 		dir, snapSeq, len(segs), replayed, truncated, lastSeq, opts.Fsync)
@@ -156,9 +163,9 @@ func Open(dir string, opts Options) (*kvstore.Store, *Engine, error) {
 // to store. It returns the last sequence number the segment holds, the
 // number of records applied, and how many torn-tail bytes it truncated
 // (final segment only).
-func replaySegment(dir string, start, snapSeq uint64, final bool, store *kvstore.Store) (end uint64, applied int, truncated int64, err error) {
+func replaySegment(fs FS, dir string, start, snapSeq uint64, final bool, store *kvstore.Store) (end uint64, applied int, truncated int64, err error) {
 	path := filepath.Join(dir, segmentName(start))
-	f, err := os.Open(path)
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return 0, 0, 0, fmt.Errorf("disk: open segment: %w", err)
 	}
@@ -182,14 +189,14 @@ func replaySegment(dir string, start, snapSeq uint64, final bool, store *kvstore
 				return 0, 0, 0, fmt.Errorf("disk: stat segment: %w", serr)
 			}
 			truncated = st.Size() - recStart
-			if terr := os.Truncate(path, recStart); terr != nil {
+			if terr := fs.Truncate(path, recStart); terr != nil {
 				return 0, 0, 0, fmt.Errorf("disk: truncate torn tail: %w", terr)
 			}
 			// Make the truncation durable before the segment is appended to
 			// again: without the fsync a second crash could bring the stale
 			// torn-tail bytes back, interleaved after newly appended records
 			// at a boundary the CRC framing is not guaranteed to reject.
-			tf, terr := os.OpenFile(path, os.O_WRONLY, 0)
+			tf, terr := fs.OpenFile(path, os.O_WRONLY, 0)
 			if terr != nil {
 				return 0, 0, 0, fmt.Errorf("disk: reopen truncated segment: %w", terr)
 			}
@@ -200,7 +207,7 @@ func replaySegment(dir string, start, snapSeq uint64, final bool, store *kvstore
 			if serr != nil {
 				return 0, 0, 0, fmt.Errorf("disk: fsync truncated segment: %w", serr)
 			}
-			if derr := syncDir(dir); derr != nil {
+			if derr := syncDir(fs, dir); derr != nil {
 				return 0, 0, 0, derr
 			}
 			return seq, applied, truncated, nil
@@ -235,14 +242,14 @@ func (c *countingReader) Read(p []byte) (int, error) {
 
 // removeTemps deletes interrupted snapshot temp files (".disk-*"), which are
 // never referenced by recovery.
-func removeTemps(dir string) error {
-	entries, err := os.ReadDir(dir)
+func removeTemps(fs FS, dir string) error {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("disk: read dir: %w", err)
 	}
 	for _, ent := range entries {
 		if strings.HasPrefix(ent.Name(), ".disk-") {
-			if err := os.Remove(filepath.Join(dir, ent.Name())); err != nil {
+			if err := fs.Remove(filepath.Join(dir, ent.Name())); err != nil {
 				return fmt.Errorf("disk: remove temp: %w", err)
 			}
 		}

@@ -93,6 +93,34 @@ type Engine interface {
 // field is read without synchronization afterwards.
 func (s *Store) AttachEngine(e Engine) { s.engine = e }
 
+// Engine returns the attached durability engine (nil for the in-memory
+// backend). Callers use it for optional-interface health probes (the disk
+// engine's HealthSummary); the mutation path never goes through it.
+func (s *Store) Engine() Engine { return s.engine }
+
+// faultReporter is the optional engine interface EngineFailure polls, so a
+// failure that happened off the mutation path — a background snapshot or
+// interval fsync — is visible before any mutation trips over it.
+type faultReporter interface{ Fault() error }
+
+// EngineFailure reports the durability-engine failure this store has
+// fail-stopped on, nil while healthy. It checks the store's sticky error
+// first, then asks the engine itself (the engine can poison from a
+// background flush the store hasn't touched yet). Reads keep working after
+// a failure; every mutation fails with an EngineError wrapping this.
+func (s *Store) EngineFailure() error {
+	s.mu.Lock()
+	err := s.engineErr
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if fr, ok := s.engine.(faultReporter); ok {
+		return fr.Fault()
+	}
+	return nil
+}
+
 // appendMut enqueues muts in the engine. Append never blocks on I/O, so
 // callers invoke it while still holding the row (or shard) lock of the row
 // they just mutated — that is what pins the WAL order of a row's mutations
