@@ -5,10 +5,10 @@
 SHELL := /bin/bash
 GO ?= go
 
-.PHONY: check build fmt vet mdcheck examples test race cover faults-smoke bench-smoke fig-smoke shards-smoke saturation-smoke durability-smoke bench-json bench-compare bench-compare-strict clean
+.PHONY: check build fmt vet mdcheck examples test race cover faults-smoke migration-smoke bench-smoke fig-smoke shards-smoke saturation-smoke durability-smoke migration-fig-smoke bench-json bench-compare bench-compare-strict clean
 
 ## check: everything CI gates a PR on
-check: fmt vet mdcheck examples race faults-smoke bench-smoke fig-smoke shards-smoke saturation-smoke durability-smoke bench-compare-strict
+check: fmt vet mdcheck examples race faults-smoke migration-smoke bench-smoke fig-smoke shards-smoke saturation-smoke durability-smoke migration-fig-smoke bench-compare-strict
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,15 @@ faults-smoke:
 	$(GO) test -count=1 -run 'TestFsyncFailureNeverAcksNeverRetries|TestRandomFaultDurability|TestScrubDetects|TestEngineFailStopFailsOver|TestReplicaFailedVerdictReachesClient|TestDiskFaultNemesis' \
 		./internal/kvstore/disk/faultfs ./internal/cluster
 
+## migration-smoke: the live-migration battery on fixed seeds — the rescale
+## nemesis (8->12 grow under partitions and a forced mid-grow failover), the
+## basic online grow, the multi-step placement golden vectors, and the
+## migration figure end to end (CI "test" job; the same tests also run
+## shuffled under -race via `race`)
+migration-smoke:
+	$(GO) test -count=1 -run 'TestGrowUnderFireNemesis|TestGrowBasic|TestGoldenVectorMultiStepGrowth|TestMigrationQuick' \
+		./internal/cluster ./internal/placement ./internal/bench
+
 ## bench-smoke: one iteration of every benchmark + BENCH_ci.json (CI "bench" job)
 bench-smoke:
 	set -o pipefail; $(GO) test -bench . -benchtime 1x -run '^$$' ./... | tee bench.out
@@ -82,6 +91,12 @@ saturation-smoke:
 ## assertion is TestDurabilityBatchAbsorption)
 durability-smoke:
 	$(GO) run ./cmd/paxosbench -fig durability -txns 240 -q
+
+## migration-fig-smoke: the online 8->12 grow under routed load at smoke
+## scale (CI "bench" job; the bounded-pause and never-stalls assertions are
+## TestMigrationQuick, which migration-smoke runs)
+migration-fig-smoke:
+	$(GO) run ./cmd/paxosbench -fig migration -scale 0.01 -q
 
 ## bench-json: convert existing go-bench output (BENCH_IN) to JSON
 bench-json:

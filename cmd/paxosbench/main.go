@@ -11,8 +11,9 @@
 //	paxosbench -compare BENCH_3.json -against BENCH_ci.json   # regression diff
 //
 // Figures: 4a, 4b, 5a, 5b, 6, 7, 8, ablation, promo, msgs, leader,
-// pipeline, reads, failover, avail, shards, all. (4a/4b and 5a/5b run the
-// same experiment; both tables print.)
+// pipeline, reads, failover, avail, shards, saturation, durability,
+// migration, all. (4a/4b and 5a/5b run the same experiment; both tables
+// print.)
 //
 // -benchjson converts `go test -bench` output (a file, or "-" for stdin)
 // into the machine-readable BENCH_ci.json report CI uploads as an artifact.
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 4a 4b 5a 5b 6 7 8 ablation promo msgs leader pipeline reads failover avail shards saturation durability all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 4a 4b 5a 5b 6 7 8 ablation promo msgs leader pipeline reads failover avail shards saturation durability migration all")
 		scale     = flag.Float64("scale", 1.0/15, "latency scale factor (1.0 = paper wall-clock)")
 		txns      = flag.Int("txns", 500, "transactions per experiment (paper: 500)")
 		threads   = flag.Int("threads", 4, "concurrent workload threads (paper: 4)")
@@ -105,6 +106,7 @@ func main() {
 		{[]string{"shards"}, bench.Shards},
 		{[]string{"saturation", "sat"}, bench.Saturation},
 		{[]string{"durability", "dur"}, bench.Durability},
+		{[]string{"migration", "mig"}, bench.Migration},
 	}
 
 	want := strings.ToLower(*fig)

@@ -19,6 +19,13 @@
 //	                   compaction horizons, log/data sizes, computed leader,
 //	                   and the full group set the replica serves)
 //	compact HORIZON    scavenge log state below HORIZON on every replica
+//	grow TARGET        rescale a -groups deployment online to TARGET groups:
+//	                   drives the live-migration coordinator (DESIGN.md §15)
+//	                   against the daemons — backfill, delta rounds, fenced
+//	                   cutover per range — printing each handoff as it
+//	                   commits; afterwards invoke clients with -groups TARGET
+//	migrations         print every group's applied handoff records (the
+//	                   operator-facing migration status), one group per line
 //
 // With -groups N the keyspace is sharded over N transaction groups
 // (g0..gN-1, DESIGN.md §12) and get/set route each key to its owning group
@@ -27,9 +34,11 @@
 // are printed), set commits on the key's owning group, -protocol master
 // spreads per-group masterships across the sorted peer list, and status
 // probes the first placement group (its reply lists every group the replica
-// serves). txn and compact stay group-scoped: cross-group transactions do
-// not exist in the data model (§2.1), and group logs have independent
-// compaction horizons — use -group for both.
+// serves). grow and migrations also require -groups: -groups names the
+// current placement, grow's TARGET the new one. txn and compact stay
+// group-scoped: cross-group transactions do not exist in the data model
+// (§2.1), and group logs have independent compaction horizons — use -group
+// for both.
 package main
 
 import (
@@ -47,6 +56,7 @@ import (
 	"paxoscp/internal/network"
 	"paxoscp/internal/placement"
 	"paxoscp/internal/stats"
+	"paxoscp/internal/wal"
 )
 
 func main() {
@@ -75,6 +85,14 @@ func main() {
 		}
 		peerMap[kv[0]] = kv[1]
 	}
+	// The sorted peer list is the deterministic datacenter order every routed
+	// client computes master spreads over (DESIGN.md §12); grow seeds the
+	// migration coordinator's master lookups from the same order.
+	dcs := make([]string, 0, len(peerMap))
+	for name := range peerMap {
+		dcs = append(dcs, name)
+	}
+	sort.Strings(dcs)
 
 	transport, err := network.NewUDP(fmt.Sprintf("%s-client-%d", *local, *clientID),
 		"127.0.0.1:0", peerMap, func(string, network.Message) network.Message {
@@ -101,11 +119,6 @@ func main() {
 			// Routed mode spreads per-group masterships across the sorted
 			// peer list, the same deterministic spread every routed client
 			// computes (DESIGN.md §12).
-			dcs := make([]string, 0, len(peerMap))
-			for name := range peerMap {
-				dcs = append(dcs, name)
-			}
-			sort.Strings(dcs)
 			cfg.MasterFor = func(group string) string {
 				if i := place.IndexOf(group); i >= 0 {
 					return dcs[i%len(dcs)]
@@ -172,6 +185,12 @@ func main() {
 			// Engine health: a faulted replica serves reads but refuses
 			// every mutation (fail-stop); scrub findings are rot detected
 			// in sealed files that recovery would otherwise hit first.
+			// Applied handoff records mean the group has migrated ranges in
+			// or out; the migrations subcommand prints the full records.
+			migs := ""
+			if len(st.Migrations) > 0 {
+				migs = fmt.Sprintf(" migrations=%d", len(st.Migrations))
+			}
 			health := ""
 			if st.Fault != "" {
 				health = fmt.Sprintf(" FAULT=%q", st.Fault)
@@ -181,9 +200,26 @@ func main() {
 			} else if st.ScrubRuns > 0 {
 				health += fmt.Sprintf(" scrubs=%d", st.ScrubRuns)
 			}
-			fmt.Printf("%-6s applied=%-6d compacted=%-6d logEntries=%-6d dataKeys=%-6d leader=%s%s%s%s\n",
-				st.DC, st.LastApplied, st.CompactedTo, st.LogEntries, st.DataKeys, st.Leader, lease, discovered, health)
+			fmt.Printf("%-6s applied=%-6d compacted=%-6d logEntries=%-6d dataKeys=%-6d leader=%s%s%s%s%s\n",
+				st.DC, st.LastApplied, st.CompactedTo, st.LogEntries, st.DataKeys, st.Leader, lease, discovered, migs, health)
 		}
+	case "grow":
+		if place == nil {
+			log.Fatal("txkvctl: grow requires -groups N (the current group count)")
+		}
+		if len(args) != 2 {
+			log.Fatal("txkvctl: grow TARGET")
+		}
+		target, err := strconv.Atoi(args[1])
+		if err != nil || target <= 0 {
+			log.Fatalf("txkvctl: bad target group count %q", args[1])
+		}
+		runGrow(place, target, dcs, transport, *timeout)
+	case "migrations":
+		if place == nil {
+			log.Fatal("txkvctl: migrations requires -groups N")
+		}
+		runMigrations(ctx, transport, dcs, place, *timeout)
 	case "compact":
 		if len(args) != 2 {
 			log.Fatal("txkvctl: compact HORIZON")
@@ -212,6 +248,81 @@ func main() {
 		}
 	default:
 		log.Fatalf("txkvctl: unknown subcommand %q", args[0])
+	}
+}
+
+// runGrow rescales a sharded deployment online (DESIGN.md §15): it drives
+// the live-migration coordinator against the daemons, one growth step per
+// added group — snapshot backfill at a pinned position, delta rounds, then
+// the four fenced handoff entries per (from → added) range — printing each
+// handoff as it commits. Routing is client-side, so the grow changes no
+// daemon configuration: once it completes, clients invoked with -groups
+// TARGET route through the new placement, and stragglers still passing the
+// old count are redirected by the protocol's "moved" verdicts.
+func runGrow(place *placement.Placement, target int, dcs []string, transport network.Transport, timeout time.Duration) {
+	have := len(place.Groups())
+	if target <= have {
+		log.Fatalf("txkvctl: grow to %d groups: already have %d", target, have)
+	}
+	extras := placement.GroupNames(target)[have:]
+	// A grow is long-running by design: backfill is paced by range size, and
+	// the coordinator stalls through fault windows instead of aborting.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	for _, step := range place.Plan(extras...) {
+		step := step
+		fmt.Printf("step %s: migrating %d ranges\n", step.Added, len(step.Pairs))
+		mig := &core.Migrator{
+			Transport: transport,
+			Timeout:   timeout,
+			// Seed master lookups from the post-step spread over the sorted
+			// peer list — the spread routed clients will compute once they
+			// adopt the grown placement. A stale seed only costs redirect
+			// hops: the coordinator follows "not master" hints.
+			MasterFor: func(group string) string {
+				if i := step.To.IndexOf(group); i >= 0 {
+					return dcs[i%len(dcs)]
+				}
+				return ""
+			},
+			OnPhase: func(h wal.Handoff, pos int64) {
+				fmt.Printf("  %-9s %s->%s v%d @%d\n", h.Phase, h.From, h.To, h.Version, pos)
+			},
+		}
+		if err := mig.Step(ctx, step); err != nil {
+			log.Fatalf("txkvctl: grow step %s: %v", step.Added, err)
+		}
+	}
+	fmt.Printf("grown to %d groups; invoke clients with -groups %d\n", target, target)
+}
+
+// runMigrations prints every placement group's applied handoff records — the
+// operator-facing live-migration status — as served by the first reachable
+// replica per group (the records are replicated log contents, identical on
+// every caught-up replica).
+func runMigrations(ctx context.Context, transport network.Transport, dcs []string, place *placement.Placement, timeout time.Duration) {
+	for _, g := range place.Groups() {
+		line := "(no replica reachable)"
+		for _, dc := range dcs {
+			cctx, cancel := context.WithTimeout(ctx, timeout)
+			resp, err := transport.Send(cctx, dc, network.Message{Kind: network.KindStats, Group: g})
+			cancel()
+			if err != nil || !resp.OK {
+				continue
+			}
+			st, perr := core.ParseGroupStatus(resp.Payload)
+			if perr != nil {
+				log.Fatalf("txkvctl: bad status payload: %v", perr)
+			}
+			if len(st.Migrations) == 0 {
+				line = "(none)"
+			} else {
+				line = strings.Join(st.Migrations, "; ")
+			}
+			line += fmt.Sprintf("  [from %s]", dc)
+			break
+		}
+		fmt.Printf("%-5s %s\n", g, line)
 	}
 }
 

@@ -1,0 +1,322 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"paxoscp/internal/cluster"
+	"paxoscp/internal/core"
+	"paxoscp/internal/history"
+	"paxoscp/internal/network"
+	"paxoscp/internal/stats"
+	"paxoscp/internal/wal"
+)
+
+// Migration measures the cost of online rescaling (DESIGN.md §15): a routed
+// workload runs continuously while the cluster grows 8→12 transaction groups
+// through the live-migration protocol — per step, snapshot backfill plus
+// delta rounds into the new group, then the epoch-fenced four-phase cutover.
+// The figure reports aggregate commits/sec before, during, and after the
+// grow, and the per-range cutover pause: the HandoffOut→HandoffIn window in
+// which a moving range accepts no ordinary writes anywhere (writers stall on
+// "moved"/"migrating" verdicts and resume at the destination). Availability
+// is the claim: throughput dips during the grow instead of stopping, and the
+// pause stays bounded by a fixed small multiple of the message timeout.
+func Migration(o Options) ([]Table, error) {
+	o = o.withDefaults()
+	res, err := migrationRun(o)
+	if err != nil {
+		return nil, err
+	}
+	return migrationTables(o, res), nil
+}
+
+// migrationTables renders one run's outcome as the figure's two tables.
+func migrationTables(o Options, res migrationResult) []Table {
+	t := Table{
+		Title: fmt.Sprintf("Migration: commit throughput through an online %d->%d grow (VVV, routed clients, per-group masters)",
+			migStartGroups, migEndGroups),
+		Note:    "phases bracket Cluster.Grow; the workload never stops — redirected writers follow \"moved\" verdicts and wait out \"migrating\" windows",
+		Columns: []string{"phase", "wall-s", "commits", "commits/sec", "vs-before"},
+	}
+	base := res.phases[0].rate()
+	for _, p := range res.phases {
+		rel := "-"
+		if base > 0 {
+			rel = fmt.Sprintf("%.2fx", p.rate()/base)
+		}
+		t.AddRow(p.name, fmt.Sprintf("%.2f", p.wall.Seconds()),
+			fmt.Sprint(p.commits), fmt.Sprintf("%.0f", p.rate()), rel)
+	}
+
+	p := Table{
+		Title: "Migration: per-range cutover pause (HandoffOut -> HandoffIn, the window a moving range accepts no ordinary writes)",
+		Note: fmt.Sprintf("%d ranges migrated across %d growth steps; bound is %d x the message timeout; check is the epoch- and migration-aware per-group history battery over all %d groups",
+			len(res.pauses), migEndGroups-migStartGroups, migPauseBoundTimeouts, migEndGroups),
+		Columns: []string{"ranges", "grow-s", "mean-pause-ms", "max-pause-ms", "bound-ms", "check"},
+	}
+	bounded := violationsCell(res.violations)
+	if res.maxPause > res.pauseBound {
+		bounded = fmt.Sprintf("PAUSE-UNBOUNDED:%s", fmtMS(res.maxPause, o.Scale))
+	}
+	p.AddRow(fmt.Sprint(len(res.pauses)), fmt.Sprintf("%.2f", res.growWall.Seconds()),
+		fmtMS(res.meanPause, o.Scale), fmtMS(res.maxPause, o.Scale),
+		fmtMS(res.pauseBound, o.Scale), bounded)
+
+	return []Table{t, p}
+}
+
+const (
+	// migStartGroups / migEndGroups frame the rescale the figure measures —
+	// the same 8→12 grow the rescale nemesis proves correct under faults.
+	migStartGroups = 8
+	migEndGroups   = 12
+	// migKeys sizes the fixed key set the workload mixes over; every key is
+	// seeded pre-grow so migrated ranges carry real rows.
+	migKeys = 64
+	// migPauseBoundTimeouts bounds the per-range cutover pause as a multiple
+	// of the message timeout. The window covers the final pinned delta round
+	// (at most LagBound rows) plus two handoff commits, each a master round
+	// trip — a fixed number of rounds, hence a fixed multiple of the
+	// timeout, independent of range size.
+	migPauseBoundTimeouts = 25
+)
+
+// migPhase is one measurement window's outcome.
+type migPhase struct {
+	name    string
+	wall    time.Duration
+	commits int
+}
+
+func (p migPhase) rate() float64 {
+	if p.wall <= 0 {
+		return 0
+	}
+	return float64(p.commits) / p.wall.Seconds()
+}
+
+// migrationResult is the migration figure's raw outcome, exposed to the test
+// suite so the smoke assertions and the rendered figure run one experiment.
+type migrationResult struct {
+	phases     [3]migPhase // before, during (the grow), after
+	growWall   time.Duration
+	pauses     []time.Duration
+	meanPause  time.Duration
+	maxPause   time.Duration
+	pauseBound time.Duration
+	violations []history.Violation // G1 timeline leaks + per-group checks
+}
+
+// migrationRun drives the workload through the grow and checks every group's
+// history against the group-set timeline.
+func migrationRun(o Options) (migrationResult, error) {
+	o = o.withDefaults()
+	timeout := time.Duration(float64(paperTimeout) * o.Scale)
+	// Steady-state measurement windows on either side of the grow.
+	window := time.Duration(float64(12*time.Second) * o.Scale)
+
+	// Timestamp every committed handoff; a range's cutover pause is the wall
+	// time between its HandoffOut (source frozen) and HandoffIn (destination
+	// open) entries committing.
+	var pauseMu sync.Mutex
+	outAt := map[string]time.Time{}
+	var pauses []time.Duration
+	c := cluster.New(cluster.Config{
+		Topology:  cluster.MustPaperTopology("VVV"),
+		NetConfig: network.SimConfig{Seed: o.Seed, Scale: o.Scale, Jitter: 0.1},
+		Timeout:   timeout,
+		Groups:    migStartGroups,
+		OnMigrationPhase: func(h wal.Handoff, pos int64) {
+			pauseMu.Lock()
+			defer pauseMu.Unlock()
+			pair := h.From + "->" + h.To
+			switch h.Phase {
+			case wal.HandoffOut:
+				outAt[pair] = time.Now()
+			case wal.HandoffIn:
+				if t0, ok := outAt[pair]; ok {
+					pauses = append(pauses, time.Since(t0))
+					delete(outAt, pair)
+				}
+			}
+		},
+	})
+	defer c.Close()
+	ctx := context.Background()
+	dcs := c.DCs()
+
+	rec := &history.Recorder{}
+	timeline := history.NewGroupTimeline(c.Groups()...)
+
+	// Commit instants, bucketed into phases after the run: the grow's start
+	// and end timestamps split them into before/during/after.
+	var commitMu sync.Mutex
+	var commitTimes []time.Time
+
+	newKV := func(i int) *core.KV {
+		kv := c.NewKV(dcs[i%len(dcs)], core.Config{
+			Protocol:  core.Master,
+			MasterFor: c.MasterOf,
+			Timeout:   timeout,
+			Seed:      o.Seed + int64(i) + 1,
+		})
+		kv.Client().OnCommit = func(pos int64, txn core.CommittedTxn) {
+			rec.Record(history.Commit{
+				ID: txn.ID, Group: txn.Group, Origin: txn.Origin,
+				ReadPos: txn.ReadPos, Pos: pos,
+				Reads: txn.Reads, Writes: txn.Writes,
+			})
+			commitMu.Lock()
+			commitTimes = append(commitTimes, time.Now())
+			commitMu.Unlock()
+		}
+		return kv
+	}
+
+	keys := make([]string, migKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("mig-k%02d", i)
+	}
+	seedKV := newKV(0)
+	for i, key := range keys {
+		res, err := seedKV.Put(ctx, key, fmt.Sprintf("seed-%d", i))
+		if err != nil || res.Status != stats.Committed {
+			return migrationResult{}, fmt.Errorf("bench: migration seed %s: status %v err %v", key, res.Status, err)
+		}
+	}
+	seeded := time.Now() // seeding commits land before this; buckets start here
+
+	// Era watcher: mirror each growth step's placement swap into the
+	// timeline, so the leak scan knows when each group became legitimate.
+	stop := make(chan struct{})
+	var eraWG sync.WaitGroup
+	eraWG.Add(1)
+	go func() {
+		defer eraWG.Done()
+		seen := migStartGroups
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(window / 100):
+			}
+			if gs := c.Groups(); len(gs) > seen {
+				seen = len(gs)
+				timeline.Grow(gs...)
+			}
+		}
+	}()
+
+	// The workload: routed clients mixing writes and reads over the fixed
+	// key set, paced well below saturation so the figure isolates the
+	// migration's cost rather than the pipeline's capacity.
+	pace := timeout / 4
+	if pace < time.Millisecond {
+		pace = time.Millisecond
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < o.Threads; i++ {
+		kv := newKV(i + 1)
+		wg.Add(1)
+		go func(i int, kv *core.KV) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + int64(1000+i)))
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				time.Sleep(pace)
+				key := keys[rng.Intn(migKeys)]
+				octx, cancel := context.WithTimeout(ctx, 20*timeout+time.Second)
+				if rng.Intn(10) < 7 {
+					kv.Put(octx, key, fmt.Sprintf("w%d-%d", i, n))
+				} else {
+					kv.Get(octx, key)
+				}
+				cancel()
+			}
+		}(i, kv)
+	}
+
+	time.Sleep(window)
+	growStart := time.Now()
+	growCtx, growCancel := context.WithTimeout(ctx, 10*time.Minute)
+	growErr := c.Grow(growCtx, migEndGroups)
+	growCancel()
+	growEnd := time.Now()
+	if growErr == nil {
+		time.Sleep(window)
+	}
+	close(stop)
+	wg.Wait()
+	eraWG.Wait()
+	end := time.Now()
+	if growErr != nil {
+		return migrationResult{}, fmt.Errorf("bench: migration grow: %w", growErr)
+	}
+
+	// Quiesce every (datacenter, group) pair, then run the migration-aware
+	// battery: timeline leak scan plus each group's epoch-aware history
+	// check over that group's merged logs.
+	groups := c.Groups()
+	for _, dc := range dcs {
+		for _, g := range groups {
+			if err := c.Service(dc).Recover(ctx, g); err != nil {
+				return migrationResult{}, fmt.Errorf("bench: migration recover %s/%s: %w", dc, g, err)
+			}
+		}
+	}
+	byGroup, violations := history.ByGroupTimeline(rec.Commits(), timeline)
+	for _, g := range groups {
+		logs := map[string]map[int64]wal.Entry{}
+		for _, dc := range dcs {
+			logs[dc] = c.Service(dc).LogSnapshot(g)
+		}
+		violations = append(violations, history.Check(logs, byGroup[g])...)
+	}
+
+	res := migrationResult{
+		growWall:   growEnd.Sub(growStart),
+		pauseBound: migPauseBoundTimeouts * timeout,
+	}
+	res.phases[0] = migPhase{name: "before", wall: growStart.Sub(seeded)}
+	res.phases[1] = migPhase{name: fmt.Sprintf("during (grow %d->%d)", migStartGroups, migEndGroups), wall: res.growWall}
+	res.phases[2] = migPhase{name: "after", wall: end.Sub(growEnd)}
+	commitMu.Lock()
+	for _, at := range commitTimes {
+		switch {
+		case at.Before(seeded):
+		case at.Before(growStart):
+			res.phases[0].commits++
+		case at.Before(growEnd):
+			res.phases[1].commits++
+		default:
+			res.phases[2].commits++
+		}
+	}
+	commitMu.Unlock()
+	pauseMu.Lock()
+	res.pauses = pauses
+	pauseMu.Unlock()
+	var total time.Duration
+	for _, p := range res.pauses {
+		total += p
+		if p > res.maxPause {
+			res.maxPause = p
+		}
+	}
+	if len(res.pauses) > 0 {
+		res.meanPause = total / time.Duration(len(res.pauses))
+	}
+	res.violations = violations
+	o.Verbose("  migration %d->%d: before %.0f/s, during %.0f/s, after %.0f/s (grow %.2fs, %d ranges, max pause %sms, %d violations)",
+		migStartGroups, migEndGroups, res.phases[0].rate(), res.phases[1].rate(), res.phases[2].rate(),
+		res.growWall.Seconds(), len(res.pauses), fmtMS(res.maxPause, o.Scale), len(violations))
+	return res, nil
+}

@@ -1,0 +1,45 @@
+package bench
+
+import "testing"
+
+// migRanges is the number of ranges an 8→12 grow migrates: each growth step
+// moves one range from every pre-existing group into the added one.
+const migRanges = 8 + 9 + 10 + 11
+
+// TestMigrationQuick exercises the migration figure end to end at CI scale:
+// both tables render, every phase carries commits (the workload never
+// stalls), every range's cutover pause is observed and bounded, and the
+// migration-aware per-group history battery passes.
+func TestMigrationQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := Options{Scale: 0.005, Threads: 4, Seed: 7}
+	res, err := migrationRun(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.violations {
+		t.Errorf("history violation: %s", v)
+	}
+	for _, p := range res.phases {
+		if p.commits == 0 {
+			t.Errorf("phase %q carried no commits: the workload stalled through the grow", p.name)
+		}
+	}
+	if len(res.pauses) != migRanges {
+		t.Errorf("observed %d cutover pauses, want %d (one per migrated range)", len(res.pauses), migRanges)
+	}
+	if res.maxPause > res.pauseBound {
+		t.Errorf("max cutover pause %v exceeds the bound %v", res.maxPause, res.pauseBound)
+	}
+	t.Logf("migration: before %.0f/s during %.0f/s after %.0f/s, grow %.2fs, max pause %v (bound %v)",
+		res.phases[0].rate(), res.phases[1].rate(), res.phases[2].rate(),
+		res.growWall.Seconds(), res.maxPause, res.pauseBound)
+
+	tables := migrationTables(o.withDefaults(), res)
+	checkTables(t, tables, nil)
+	if len(tables) != 2 || len(tables[0].Rows) != 3 {
+		t.Fatalf("migration tables = %d (rows %d), want 2 tables with 3 phase rows", len(tables), len(tables[0].Rows))
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"paxoscp/internal/kvstore/disk"
 	"paxoscp/internal/network"
 	"paxoscp/internal/placement"
+	"paxoscp/internal/wal"
 )
 
 // Config describes a cluster.
@@ -67,13 +68,23 @@ type Config struct {
 	// it again, so injected faults can span or be cleared across a
 	// crash+restart.
 	DiskOptions func(dc string) disk.Options
+	// OnMigrationPhase, when set, observes every handoff entry Grow's
+	// migration coordinator commits (phase, pair, log position). The bench
+	// migration figure timestamps these callbacks to measure per-range
+	// cutover pauses; it is not part of the migration protocol.
+	OnMigrationPhase func(h wal.Handoff, pos int64)
 }
 
 // Cluster is a running multi-datacenter deployment.
 type Cluster struct {
-	cfg   Config
-	sim   *network.Sim
-	place *placement.Placement
+	cfg Config
+	sim *network.Sim
+
+	// placeMu guards place, which Grow swaps after each migration step
+	// completes. Routed clients hold a clusterRouter, not the *Placement, so
+	// they observe the swap on their next routing decision.
+	placeMu sync.RWMutex
+	place   *placement.Placement
 
 	// svcMu guards the per-datacenter replica state, which Crash and
 	// Restart swap at runtime. The endpoint dispatch closure takes the read
@@ -131,9 +142,13 @@ func Open(cfg Config) (*Cluster, error) {
 		dc := dc
 		store, engine, err := c.openStore(dc)
 		if err != nil {
-			// Tear down the partially built cluster: the already-recovered
+			// Tear down the partially built cluster: already-built services
+			// run dispatch workers and submit pipelines, and the recovered
 			// stores hold open segment files and flusher goroutines.
 			c.sim.Close()
+			for _, s := range c.services {
+				s.Close()
+			}
 			for _, s := range c.stores {
 				s.Close()
 			}
@@ -254,8 +269,8 @@ func (c *Cluster) Restart(dc string) error {
 		return err
 	}
 	svc := c.buildService(dc, store)
-	if len(c.place.Groups()) > 1 {
-		svc.EnsureGroups(c.place.Groups()...)
+	if groups := c.Groups(); len(groups) > 1 {
+		svc.EnsureGroups(groups...)
 	}
 	c.stores[dc] = store
 	c.engines[dc] = engine
@@ -264,12 +279,18 @@ func (c *Cluster) Restart(dc string) error {
 	return nil
 }
 
-// Placement returns the cluster's key->group placement (a single-group
-// placement when Config.Groups was unset).
-func (c *Cluster) Placement() *placement.Placement { return c.place }
+// Placement returns the cluster's current key->group placement (a
+// single-group placement when Config.Groups was unset). After a Grow this is
+// the post-grow placement; a caller that wants to track growth should route
+// through NewKV's router, which follows swaps automatically.
+func (c *Cluster) Placement() *placement.Placement {
+	c.placeMu.RLock()
+	defer c.placeMu.RUnlock()
+	return c.place
+}
 
 // Groups returns the cluster's transaction group names in placement order.
-func (c *Cluster) Groups() []string { return c.place.Groups() }
+func (c *Cluster) Groups() []string { return c.Placement().Groups() }
 
 // MasterOf returns the datacenter designated master for a transaction
 // group: groups spread across the datacenters round-robin in placement
@@ -279,7 +300,7 @@ func (c *Cluster) Groups() []string { return c.place.Groups() }
 // defaults to the first datacenter.
 func (c *Cluster) MasterOf(group string) string {
 	dcs := c.cfg.Topology.DCs()
-	if i := c.place.IndexOf(group); i >= 0 {
+	if i := c.Placement().IndexOf(group); i >= 0 {
 		return dcs[i%len(dcs)]
 	}
 	return dcs[0]
@@ -293,7 +314,7 @@ func (c *Cluster) NewKV(dc string, cfg core.Config) *core.KV {
 	if cfg.MasterFor == nil {
 		cfg.MasterFor = c.MasterOf
 	}
-	return core.NewKV(c.NewClient(dc, cfg), c.place)
+	return core.NewKV(c.NewClient(dc, cfg), clusterRouter{c})
 }
 
 // DCs returns the cluster's datacenter names in stable order.

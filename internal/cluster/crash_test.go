@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -44,6 +45,44 @@ func TestOpenUnusableDataDir(t *testing.T) {
 		DataDir:  dataDir,
 	}); err == nil {
 		t.Fatal("Open succeeded over an unusable data directory")
+	}
+}
+
+// TestOpenErrorPathLeaksNoGoroutines: a failed Open must fully unwind the
+// partially built cluster — the simulator's delivery goroutines, every
+// already-built service's dispatch workers and submit pipelines, and the
+// recovered stores' disk flushers. Pinned with a bare goroutine-count delta
+// and a grace window for asynchronous winddown (no external leak detector).
+func TestOpenErrorPathLeaksNoGoroutines(t *testing.T) {
+	dataDir := t.TempDir()
+	dcs := MustPaperTopology("VVV").DCs()
+	// Occupy the LAST datacenter's directory path with a regular file, so
+	// every earlier replica's store and service are fully built — and must
+	// be fully torn down — before Open fails on the final one.
+	last := dcs[len(dcs)-1]
+	if err := os.WriteFile(filepath.Join(dataDir, last), []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		if _, err := Open(Config{
+			Topology: MustPaperTopology("VVV"),
+			Timeout:  50 * time.Millisecond,
+			DataDir:  dataDir,
+		}); err == nil {
+			t.Fatal("Open succeeded over an unusable data directory")
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if now := runtime.NumGoroutine(); now <= base+2 { // runtime jitter headroom
+			return
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("failed Opens leaked goroutines: baseline %d, now %d\n%s", base, now, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

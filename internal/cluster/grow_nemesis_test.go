@@ -1,0 +1,307 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"paxoscp/internal/core"
+	"paxoscp/internal/history"
+	"paxoscp/internal/network"
+	"paxoscp/internal/stats"
+	"paxoscp/internal/wal"
+)
+
+// TestGrowUnderFireNemesis is the live-migration headline test (DESIGN.md
+// §15): the cluster grows 8→12 transaction groups while client traffic runs,
+// a fault injector partitions and heals links, and one pre-existing group
+// suffers a forced master failover mid-grow. The grow must complete, and
+// afterwards:
+//
+//   - the epoch- and migration-aware history checker passes per group over
+//     all twelve groups (R1/L1/L2/L3/A2 plus F2 fencing and M1/M2 voiding);
+//   - zero lost or duplicated commits: every reported commit appears live in
+//     exactly one group's log — its own — under the group-set timeline (a
+//     commit on a post-grow group is legitimate, not foreign);
+//   - no key reads as empty from its new group after cutover: every seeded
+//     key is found through the grown placement.
+func TestGrowUnderFireNemesis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rescale storm skipped in short mode")
+	}
+	const startGroups, endGroups = 8, 12
+	c := New(Config{
+		Topology:      MustPaperTopology("VVV"),
+		NetConfig:     network.SimConfig{Seed: 31, Scale: 0.002, Jitter: 0.2},
+		Timeout:       80 * time.Millisecond,
+		SubmitWindow:  4,
+		SubmitCombine: 3,
+		LeaseDuration: 250 * time.Millisecond,
+		Groups:        startGroups,
+	})
+	defer c.Close()
+	ctx := context.Background()
+	dcs := c.DCs()
+	rec := &history.Recorder{}
+	timeline := history.NewGroupTimeline(c.Groups()...)
+
+	const nKeys = 48
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("gk%02d", i)
+	}
+
+	newKV := func(i int) *core.KV {
+		kv := c.NewKV(dcs[i%len(dcs)], core.Config{
+			Protocol: core.Master, Seed: int64(i + 1), Timeout: 80 * time.Millisecond,
+		})
+		kv.Client().OnCommit = func(pos int64, txn core.CommittedTxn) {
+			rec.Record(history.Commit{
+				ID: txn.ID, Group: txn.Group, Origin: txn.Origin,
+				ReadPos: txn.ReadPos, Pos: pos,
+				Reads: txn.Reads, Writes: txn.Writes,
+			})
+		}
+		return kv
+	}
+
+	// Seed every key before the grow so post-cutover emptiness is checkable.
+	seedKV := newKV(0)
+	for i, key := range keys {
+		res, err := seedKV.Put(ctx, key, fmt.Sprintf("seed-%d", i))
+		if err != nil || res.Status != stats.Committed {
+			t.Fatalf("seed put %s: status %v err %v", key, res.Status, err)
+		}
+	}
+
+	// The storm: brief single-link partitions (majority always survives)
+	// interleaved with calm spells, for the whole run.
+	stop := make(chan struct{})
+	var nemesisWG sync.WaitGroup
+	nemesisWG.Add(1)
+	go func() {
+		defer nemesisWG.Done()
+		rng := rand.New(rand.NewSource(41))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a := dcs[rng.Intn(len(dcs))]
+			b := dcs[(indexOf(dcs, a)+1+rng.Intn(len(dcs)-1))%len(dcs)]
+			switch rng.Intn(3) {
+			case 0:
+				c.Partition(a, b)
+				time.Sleep(time.Duration(10+rng.Intn(40)) * time.Millisecond)
+				c.Heal(a, b)
+			default:
+				time.Sleep(time.Duration(10+rng.Intn(30)) * time.Millisecond)
+			}
+		}
+	}()
+
+	// Era watcher: record each growth step's group set as it swaps in, so the
+	// timeline mirrors what routing actually saw.
+	var eraWG sync.WaitGroup
+	eraWG.Add(1)
+	go func() {
+		defer eraWG.Done()
+		seen := startGroups
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			if gs := c.Groups(); len(gs) > seen {
+				seen = len(gs)
+				timeline.Grow(gs...)
+			}
+		}
+	}()
+
+	// The workload: routed KV clients across the datacenters mixing writes
+	// and reads over the fixed key set. The facade follows "moved" redirects
+	// and waits out "migrating" windows; verdicts that do commit are recorded
+	// and must be exactly the live log contents.
+	const workers = 6
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		kv := newKV(i)
+		wg.Add(1)
+		go func(i int, kv *core.KV) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + i)))
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				time.Sleep(4 * time.Millisecond)
+				key := keys[rng.Intn(nKeys)]
+				octx, cancel := context.WithTimeout(ctx, 2*time.Second)
+				if rng.Intn(10) < 7 {
+					kv.Put(octx, key, fmt.Sprintf("w%d-%d", i, n))
+				} else {
+					kv.Get(octx, key)
+				}
+				cancel()
+			}
+		}(i, kv)
+	}
+
+	// The grow runs concurrently with the storm and the workload.
+	growErr := make(chan error, 1)
+	growCtx, growCancel := context.WithTimeout(ctx, 4*time.Minute)
+	defer growCancel()
+	go func() { growErr <- c.Grow(growCtx, endGroups) }()
+
+	// Mid-grow, force a master failover on a pre-existing group: a different
+	// datacenter claims the next epoch while the designated master is still
+	// up. Both the coordinator's handoffs and client traffic must redirect.
+	time.Sleep(400 * time.Millisecond)
+	{
+		g := "g2"
+		newMaster := dcs[(indexOf(dcs, c.MasterOf(g))+1)%len(dcs)]
+		cctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		epoch, err := c.Service(newMaster).ClaimMastership(cctx, g)
+		cancel()
+		if err != nil {
+			t.Fatalf("forced failover of %s to %s: %v", g, newMaster, err)
+		}
+		if epoch < 2 {
+			t.Fatalf("forced failover of %s: epoch %d, want >= 2", g, epoch)
+		}
+	}
+
+	if err := <-growErr; err != nil {
+		t.Fatalf("grow under fire: %v", err)
+	}
+	groups := c.Groups()
+	if len(groups) != endGroups {
+		t.Fatalf("placement has %d groups after grow, want %d", len(groups), endGroups)
+	}
+	// Let traffic commit against the grown placement before quiescing, so the
+	// new groups see ordinary (non-backfill) load too.
+	time.Sleep(300 * time.Millisecond)
+
+	close(stop)
+	wg.Wait()
+	nemesisWG.Wait()
+	eraWG.Wait()
+
+	// Heal everything and recover every (datacenter, group) pair.
+	for i, a := range dcs {
+		for _, b := range dcs[i+1:] {
+			c.Heal(a, b)
+		}
+	}
+	for _, dc := range dcs {
+		for _, g := range groups {
+			if err := c.Service(dc).Recover(ctx, g); err != nil {
+				t.Fatalf("recover %s/%s: %v", dc, g, err)
+			}
+		}
+	}
+
+	// Group-set timeline split: commits on post-grow groups are legitimate;
+	// anything outside every era is a leak.
+	byGroup, gvs := history.ByGroupTimeline(rec.Commits(), timeline)
+	for _, v := range gvs {
+		t.Errorf("group-set timeline violation: %s", v)
+	}
+	total, onNew := 0, 0
+	for g, cs := range byGroup {
+		total += len(cs)
+		if idx := indexOf(groups, g); idx >= startGroups {
+			onNew += len(cs)
+		}
+	}
+	if total == 0 {
+		t.Fatal("nothing committed through the storm")
+	}
+	if onNew == 0 {
+		t.Error("no commits on any post-grow group: migration cutover never carried live traffic")
+	}
+
+	// Per-group history check over all twelve groups, concurrently: each
+	// group's commits against that group's merged logs, with the checker's
+	// F2 fencing and M1/M2 migration voiding in effect.
+	logsOf := make(map[string]map[string]map[int64]wal.Entry, len(groups))
+	for _, g := range groups {
+		logs := make(map[string]map[int64]wal.Entry, len(dcs))
+		for _, dc := range dcs {
+			logs[dc] = c.Service(dc).LogSnapshot(g)
+		}
+		logsOf[g] = logs
+	}
+	var checkWG sync.WaitGroup
+	violations := make(map[string][]history.Violation, len(groups))
+	var vmu sync.Mutex
+	for _, g := range groups {
+		checkWG.Add(1)
+		go func(g string) {
+			defer checkWG.Done()
+			if vs := history.Check(logsOf[g], byGroup[g]); len(vs) > 0 {
+				vmu.Lock()
+				violations[g] = vs
+				vmu.Unlock()
+			}
+		}(g)
+	}
+	checkWG.Wait()
+	for g, vs := range violations {
+		for _, v := range vs {
+			t.Errorf("group %s: history violation: %s", g, v)
+		}
+	}
+
+	// Cross-group leak scan under migration: every reported commit must
+	// appear live (non-fenced, non-voided) in exactly one group's log — its
+	// own. Zero appearances is a lost commit; two is a duplicate (the same
+	// transaction surviving on both sides of a handoff).
+	liveIn := make(map[string]map[string][]int64, len(groups))
+	for _, g := range groups {
+		liveIn[g] = history.LiveTxns(logsOf[g])
+	}
+	for _, cm := range rec.Commits() {
+		if cm.ReadOnly() {
+			continue
+		}
+		liveGroups := 0
+		for _, g := range groups {
+			if len(liveIn[g][cm.ID]) == 0 {
+				continue
+			}
+			liveGroups++
+			if g != cm.Group {
+				t.Errorf("cross-group leak: txn %s committed on %s but is live in %s's log at %v",
+					cm.ID, cm.Group, g, liveIn[g][cm.ID])
+			}
+		}
+		if liveGroups != 1 {
+			t.Errorf("txn %s is live in %d groups, want exactly 1 (lost or duplicated across the handoff)",
+				cm.ID, liveGroups)
+		}
+	}
+
+	// No key reads as empty from its new group after cutover.
+	checkKV := newKV(0)
+	mr, err := checkKV.ReadMulti(ctx, keys...)
+	if err != nil {
+		t.Fatalf("post-grow readmulti: %v", err)
+	}
+	for i, found := range mr.Founds {
+		if !found {
+			t.Errorf("key %s reads as empty in its post-grow group %s",
+				keys[i], c.Placement().GroupFor(keys[i]))
+		}
+	}
+	t.Logf("grow-under-fire: %d commits (%d on post-grow groups) across %d groups",
+		total, onNew, len(byGroup))
+}

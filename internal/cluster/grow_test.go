@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"paxoscp/internal/core"
+	"paxoscp/internal/network"
+	"paxoscp/internal/stats"
+)
+
+// TestGrowBasic grows a quiet 2-group cluster to 4 groups and verifies the
+// data contract of live migration (DESIGN.md §15) without faults: every key
+// written before the grow reads back with its pre-grow value from the
+// post-grow placement (migrated keys from their new group), writes after the
+// grow land on the new owners, and the operator status of every group
+// involved in a handoff reports its migration records.
+func TestGrowBasic(t *testing.T) {
+	c := New(Config{
+		Topology:  MustPaperTopology("VVV"),
+		NetConfig: network.SimConfig{Seed: 7, Scale: 0.002},
+		Timeout:   80 * time.Millisecond,
+		Groups:    2,
+	})
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	kv := c.NewKV(c.DCs()[0], core.Config{Protocol: core.Master, Timeout: 80 * time.Millisecond})
+
+	const nKeys = 48
+	before := c.Placement()
+	for i := 0; i < nKeys; i++ {
+		key := fmt.Sprintf("grow-k%02d", i)
+		res, err := kv.Put(ctx, key, fmt.Sprintf("v%d", i))
+		if err != nil || res.Status != stats.Committed {
+			t.Fatalf("seed put %s: status %v err %v", key, res.Status, err)
+		}
+	}
+
+	if err := c.Grow(ctx, 4); err != nil {
+		t.Fatalf("grow to 4 groups: %v", err)
+	}
+	after := c.Placement()
+	if got := len(after.Groups()); got != 4 {
+		t.Fatalf("placement has %d groups after grow, want 4", got)
+	}
+
+	// The rendezvous hash must have actually moved some keys (into the added
+	// groups only) — otherwise the test proves nothing.
+	moved := 0
+	for i := 0; i < nKeys; i++ {
+		key := fmt.Sprintf("grow-k%02d", i)
+		from, to := before.GroupFor(key), after.GroupFor(key)
+		if from != to {
+			moved++
+			if to != "g2" && to != "g3" {
+				t.Errorf("key %s moved %s -> %s: growth must move keys only into added groups", key, from, to)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key moved in a 2->4 grow; placement vectors broken")
+	}
+
+	// Every key reads back with its pre-grow value through the grown router.
+	for i := 0; i < nKeys; i++ {
+		key := fmt.Sprintf("grow-k%02d", i)
+		val, found, err := kv.Get(ctx, key)
+		if err != nil {
+			t.Fatalf("get %s after grow: %v", key, err)
+		}
+		if !found {
+			t.Fatalf("key %s unreadable (empty) in its post-grow group %s", key, after.GroupFor(key))
+		}
+		if want := fmt.Sprintf("v%d", i); val != want {
+			t.Fatalf("key %s = %q after grow, want %q", key, val, want)
+		}
+	}
+
+	// Writes after the grow land and read back (new owners are live).
+	for i := 0; i < nKeys; i += 5 {
+		key := fmt.Sprintf("grow-k%02d", i)
+		if res, err := kv.Put(ctx, key, "post"); err != nil || res.Status != stats.Committed {
+			t.Fatalf("post-grow put %s: status %v err %v", key, res.Status, err)
+		}
+		if val, _, err := kv.Get(ctx, key); err != nil || val != "post" {
+			t.Fatalf("post-grow get %s = %q err %v, want \"post\"", key, val, err)
+		}
+	}
+
+	// A batched read spanning old and new groups merges cleanly.
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("grow-k%02d", i)
+	}
+	mr, err := kv.ReadMulti(ctx, keys...)
+	if err != nil {
+		t.Fatalf("readmulti after grow: %v", err)
+	}
+	for i, found := range mr.Founds {
+		if !found {
+			t.Errorf("readmulti: key %s missing after grow", keys[i])
+		}
+	}
+
+	// Operator status: the pre-existing groups report outbound handoffs, the
+	// added groups report prepare/in records.
+	for _, g := range []string{"g0", "g2"} {
+		st := c.Service(c.DCs()[0]).Status(g)
+		if len(st.Migrations) == 0 {
+			t.Errorf("group %s status reports no migration records after grow", g)
+		}
+	}
+}

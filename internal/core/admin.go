@@ -52,6 +52,11 @@ type GroupStatus struct {
 	// both zero/empty for in-memory replicas or before the first pass).
 	ScrubRuns    int      `json:"scrubRuns,omitempty"`
 	ScrubCorrupt []string `json:"scrubCorrupt,omitempty"`
+	// Migrations lists the handoff records applied to this group's log in
+	// log order (e.g. "out g3->g9 v9 @17"), the operator-facing live
+	// migration status (DESIGN.md §15). Empty for a group that never
+	// migrated.
+	Migrations []string `json:"migrations,omitempty"`
 }
 
 // Status reports this replica's view of a group. The applied horizon and
@@ -72,6 +77,9 @@ func (s *Service) Status(group string) GroupStatus {
 		Master:      epoch.Master,
 		LeaseValid:  leaseValid,
 		Groups:      s.Groups(),
+	}
+	for _, rec := range s.log(group).Migrations().Records {
+		st.Migrations = append(st.Migrations, rec.String())
 	}
 	if err := s.replicaFault(); err != nil {
 		st.Fault = err.Error()

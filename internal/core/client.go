@@ -125,6 +125,16 @@ func (c *Client) sendPreferLocal(ctx context.Context, req network.Message) (netw
 			continue
 		}
 		if !resp.OK {
+			// Migration refusals (DESIGN.md §15) are definitive for the
+			// position being read — every datacenter that has applied the
+			// handoff answers identically — so surface them typed instead of
+			// shopping the request to the next peer.
+			switch resp.Err {
+			case ErrMoved:
+				return network.Message{}, &MovedError{To: resp.Value, Keys: append([]string(nil), resp.Keys...)}
+			case ErrMigrating:
+				return network.Message{}, ErrMigratingRange
+			}
 			lastErr = fmt.Errorf("core: service %s: %s", dc, resp.Err)
 			continue
 		}

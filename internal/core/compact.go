@@ -38,10 +38,20 @@ const errCompacted = "compacted"
 // claims. The horizon is clamped to the locally applied position. It
 // returns the effective horizon.
 func (s *Service) Compact(group string, horizon int64) (int64, error) {
-	return s.log(group).Compact(horizon, func(from, to int64) {
+	lg := s.log(group)
+	tombGC := lg.HasMigrations()
+	prefix := replog.DataPrefix(group)
+	return lg.Compact(horizon, func(from, to int64) {
 		// Data rows: drop versions below the horizon (reads at >= horizon
-		// are unaffected, see kvstore.GC).
-		for _, key := range s.store.KeysWithPrefix(replog.DataPrefix(group)) {
+		// are unaffected, see kvstore.GC). Rows of a tombstoned range — a
+		// departed range whose cutover is durable at the destination
+		// (DESIGN.md §15) — are deleted wholesale: the frozen versions can
+		// never be read as current again, and new writes are fenced (M1).
+		for _, key := range s.store.KeysWithPrefix(prefix) {
+			if tombGC && lg.Tombstoned(key[len(prefix):]) {
+				s.store.Delete(key)
+				continue
+			}
 			s.store.GC(key, to)
 		}
 		// Acceptor and claim rows strictly below the horizon disappear
@@ -70,6 +80,11 @@ type snapshot struct {
 	Horizon int64
 	Rows    []snapshotRow
 	Epoch   replog.EpochState
+	// Migrations carries the handoff records applied at or below the horizon
+	// (DESIGN.md §15): a replica restored past a HandoffOut position must
+	// still fence writes into the departed range. Pre-migration blobs decode
+	// with an empty record list.
+	Migrations replog.MigrationState
 }
 
 type snapshotRow struct {
@@ -85,8 +100,9 @@ type snapshotRow struct {
 func (s *Service) buildSnapshot(group string) ([]byte, error) {
 	prefix := replog.DataPrefix(group)
 	var snap snapshot
-	err := s.log(group).ReadStable(func(horizon int64, epoch replog.EpochState) error {
-		snap = snapshot{Group: group, Horizon: horizon, Epoch: epoch}
+	lg := s.log(group)
+	err := lg.ReadStable(func(horizon int64, epoch replog.EpochState) error {
+		snap = snapshot{Group: group, Horizon: horizon, Epoch: epoch, Migrations: lg.MigrationsAt(horizon)}
 		for _, key := range s.store.KeysWithPrefix(prefix) {
 			v, ts, err := s.store.Read(key, horizon)
 			if err != nil {
@@ -128,7 +144,7 @@ func (s *Service) installSnapshot(blob []byte) error {
 	if err := s.store.ApplyBatch(writes); err != nil {
 		return fmt.Errorf("core: install snapshot %s: %w", snap.Group, err)
 	}
-	return lg.InstallSnapshot(snap.Horizon, snap.Epoch)
+	return lg.InstallSnapshot(snap.Horizon, snap.Epoch, snap.Migrations)
 }
 
 // handleSnapshot serves a snapshot request.

@@ -95,7 +95,11 @@ func (s *Service) AsyncHandler() network.AsyncHandler {
 		switch req.Kind {
 		case network.KindSubmit:
 			s.handleSubmitAsync(req, reply)
-		case network.KindApply, network.KindSnapshot, network.KindCompact, network.KindStats:
+		case network.KindApply, network.KindSnapshot, network.KindCompact, network.KindStats,
+			network.KindRangeSnapshot, network.KindMigrate:
+			// Range snapshots are store scans (possibly with catch-up to the
+			// pin) and migrate submissions block on replication: both stay
+			// off the shard workers.
 			go func() { reply(h(from, req)) }()
 		case network.KindRead, network.KindReadMulti:
 			if req.TS >= 0 && req.TS > s.lastApplied(req.Group) {

@@ -2,10 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"paxoscp/internal/network"
 	"paxoscp/internal/stats"
 )
 
@@ -53,28 +56,96 @@ func (kv *KV) Client() *Client { return kv.client }
 // Router returns the facade's key router.
 func (kv *KV) Router() Router { return kv.router }
 
-// Get reads one key: a read-only transaction on the owning group. The bool
-// reports whether the key exists.
+// kvMovedHops bounds how many "moved" redirects one KV operation follows: a
+// key can hop once per placement growth step, so the budget covers several
+// back-to-back grows plus slack.
+const kvMovedHops = 8
+
+// kvMigratingRetries bounds how many "migrating" waits one KV operation
+// absorbs while a range is mid-cutover at its new group.
+const kvMigratingRetries = 64
+
+// retryDelay is the wait between "migrating" retries: a fraction of the
+// client timeout — cutover is a few log entries, not a few round trips.
+func (kv *KV) retryDelay() time.Duration {
+	d := kv.client.cfg.Timeout
+	if d <= 0 {
+		d = network.DefaultTimeout
+	}
+	if d /= 8; d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// follow runs op against key's owning group, following live-migration
+// redirects (DESIGN.md §15): a MovedError re-routes to the destination
+// group (the key's range migrated), ErrMigratingRange waits briefly and
+// retries in place (the range is mid-cutover). Any other outcome returns
+// as-is.
+func (kv *KV) follow(ctx context.Context, key string, op func(group string) error) error {
+	group := kv.router.GroupFor(key)
+	hops, waits := 0, 0
+	for {
+		err := op(group)
+		var mv *MovedError
+		switch {
+		case errors.As(err, &mv):
+			if hops++; hops > kvMovedHops {
+				return err
+			}
+			group = mv.To
+		case errors.Is(err, ErrMigratingRange):
+			if waits++; waits > kvMigratingRetries {
+				return err
+			}
+			if serr := sleepCtx(ctx, kv.retryDelay()); serr != nil {
+				return serr
+			}
+		default:
+			return err
+		}
+	}
+}
+
+// Get reads one key: a read-only transaction on the owning group, following
+// live-migration redirects to the key's current owner. The bool reports
+// whether the key exists.
 func (kv *KV) Get(ctx context.Context, key string) (string, bool, error) {
-	tx, err := kv.client.Begin(ctx, kv.router.GroupFor(key))
+	var val string
+	var found bool
+	err := kv.follow(ctx, key, func(group string) error {
+		tx, err := kv.client.Begin(ctx, group)
+		if err != nil {
+			return err
+		}
+		defer tx.Abort()
+		val, found, err = tx.Read(ctx, key)
+		return err
+	})
 	if err != nil {
 		return "", false, err
 	}
-	defer tx.Abort()
-	return tx.Read(ctx, key)
+	return val, found, nil
 }
 
-// Put writes one key: a write-only transaction on the owning group,
-// committed under the client's configured protocol.
+// Put writes one key: a write-only transaction on the owning group
+// (following live-migration redirects), committed under the client's
+// configured protocol.
 func (kv *KV) Put(ctx context.Context, key, value string) (CommitResult, error) {
-	tx, err := kv.client.Begin(ctx, kv.router.GroupFor(key))
-	if err != nil {
-		return CommitResult{}, err
-	}
-	if err := tx.Write(key, value); err != nil {
-		return CommitResult{}, err
-	}
-	return tx.Commit(ctx)
+	var res CommitResult
+	err := kv.follow(ctx, key, func(group string) error {
+		tx, err := kv.client.Begin(ctx, group)
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(key, value); err != nil {
+			return err
+		}
+		res, err = tx.Commit(ctx)
+		return err
+	})
+	return res, err
 }
 
 // Update runs a read-modify-write of one key on its owning group, retrying
@@ -85,34 +156,36 @@ func (kv *KV) Update(ctx context.Context, key string, attempts int, fn func(cur 
 	if attempts <= 0 {
 		attempts = 16
 	}
-	group := kv.router.GroupFor(key)
 	var last CommitResult
-	for i := 0; i < attempts; i++ {
-		tx, err := kv.client.Begin(ctx, group)
-		if err != nil {
-			return CommitResult{}, err
+	err := kv.follow(ctx, key, func(group string) error {
+		for i := 0; i < attempts; i++ {
+			tx, err := kv.client.Begin(ctx, group)
+			if err != nil {
+				return err
+			}
+			cur, found, err := tx.Read(ctx, key)
+			if err != nil {
+				tx.Abort()
+				return err
+			}
+			next, err := fn(cur, found)
+			if err != nil {
+				tx.Abort()
+				return err
+			}
+			tx.Write(key, next)
+			last, err = tx.Commit(ctx)
+			if err != nil {
+				return err
+			}
+			if last.Status != stats.Aborted {
+				return nil
+			}
+			// Aborted: another transaction wrote first; reread and retry.
 		}
-		cur, found, err := tx.Read(ctx, key)
-		if err != nil {
-			tx.Abort()
-			return CommitResult{}, err
-		}
-		next, err := fn(cur, found)
-		if err != nil {
-			tx.Abort()
-			return CommitResult{}, err
-		}
-		tx.Write(key, next)
-		last, err = tx.Commit(ctx)
-		if err != nil {
-			return last, err
-		}
-		if last.Status != stats.Aborted {
-			return last, nil
-		}
-		// Aborted: another transaction wrote first; reread and retry.
-	}
-	return last, fmt.Errorf("core: kv update %q: conflicted %d times", key, attempts)
+		return fmt.Errorf("core: kv update %q: conflicted %d times", key, attempts)
+	})
+	return last, err
 }
 
 // MultiRead is the result of a routed multi-key read.
@@ -134,6 +207,13 @@ type MultiRead struct {
 // legs run concurrently, and the replies merge back into input order. If any
 // group's leg fails the whole read fails, with the error naming every group
 // that failed — a partial result would silently narrow the caller's view.
+//
+// Live-migration redirects are followed per key (DESIGN.md §15): a leg
+// refused with "moved" re-routes exactly the moved keys to the destination
+// group and retries; "migrating" waits briefly and retries in place. A read
+// that straddles a cutover can therefore serve one group's keys across two
+// legs — each leg is still one snapshot, but a group re-read after a redirect
+// reports the later leg's position in Positions.
 func (kv *KV) ReadMulti(ctx context.Context, keys ...string) (*MultiRead, error) {
 	out := &MultiRead{
 		Vals:      make([]string, len(keys)),
@@ -143,74 +223,122 @@ func (kv *KV) ReadMulti(ctx context.Context, keys ...string) (*MultiRead, error)
 	if len(keys) == 0 {
 		return out, nil
 	}
-	// Partition preserving input order per group (the per-group reply is
-	// parallel to the per-group request slice, so order round-trips).
-	slots := make(map[string][]int)
+	groupOf := make([]string, len(keys))
 	for i, key := range keys {
-		g := kv.router.GroupFor(key)
-		slots[g] = append(slots[g], i)
+		groupOf[i] = kv.router.GroupFor(key)
 	}
-
-	type legResult struct {
-		group string
-		pos   int64
-		err   error
-	}
-	var wg sync.WaitGroup
-	results := make(chan legResult, len(slots))
-	var mu sync.Mutex // guards out.Vals/out.Founds slot writes
-	for g, idx := range slots {
-		wg.Add(1)
-		go func(group string, idx []int) {
-			defer wg.Done()
-			tx, err := kv.client.Begin(ctx, group)
-			if err != nil {
-				results <- legResult{group: group, err: err}
-				return
+	done := make([]bool, len(keys))
+	hops, waits := 0, 0
+	for {
+		// Partition the pending slots preserving input order per group (the
+		// per-group reply is parallel to the per-group request slice, so
+		// order round-trips).
+		slots := make(map[string][]int)
+		for i := range keys {
+			if !done[i] {
+				slots[groupOf[i]] = append(slots[groupOf[i]], i)
 			}
-			defer tx.Abort()
-			gkeys := make([]string, len(idx))
-			for i, slot := range idx {
-				gkeys[i] = keys[slot]
-			}
-			vals, founds, err := tx.ReadMulti(ctx, gkeys...)
-			if err != nil {
-				results <- legResult{group: group, err: err}
-				return
-			}
-			mu.Lock()
-			for i, slot := range idx {
-				out.Vals[slot] = vals[i]
-				out.Founds[slot] = founds[i]
-			}
-			mu.Unlock()
-			results <- legResult{group: group, pos: tx.ReadPos()}
-		}(g, idx)
-	}
-	wg.Wait()
-	close(results)
-
-	var failed []string
-	errByGroup := make(map[string]error)
-	for r := range results {
-		if r.err != nil {
-			failed = append(failed, r.group)
-			errByGroup[r.group] = r.err
-			continue
 		}
-		out.Positions[r.group] = r.pos
-	}
-	if len(failed) > 0 {
-		sort.Strings(failed)
-		msg := ""
-		for i, g := range failed {
-			if i > 0 {
-				msg += "; "
-			}
-			msg += fmt.Sprintf("group %s: %v", g, errByGroup[g])
+		if len(slots) == 0 {
+			return out, nil
 		}
-		return nil, fmt.Errorf("core: kv readmulti: %d of %d groups unavailable: %s",
-			len(failed), len(slots), msg)
+
+		type legResult struct {
+			group string
+			idx   []int
+			pos   int64
+			err   error
+		}
+		var wg sync.WaitGroup
+		results := make(chan legResult, len(slots))
+		var mu sync.Mutex // guards out.Vals/out.Founds slot writes
+		for g, idx := range slots {
+			wg.Add(1)
+			go func(group string, idx []int) {
+				defer wg.Done()
+				tx, err := kv.client.Begin(ctx, group)
+				if err != nil {
+					results <- legResult{group: group, idx: idx, err: err}
+					return
+				}
+				defer tx.Abort()
+				gkeys := make([]string, len(idx))
+				for i, slot := range idx {
+					gkeys[i] = keys[slot]
+				}
+				vals, founds, err := tx.ReadMulti(ctx, gkeys...)
+				if err != nil {
+					results <- legResult{group: group, idx: idx, err: err}
+					return
+				}
+				mu.Lock()
+				for i, slot := range idx {
+					out.Vals[slot] = vals[i]
+					out.Founds[slot] = founds[i]
+				}
+				mu.Unlock()
+				results <- legResult{group: group, idx: idx, pos: tx.ReadPos()}
+			}(g, idx)
+		}
+		wg.Wait()
+		close(results)
+
+		var failed []string
+		errByGroup := make(map[string]error)
+		moved, migrating := false, false
+		for r := range results {
+			var mv *MovedError
+			switch {
+			case r.err == nil:
+				out.Positions[r.group] = r.pos
+				for _, slot := range r.idx {
+					done[slot] = true
+				}
+			case errors.As(r.err, &mv):
+				moved = true
+				// Re-route exactly the moved keys; the leg's other keys
+				// retry on the same group. A hint without keys moves the
+				// whole leg (conservative: the destination re-fences).
+				movedKeys := make(map[string]bool, len(mv.Keys))
+				for _, k := range mv.Keys {
+					movedKeys[k] = true
+				}
+				for _, slot := range r.idx {
+					if len(mv.Keys) == 0 || movedKeys[keys[slot]] {
+						groupOf[slot] = mv.To
+					}
+				}
+			case errors.Is(r.err, ErrMigratingRange):
+				migrating = true
+			default:
+				failed = append(failed, r.group)
+				errByGroup[r.group] = r.err
+			}
+		}
+		if len(failed) > 0 {
+			sort.Strings(failed)
+			msg := ""
+			for i, g := range failed {
+				if i > 0 {
+					msg += "; "
+				}
+				msg += fmt.Sprintf("group %s: %v", g, errByGroup[g])
+			}
+			return nil, fmt.Errorf("core: kv readmulti: %d of %d groups unavailable: %s",
+				len(failed), len(slots), msg)
+		}
+		if moved {
+			if hops++; hops > kvMovedHops {
+				return nil, fmt.Errorf("core: kv readmulti: moved %d times without settling", hops-1)
+			}
+		}
+		if migrating && !moved {
+			if waits++; waits > kvMigratingRetries {
+				return nil, fmt.Errorf("core: kv readmulti: range still migrating after %d retries", waits-1)
+			}
+			if err := sleepCtx(ctx, kv.retryDelay()); err != nil {
+				return nil, err
+			}
+		}
 	}
-	return out, nil
 }

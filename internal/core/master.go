@@ -91,6 +91,14 @@ func (c *Client) commitMaster(ctx context.Context, t *Tx) (CommitResult, error) 
 			// reached the log, so the caller may retry. resp.TS carries the
 			// master's queue depth as a backpressure hint.
 			return CommitResult{Status: stats.Rejected}, nil
+		case resp.Err == ErrMoved:
+			// The transaction wrote into a range that migrated away
+			// (DESIGN.md §15): nothing committed anywhere. Retryable at the
+			// destination group, which the typed error names — KV follows it.
+			return CommitResult{Status: stats.Rejected}, &MovedError{To: resp.Value, Keys: append([]string(nil), resp.Keys...)}
+		case resp.Err == ErrMigrating:
+			// The keys' range is mid-cutover at this group: retry shortly.
+			return CommitResult{Status: stats.Rejected}, ErrMigratingRange
 		case resp.Err == ErrReplicaFailed:
 			// The replica's storage engine has fail-stopped: definitive
 			// there for the life of its process, but nothing reached the

@@ -1,0 +1,458 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"paxoscp/internal/network"
+	"paxoscp/internal/placement"
+	"paxoscp/internal/replog"
+	"paxoscp/internal/wal"
+)
+
+// Live shard migration (DESIGN.md §15): the service-side handlers that stream
+// a moving key range out of its old group, the verdict surface that redirects
+// clients, and the Migrator — the coordinator that drives one range's
+// backfill and epoch-fenced cutover through both groups' logs.
+//
+// The protocol per (From → To) pair:
+//
+//  1. HandoffPrepare commits to To's log: the inbound range is fenced
+//     against ordinary writes (replog rule M2) so no client write can
+//     interleave with the backfill.
+//  2. Backfill: the coordinator pages the range's rows out of From with
+//     KindRangeSnapshot reads pinned at one watermark, and writes them to To
+//     as Backfill-flagged transactions (exempt from M2). Delta rounds repeat
+//     with a rising version floor until a round copies few enough rows.
+//  3. HandoffOut commits to From's log: the range departs. Its log position
+//     is the migration frontier — every transaction at a later position that
+//     writes a range key is void (rule M1) with the retryable "moved"
+//     verdict, so the frozen rows are exactly the state at the frontier.
+//  4. A final delta copy, served at a watermark at or past the frontier,
+//     moves the last writes that raced the cutover.
+//  5. HandoffIn commits to To's log: the range opens for normal traffic.
+//  6. HandoffTombstone commits to From's log: the frozen rows may be
+//     scavenged wholesale at From's next compaction.
+//
+// Every handoff entry rides the ordinary master pipeline and is epoch-
+// stamped, so a deposed coordinator's cutover is fenced (F2) exactly like
+// any stale master's entry. Handoff submission is idempotent by
+// construction: a duplicate record (a retry after a lost verdict) fences the
+// same range to the same destination, so replicas that apply both reach the
+// same state.
+
+// ErrMoved is the wire marker for a migrated-range refusal: the key's range
+// departed this group. Retryable at the destination group, which the reply
+// names in Value (and the affected keys in Keys). Both the admission-time
+// refusal and the apply-time M1 verdict use it.
+const ErrMoved = "moved"
+
+// ErrMigrating is the wire marker for an inbound-range refusal: the key's
+// range is prepared here but not open yet (between HandoffPrepare and
+// HandoffIn). Retryable in place after a short wait — the cutover is
+// typically a few log entries away.
+const ErrMigrating = "migrating"
+
+func movedReply(to string, keys ...string) network.Message {
+	m := network.Status(false, ErrMoved)
+	m.Value = to
+	m.Keys = keys
+	return m
+}
+
+func migratingReply() network.Message {
+	return network.Status(false, ErrMigrating)
+}
+
+// MovedError is the client-side form of a "moved" refusal: the operation
+// touched keys whose range migrated to another group. Callers re-route to To
+// and retry; KV does so automatically.
+type MovedError struct {
+	To   string   // destination group
+	Keys []string // the keys the refusal named (may be empty on commits)
+}
+
+func (e *MovedError) Error() string {
+	return fmt.Sprintf("core: range moved to group %s", e.To)
+}
+
+// ErrMigratingRange is the client-side form of a "migrating" refusal: the
+// keys' range is mid-cutover at its new group. Retry shortly.
+var ErrMigratingRange = errors.New("core: range is migrating; retry shortly")
+
+// rangeSnapshotPageRows caps how many rows one KindRangeSnapshot reply
+// carries, bounding reply size and the store scan a single request costs.
+const rangeSnapshotPageRows = 256
+
+// handleRangeSnapshot serves one page of a moving range's rows at a pinned
+// read position. Request fields: Group = source group, Value = destination
+// group, Keys = the destination placement's full group list (the range is
+// {k: owned by Value under Keys, owned by Group under Keys minus Value}),
+// TS = the pinned position (ResolvePos on the first page pins at the local
+// watermark), Pos = version floor (only rows written after it), Key+Found =
+// resume cursor (start after Key when Found). The reply pages rows in
+// Keys/Vals, TS echoing the pin and Found flagging more pages.
+func (s *Service) handleRangeSnapshot(req network.Message) network.Message {
+	ts, err := s.resolveReadTS(req.Group, req.TS)
+	if err != nil {
+		return network.Status(false, err.Error())
+	}
+	set := placement.NewMoveSet(req.Keys, req.Group, req.Value)
+	prefix := replog.DataPrefix(req.Group)
+	resp := network.Message{Kind: network.KindValue, OK: true, TS: ts}
+	for _, full := range s.store.KeysWithPrefix(prefix) {
+		bare := full[len(prefix):]
+		if req.Found && bare <= req.Key {
+			continue // before the resume cursor
+		}
+		if !set.Moves(bare) {
+			continue
+		}
+		v, vts, rerr := s.store.Read(full, ts)
+		if rerr != nil {
+			continue // no version at or below the pin
+		}
+		if vts <= req.Pos {
+			continue // already copied in an earlier round
+		}
+		resp.Keys = append(resp.Keys, bare)
+		resp.Vals = append(resp.Vals, v["v"])
+		if len(resp.Keys) >= rangeSnapshotPageRows {
+			resp.Key = bare
+			resp.Found = true // more pages may follow
+			break
+		}
+	}
+	return resp
+}
+
+// handleMigrate submits one handoff phase entry to the group's master
+// pipeline and blocks for the verdict; OK replies carry the entry's log
+// position in TS (the HandoffOut position is the frontier the coordinator
+// pins its final delta to). A non-master refuses with the usual ErrNotMaster
+// hint.
+func (s *Service) handleMigrate(req network.Message) network.Message {
+	entry, err := wal.Decode(req.Payload)
+	if err != nil || !entry.IsHandoff() {
+		return network.Status(false, "bad migrate payload")
+	}
+	done := make(chan network.Message, 1)
+	s.pipeline(req.Group).SubmitHandoffAsync(entry.Handoff, func(m network.Message) { done <- m })
+	return <-done
+}
+
+// --- Migrator ---------------------------------------------------------------
+
+// Migrator drives live range migrations: for each (From → To) pair of a
+// placement growth step it runs the prepare / backfill / cutover sequence
+// above against the groups' masters. One Migrator handles pairs serially; it
+// holds no state a crash would strand — every phase transition lives in the
+// groups' replicated logs, and re-running a pair is idempotent.
+type Migrator struct {
+	// Transport reaches the cluster's datacenters.
+	Transport network.Transport
+	// Timeout bounds one message round; 0 means network.DefaultTimeout.
+	Timeout time.Duration
+	// MasterFor seeds master lookups per group (the cluster's spread).
+	// Unset, the first datacenter is tried and not-master hints are followed.
+	MasterFor func(group string) string
+	// LagBound is the delta-round row count at which the coordinator cuts
+	// over: a round that copied at most this many rows means the tail is
+	// short enough that the final frozen delta stays small. 0 means 16.
+	LagBound int
+	// MaxRounds caps chase rounds before cutting over regardless of lag —
+	// the HandoffOut fence bounds the final delta anyway. 0 means 8.
+	MaxRounds int
+	// BatchRows caps rows per backfill transaction. 0 means 32.
+	BatchRows int
+	// OnPhase, when set, observes every committed handoff entry (bench and
+	// tests measure cutover pauses with it).
+	OnPhase func(h wal.Handoff, pos int64)
+
+	seq atomic.Int64 // backfill transaction ID counter
+}
+
+func (m *Migrator) timeout() time.Duration {
+	if m.Timeout > 0 {
+		return m.Timeout
+	}
+	return network.DefaultTimeout
+}
+
+func (m *Migrator) lagBound() int {
+	if m.LagBound > 0 {
+		return m.LagBound
+	}
+	return 16
+}
+
+func (m *Migrator) maxRounds() int {
+	if m.MaxRounds > 0 {
+		return m.MaxRounds
+	}
+	return 8
+}
+
+func (m *Migrator) batchRows() int {
+	if m.BatchRows > 0 {
+		return m.BatchRows
+	}
+	return 32
+}
+
+// Step migrates every pair of one placement growth step, serially in pair
+// order. The step's To placement must be the post-step placement (the group
+// list every handoff entry carries).
+func (m *Migrator) Step(ctx context.Context, step placement.Step) error {
+	groups := step.To.Groups()
+	for _, pair := range step.Pairs {
+		if err := m.MigratePair(ctx, pair.From, pair.To, groups); err != nil {
+			return fmt.Errorf("core: migrate %s->%s: %w", pair.From, pair.To, err)
+		}
+	}
+	return nil
+}
+
+// MigratePair runs the full migration sequence for one range: the keys that
+// move from group `from` to group `to` when the placement becomes
+// destGroups. Idempotent: re-running after a partial failure re-fences the
+// same range and re-copies rows to the same values.
+func (m *Migrator) MigratePair(ctx context.Context, from, to string, destGroups []string) error {
+	// 1. Fence the inbound range at the destination.
+	if _, err := m.submitHandoff(ctx, wal.NewHandoff(wal.HandoffPrepare, from, to, destGroups)); err != nil {
+		return fmt.Errorf("prepare: %w", err)
+	}
+
+	// 2. Backfill at a pinned watermark, then chase the tail with delta
+	// rounds until one round's copy volume is inside the lag bound.
+	var floor int64
+	readPos := int64(-1) // destination read position, maintained across batches
+	for round := 0; round < m.maxRounds(); round++ {
+		copied, pin, err := m.copyRange(ctx, from, to, destGroups, floor, network.ResolvePos, &readPos)
+		if err != nil {
+			return fmt.Errorf("backfill round %d: %w", round, err)
+		}
+		floor = pin
+		if copied <= m.lagBound() {
+			break
+		}
+	}
+
+	// 3. Cut the range over: the HandoffOut position freezes it at the
+	// source, so everything written after the last round is bounded by the
+	// fence, not by luck.
+	outPos, err := m.submitHandoff(ctx, wal.NewHandoff(wal.HandoffOut, from, to, destGroups))
+	if err != nil {
+		return fmt.Errorf("handoff-out: %w", err)
+	}
+
+	// 4. Final frozen delta, served at or past the frontier (the serving
+	// replica catches up to outPos if it lags).
+	if _, _, err := m.copyRange(ctx, from, to, destGroups, floor, outPos, &readPos); err != nil {
+		return fmt.Errorf("final delta: %w", err)
+	}
+
+	// 5. Open the range at the destination.
+	if _, err := m.submitHandoff(ctx, wal.NewHandoff(wal.HandoffIn, from, to, destGroups)); err != nil {
+		return fmt.Errorf("handoff-in: %w", err)
+	}
+
+	// 6. Clear the frozen source rows for scavenge.
+	if _, err := m.submitHandoff(ctx, wal.NewHandoff(wal.HandoffTombstone, from, to, destGroups)); err != nil {
+		return fmt.Errorf("tombstone: %w", err)
+	}
+	return nil
+}
+
+// copyRange copies one round of the moving range's rows: every row whose
+// version exceeds floor, read at the pinned position (pin ==
+// network.ResolvePos pins at the serving replica's watermark), written to
+// the destination group in backfill transactions. It returns the row count
+// and the pin the round was served at — the next round's floor.
+func (m *Migrator) copyRange(ctx context.Context, from, to string, destGroups []string, floor, pin int64, readPos *int64) (int, int64, error) {
+	copied := 0
+	cursor, hasCursor := "", false
+	var batchKeys, batchVals []string
+	flush := func() error {
+		if len(batchKeys) == 0 {
+			return nil
+		}
+		if err := m.backfill(ctx, to, batchKeys, batchVals, readPos); err != nil {
+			return err
+		}
+		copied += len(batchKeys)
+		batchKeys, batchVals = batchKeys[:0], batchVals[:0]
+		return nil
+	}
+	for {
+		req := network.Message{
+			Kind: network.KindRangeSnapshot, Group: from, Value: to, Keys: destGroups,
+			TS: pin, Pos: floor, Key: cursor, Found: hasCursor,
+		}
+		resp, err := m.sendAny(ctx, req)
+		if err != nil {
+			return copied, pin, err
+		}
+		if pin == network.ResolvePos {
+			pin = resp.TS // first page pins the round; later pages reuse it
+		}
+		for i, k := range resp.Keys {
+			batchKeys = append(batchKeys, k)
+			batchVals = append(batchVals, resp.Vals[i])
+			if len(batchKeys) >= m.batchRows() {
+				if err := flush(); err != nil {
+					return copied, pin, err
+				}
+			}
+		}
+		if !resp.Found {
+			break
+		}
+		cursor, hasCursor = resp.Key, true
+	}
+	if err := flush(); err != nil {
+		return copied, pin, err
+	}
+	return copied, pin, nil
+}
+
+// backfill commits one batch of rows to the destination group as a single
+// Backfill-flagged transaction (exempt from the M2 inbound fence). The
+// transaction reads nothing, so it can never conflict; its read position
+// only bounds the master's admission scan, and each commit's position seeds
+// the next batch's.
+func (m *Migrator) backfill(ctx context.Context, to string, keys, vals []string, readPos *int64) error {
+	if *readPos < 0 {
+		resp, err := m.sendAny(ctx, network.Message{Kind: network.KindReadPos, Group: to})
+		if err != nil {
+			return fmt.Errorf("destination read position: %w", err)
+		}
+		*readPos = resp.TS
+	}
+	writes := make(map[string]string, len(keys))
+	for i, k := range keys {
+		writes[k] = vals[i]
+	}
+	txn := wal.Txn{
+		ID:       fmt.Sprintf("mig-%s-%d", to, m.seq.Add(1)),
+		Origin:   "migrator",
+		ReadPos:  *readPos,
+		Writes:   writes,
+		Backfill: true,
+	}
+	resp, err := m.sendMaster(ctx, to, network.Message{
+		Kind: network.KindSubmit, Group: to, Payload: wal.Encode(wal.NewEntry(txn)),
+	})
+	if err != nil {
+		return fmt.Errorf("backfill batch: %w", err)
+	}
+	*readPos = resp.TS
+	return nil
+}
+
+// submitHandoff commits one handoff entry through its group's master and
+// returns the log position it applied at. Retries after a lost verdict are
+// safe: duplicate handoff records fence identically.
+func (m *Migrator) submitHandoff(ctx context.Context, e wal.Entry) (int64, error) {
+	h := e.Handoff
+	group := h.From
+	if h.Phase == wal.HandoffPrepare || h.Phase == wal.HandoffIn {
+		group = h.To
+	}
+	resp, err := m.sendMaster(ctx, group, network.Message{
+		Kind: network.KindMigrate, Group: group, Payload: wal.Encode(e),
+	})
+	if err != nil {
+		return 0, err
+	}
+	if m.OnPhase != nil {
+		m.OnPhase(*h, resp.TS)
+	}
+	return resp.TS, nil
+}
+
+// sendAny tries every datacenter until one answers OK — for requests any
+// replica can serve (range snapshot pages, read positions). It keeps cycling
+// with a capped backoff until the context expires, so a partition that heals
+// mid-migration costs waiting, not failure.
+func (m *Migrator) sendAny(ctx context.Context, req network.Message) (network.Message, error) {
+	timeout := m.timeout()
+	var lastErr error = errAllServicesUnavailable
+	for attempt := 0; ; attempt++ {
+		for _, dc := range m.Transport.Peers() {
+			cctx, cancel := context.WithTimeout(ctx, timeout)
+			resp, err := m.Transport.Send(cctx, dc, req)
+			cancel()
+			if err == nil && resp.OK {
+				return resp, nil
+			}
+			if err != nil {
+				lastErr = err
+			} else {
+				lastErr = fmt.Errorf("core: migrator: service %s: %s", dc, resp.Err)
+			}
+		}
+		if serr := sleepCtx(ctx, timeout); serr != nil {
+			return network.Message{}, fmt.Errorf("%w (last: %v)", serr, lastErr)
+		}
+	}
+}
+
+// sendMaster submits req to group's master: seeded by MasterFor, following
+// not-master hints, waiting out lease transitions and overload pushback, and
+// rotating past fail-stopped replicas. Like sendAny it persists until the
+// context expires — migration under fire is expected to stall through fault
+// windows and resume, not abort.
+func (m *Migrator) sendMaster(ctx context.Context, group string, req network.Message) (network.Message, error) {
+	timeout := m.timeout()
+	peers := m.Transport.Peers()
+	master := peers[0]
+	if m.MasterFor != nil {
+		if dc := m.MasterFor(group); dc != "" {
+			master = dc
+		}
+	}
+	failed := make(map[string]bool)
+	rotate := func() {
+		for _, dc := range peers {
+			if dc != master && !failed[dc] {
+				master = dc
+				return
+			}
+		}
+		failed = map[string]bool{} // everyone refused; start over
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		// The submit round trip covers the master's replication work.
+		cctx, cancel := context.WithTimeout(ctx, 2*timeout)
+		resp, err := m.Transport.Send(cctx, master, req)
+		cancel()
+		switch {
+		case err != nil:
+			lastErr = err
+			rotate()
+		case resp.OK:
+			return resp, nil
+		case resp.Err == ErrNotMaster && resp.Value != "" && resp.Value != master && !failed[resp.Value]:
+			master = resp.Value
+			continue // follow the hint without sleeping
+		case resp.Err == ErrReplicaFailed:
+			failed[master] = true
+			lastErr = fmt.Errorf("core: migrator: %s: %s", master, resp.Err)
+			rotate()
+		case resp.Err == ErrOverloaded:
+			lastErr = fmt.Errorf("core: migrator: %s overloaded", master)
+		default:
+			// Not-master without a usable hint, claim races, pipeline
+			// timeouts: wait a beat and retry where we are.
+			lastErr = fmt.Errorf("core: migrator: %s: %s", master, resp.Err)
+		}
+		if serr := sleepCtx(ctx, timeout); serr != nil {
+			return network.Message{}, fmt.Errorf("%w (last: %v)", serr, lastErr)
+		}
+	}
+}

@@ -72,6 +72,12 @@ type pendingSubmit struct {
 	txn      wal.Txn
 	attempts int // positions competed for so far
 
+	// handoff, when non-nil, marks a migration control entry (DESIGN.md
+	// §15): the pipeline places it alone — never combined with transactions
+	// — as an entry whose Handoff field carries the phase record. txn is
+	// zero for these.
+	handoff *wal.Handoff
+
 	// deliver receives the verdict exactly once: settled arbitrates between
 	// the pipeline's verdict and the budget timer, and whichever loses is
 	// dropped. deliver may be a transport reply callback (the async submit
@@ -259,6 +265,18 @@ func (p *pipeline) take() []*pendingSubmit {
 	if n > p.maxCombine {
 		n = p.maxCombine
 	}
+	// Handoff entries never combine: one travels alone, and a batch of
+	// transactions stops short of one (DESIGN.md §15).
+	if p.queue[0].handoff != nil {
+		n = 1
+	} else {
+		for i := 1; i < n; i++ {
+			if p.queue[i].handoff != nil {
+				n = i
+				break
+			}
+		}
+	}
 	batch := make([]*pendingSubmit, n)
 	copy(batch, p.queue)
 	p.queue = append(p.queue[:0], p.queue[n:]...)
@@ -399,16 +417,27 @@ func (p *pipeline) place(batch []*pendingSubmit) {
 	var entry wal.Entry
 	entry.Epoch = epoch
 	var members []*pendingSubmit
-	for _, ps := range batch {
-		ok, err := p.admit(ctx, ps.txn, pos, entry)
-		switch {
-		case err != nil:
-			ps.reply(network.Status(false, err.Error()))
-		case !ok:
-			ps.reply(network.Status(false, masterConflict))
-		default:
-			entry.Txns = append(entry.Txns, ps.txn.Clone())
-			members = append(members, ps)
+	if h := batch[0].handoff; h != nil {
+		// A handoff entry travels alone (take() guarantees the singleton
+		// batch): it has no reads to conflict-check and no writes to admit.
+		entry.Handoff = h.Clone()
+		members = batch
+	} else {
+		for _, ps := range batch {
+			if refusal, fenced := p.migrationRefusal(ps.txn); fenced {
+				ps.reply(refusal)
+				continue
+			}
+			ok, err := p.admit(ctx, ps.txn, pos, entry)
+			switch {
+			case err != nil:
+				ps.reply(network.Status(false, err.Error()))
+			case !ok:
+				ps.reply(network.Status(false, masterConflict))
+			default:
+				entry.Txns = append(entry.Txns, ps.txn.Clone())
+				members = append(members, ps)
+			}
 		}
 	}
 	if len(members) == 0 {
@@ -416,6 +445,50 @@ func (p *pipeline) place(batch []*pendingSubmit) {
 	}
 	p.win.Start(pos, entry)
 	go p.replicate(pos, entry, members)
+}
+
+// migrationRefusal fails a transaction fast when the apply-time migration
+// rules (replog M1/M2, DESIGN.md §15) would void it anyway: a write into a
+// departed range gets the "moved" verdict with the destination hint, a
+// non-backfill write into a prepared-but-unopened inbound range gets
+// "migrating". Only an optimization — apply-time voiding remains the safety
+// net for entries already in flight when the handoff applied.
+func (p *pipeline) migrationRefusal(txn wal.Txn) (network.Message, bool) {
+	if !p.lg.HasMigrations() {
+		return network.Message{}, false
+	}
+	for k := range txn.Writes {
+		if to, _, ok := p.lg.MovedTo(k); ok {
+			return movedReply(to), true
+		}
+	}
+	if !txn.Backfill {
+		for k := range txn.Writes {
+			if p.lg.InboundPending(k) {
+				return migratingReply(), true
+			}
+		}
+	}
+	return network.Message{}, false
+}
+
+// SubmitHandoffAsync queues a migration handoff entry for placement
+// (DESIGN.md §15). It bypasses the admission cap — a saturated data plane
+// must not starve the migration control plane — but pays the same verdict
+// budget as any submit. The OK verdict's TS carries the entry's log
+// position.
+func (p *pipeline) SubmitHandoffAsync(h *wal.Handoff, deliver func(network.Message)) {
+	ps := &pendingSubmit{handoff: h.Clone(), deliver: deliver}
+	if err := p.svc.replicaFault(); err != nil {
+		ps.reply(replicaFailedReply(err))
+		return
+	}
+	ps.timer.Store(time.AfterFunc(4*p.svc.timeout, func() {
+		ps.reply(network.Status(false, "master: handoff timed out in pipeline"))
+	}))
+	if !p.enqueue(false, ps) {
+		ps.reply(network.Status(false, "master shutting down"))
+	}
 }
 
 // nextPos returns the next position to propose at: above every position this
@@ -518,16 +591,19 @@ func (p *pipeline) replicate(pos int64, entry wal.Entry, members []*pendingSubmi
 	// stops answering for it, so admission checks never see a gap.
 	p.win.Resolve(pos)
 	if committed {
-		if entry.Epoch != 0 {
-			// The commit verdict needs the fencing verdict, which exists
-			// once the apply watermark covers pos. If contiguity cannot be
-			// reached (an ambiguous hole below), the outcome is unknown:
-			// fail, per invariant W4.
+		// The commit verdict needs the apply-time record: the epoch fence
+		// once fencing is on, and the per-transaction migration verdicts
+		// whenever any handoff has applied to this log (DESIGN.md §15). Both
+		// exist once the apply watermark covers pos.
+		needVerdict := entry.Epoch != 0 || p.lg.HasMigrations()
+		if needVerdict {
+			// If contiguity cannot be reached (an ambiguous hole below), the
+			// outcome is unknown: fail, per invariant W4.
 			if werr := p.lg.WaitApplied(ctx, pos); werr != nil {
 				p.fail(members, "fencing verdict unavailable: "+werr.Error())
 				return
 			}
-			if p.lg.Voided(pos) {
+			if entry.Epoch != 0 && p.lg.Voided(pos) {
 				// Split-brain window closed on us: a higher-epoch claim
 				// landed below our entry, so it committed nothing. Drain
 				// with definitive failures and stop promoting (F3).
@@ -538,6 +614,19 @@ func (p *pipeline) replicate(pos int64, entry wal.Entry, members []*pendingSubmi
 		}
 		combined := len(entry.Txns) > 1
 		for _, ps := range members {
+			if needVerdict && ps.handoff == nil {
+				// A handoff below pos may have voided this transaction
+				// (rules M1/M2): its writes applied nowhere, so the verdict
+				// is the retryable redirect, not a commit.
+				if to, moved := p.lg.MovedTxn(pos, ps.txn.ID); moved {
+					if to == "" {
+						ps.reply(migratingReply())
+					} else {
+						ps.reply(movedReply(to))
+					}
+					continue
+				}
+			}
 			ps.reply(network.Message{
 				Kind: network.KindValue, OK: true, TS: pos,
 				Combined: combined, Epoch: entry.Epoch,

@@ -280,6 +280,10 @@ func (s *Service) Handler() network.Handler {
 			return s.handleStats(req)
 		case network.KindCompact:
 			return s.handleCompact(req)
+		case network.KindRangeSnapshot:
+			return s.handleRangeSnapshot(req)
+		case network.KindMigrate:
+			return s.handleMigrate(req)
 		default:
 			return network.Status(false, fmt.Sprintf("unknown kind %q", req.Kind))
 		}
@@ -376,6 +380,9 @@ func (s *Service) handleRead(req network.Message) network.Message {
 	if err != nil {
 		return network.Status(false, err.Error())
 	}
+	if refusal, fenced := s.readFence(req.Group, ts, req.Key); fenced {
+		return refusal
+	}
 	v, _, err := s.store.Read(dataKey(req.Group, req.Key), ts)
 	if errors.Is(err, kvstore.ErrNotFound) {
 		return network.Message{Kind: network.KindValue, OK: true, Found: false, TS: ts}
@@ -397,6 +404,9 @@ func (s *Service) handleReadMulti(req network.Message) network.Message {
 	if err != nil {
 		return network.Status(false, err.Error())
 	}
+	if refusal, fenced := s.readFence(req.Group, ts, req.Keys...); fenced {
+		return refusal
+	}
 	keys := make([]string, len(req.Keys))
 	for i, k := range req.Keys {
 		keys[i] = dataKey(req.Group, k)
@@ -417,6 +427,43 @@ func (s *Service) handleReadMulti(req network.Message) network.Message {
 		}
 	}
 	return resp
+}
+
+// readFence applies the migration read fences (DESIGN.md §15) to a read
+// served at position ts. A key of a range that departed at or below ts is
+// refused with "moved" and the destination — serving it would return the
+// frozen pre-cutover value as if it were current. A key of a
+// prepared-but-unopened inbound range is refused with "migrating" — serving
+// it would expose a half-copied backfill. Reads at positions before the
+// cutover still serve normally (snapshot reads of in-flight transactions).
+// With multiple in-flight destinations, one refusal names the keys of the
+// first; the caller's next hop surfaces the rest.
+func (s *Service) readFence(group string, ts int64, keys ...string) (network.Message, bool) {
+	lg := s.log(group)
+	if !lg.HasMigrations() {
+		return network.Message{}, false
+	}
+	var movedKeys []string
+	dest := ""
+	for _, k := range keys {
+		if to, outPos, ok := lg.MovedTo(k); ok && ts >= outPos {
+			if dest == "" {
+				dest = to
+			}
+			if to == dest {
+				movedKeys = append(movedKeys, k)
+			}
+		}
+	}
+	if dest != "" {
+		return movedReply(dest, movedKeys...), true
+	}
+	for _, k := range keys {
+		if lg.InboundPending(k) {
+			return migratingReply(), true
+		}
+	}
+	return network.Message{}, false
 }
 
 // handleFetchLog returns the decided entry at a position, if known locally.

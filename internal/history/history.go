@@ -64,8 +64,10 @@ func ByGroup(commits []Commit) map[string][]Commit {
 type Violation struct {
 	// Property names the violated property: "R1", "L1", "L2", "L3", "A2",
 	// "F2" (a committed transaction inside an epoch-fenced entry — the
-	// two-concurrent-masters bug, DESIGN.md §11), or "LOG" for structural
-	// problems (holes, corrupt entries).
+	// two-concurrent-masters bug, DESIGN.md §11), "M1" (a committed
+	// transaction voided by a migration handoff fence, DESIGN.md §15),
+	// "G1" (a commit on a group outside the run's group-set timeline), or
+	// "LOG" for structural problems (holes, corrupt entries).
 	Property string
 	Detail   string
 }
@@ -121,8 +123,9 @@ func check(logs map[string]map[int64]wal.Entry, commits []Commit, horizon int64)
 	}
 
 	fenced := fencedPositions(merged)
-	out = append(out, checkPlacement(merged, fenced, commits)...)
-	out = append(out, checkSerializability(merged, fenced, commits)...)
+	voided := migrationVoids(merged, fenced)
+	out = append(out, checkPlacement(merged, fenced, voided, commits)...)
+	out = append(out, checkSerializability(merged, fenced, voided, commits)...)
 	return out
 }
 
@@ -234,14 +237,18 @@ func positions(merged map[int64]wal.Entry) ([]int64, []Violation) {
 // reported — with all its operations in that single entry, and no
 // transaction appears at two positions. A fenced entry commits nothing, so a
 // transaction inside one does not count as placed; a client-reported commit
-// sitting in a fenced entry is the split-brain double-master bug (F2).
-func checkPlacement(merged map[int64]wal.Entry, fenced map[int64]bool, commits []Commit) []Violation {
+// sitting in a fenced entry is the split-brain double-master bug (F2). A
+// transaction voided by a migration rule (M1/M2) likewise commits nothing —
+// its verdict was the retryable "moved"/"migrating", so a client-reported
+// commit that exists only in voided form means a verdict lied (M1).
+func checkPlacement(merged map[int64]wal.Entry, fenced map[int64]bool, voided map[int64]map[string]bool, commits []Commit) []Violation {
 	var out []Violation
 	// Index the log by transaction ID. Fenced entries are void, but a
 	// transaction appearing in both a fenced and a live entry is fine (the
 	// deposed master's copy was void); only live placements count.
 	at := make(map[string][]int64)
 	inFenced := make(map[string][]int64)
+	inVoid := make(map[string][]int64)
 	for pos, entry := range merged {
 		seen := make(map[string]bool)
 		for _, t := range entry.Txns {
@@ -251,6 +258,10 @@ func checkPlacement(merged map[int64]wal.Entry, fenced map[int64]bool, commits [
 			seen[t.ID] = true
 			if fenced[pos] {
 				inFenced[t.ID] = append(inFenced[t.ID], pos)
+				continue
+			}
+			if voided[pos][t.ID] {
+				inVoid[t.ID] = append(inVoid[t.ID], pos)
 				continue
 			}
 			at[t.ID] = append(at[t.ID], pos)
@@ -272,11 +283,16 @@ func checkPlacement(merged map[int64]wal.Entry, fenced map[int64]bool, commits [
 		}
 		ps := at[c.ID]
 		if len(ps) == 0 {
-			if fps := inFenced[c.ID]; len(fps) > 0 {
+			switch {
+			case len(inFenced[c.ID]) > 0:
 				out = append(out, violationf("F2",
 					"committed transaction %s exists only in fenced entries at %v: a deposed master reported a commit its epoch could not make",
-					c.ID, fps))
-			} else {
+					c.ID, inFenced[c.ID]))
+			case len(inVoid[c.ID]) > 0:
+				out = append(out, violationf("M1",
+					"committed transaction %s exists only in migration-voided entries at %v: a commit verdict was reported for a write the handoff fence voided",
+					c.ID, inVoid[c.ID]))
+			default:
 				out = append(out, violationf("L1", "committed transaction %s missing from log (client reported position %d)", c.ID, c.Pos))
 			}
 			continue
@@ -305,8 +321,10 @@ func checkPlacement(merged map[int64]wal.Entry, fenced map[int64]bool, commits [
 // entry) may have written k. Fenced entries are skipped entirely — they
 // committed nothing, so their writes are absent from the serial history and
 // their transactions' reads are never validated (if one was reported
-// committed, checkPlacement already flagged it as F2).
-func checkSerializability(merged map[int64]wal.Entry, fenced map[int64]bool, commits []Commit) []Violation {
+// committed, checkPlacement already flagged it as F2). Migration-voided
+// transactions (M1/M2) are skipped the same way, per transaction: their
+// writes never landed at any replica.
+func checkSerializability(merged map[int64]wal.Entry, fenced map[int64]bool, voided map[int64]map[string]bool, commits []Commit) []Violation {
 	ps, out := positions(merged)
 
 	// versionsOf replays writes in serial order: key -> ascending (pos, val).
@@ -348,6 +366,9 @@ func checkSerializability(merged map[int64]wal.Entry, fenced map[int64]bool, com
 		}
 		writtenInEntry := make(map[string]bool)
 		for _, t := range entry.Txns {
+			if voided[pos][t.ID] {
+				continue // committed nothing; verdict was moved/migrating
+			}
 			if t.ReadPos >= pos {
 				out = append(out, violationf("L3", "transaction %s at position %d has read position %d >= commit position", t.ID, pos, t.ReadPos))
 			}
@@ -377,9 +398,15 @@ func checkSerializability(merged map[int64]wal.Entry, fenced map[int64]bool, com
 				writtenInEntry[k] = true
 			}
 		}
-		// Apply the entry's merged writes at this position.
-		for k, v := range entry.Writes() {
-			state[k] = append(state[k], version{pos: pos, val: v})
+		// Apply the entry's merged writes at this position, excluding voided
+		// transactions (last-wins in list order, as Entry.Writes merges).
+		for _, t := range entry.Txns {
+			if voided[pos][t.ID] {
+				continue
+			}
+			for k, v := range t.Writes {
+				state[k] = append(state[k], version{pos: pos, val: v})
+			}
 		}
 	}
 

@@ -1,0 +1,113 @@
+package history
+
+import (
+	"fmt"
+	"testing"
+
+	"paxoscp/internal/placement"
+	"paxoscp/internal/wal"
+)
+
+// destGroups is the destination placement of a g0→g2 migration under growth
+// from [g0 g1] to [g0 g1 g2].
+var destGroups = []string{"g0", "g1", "g2"}
+
+// movingKeyHist finds a key of the range migrating g0→g2 under destGroups.
+func movingKeyHist(t *testing.T) string {
+	t.Helper()
+	old := placement.New([]string{"g0", "g1"})
+	grown := placement.New(destGroups)
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("mk%d", i)
+		if old.GroupFor(k) == "g0" && grown.GroupFor(k) == "g2" {
+			return k
+		}
+	}
+	t.Fatal("no moving key found")
+	return ""
+}
+
+// TestGroupTimelineAcceptsPostGrowGroups is the regression for the static
+// group-set leak scan: commits on a group added mid-run are legitimate (the
+// timeline has an era containing it), while a commit on a group no era ever
+// contained stays a G1 violation.
+func TestGroupTimelineAcceptsPostGrowGroups(t *testing.T) {
+	tl := NewGroupTimeline("g0", "g1")
+	tl.Grow("g0", "g1", "g2")
+	commits := []Commit{
+		{ID: "pre", Group: "g0", Pos: 1, Writes: map[string]string{"a": "1"}},
+		{ID: "post", Group: "g2", Pos: 1, Writes: map[string]string{"b": "2"}},
+		{ID: "alien", Group: "g9", Pos: 1, Writes: map[string]string{"c": "3"}},
+	}
+	byGroup, vs := ByGroupTimeline(commits, tl)
+	if len(byGroup["g0"]) != 1 || len(byGroup["g2"]) != 1 {
+		t.Fatalf("timeline split lost commits: %v", byGroup)
+	}
+	if !hasViolation(vs, "G1", "alien") {
+		t.Fatalf("foreign-group commit not flagged: %v", vs)
+	}
+	if hasViolation(vs, "G1", "post") {
+		t.Fatalf("post-grow group flagged as foreign: %v", vs)
+	}
+	if len(vs) != 1 {
+		t.Fatalf("want exactly one violation, got %v", vs)
+	}
+}
+
+// TestM1VoidedWriteExcludedFromSerialHistory: a write of a departed-range key
+// after the HandoffOut commits nothing — the checker must exclude it from the
+// serial history (a snapshot read below the handoff still sees the frozen
+// value) and must flag a client that claims it committed.
+func TestM1VoidedWriteExcludedFromSerialHistory(t *testing.T) {
+	mk := movingKeyHist(t)
+	log := logOf(
+		wal.NewEntry(txn("w1", 0, nil, map[string]string{mk: "frozen"})), // pos 1
+		wal.NewHandoff(wal.HandoffOut, "g0", "g2", destGroups),           // pos 2
+		wal.NewEntry(txn("w2", 1, nil, map[string]string{mk: "late"})),   // pos 3: void (M1)
+	)
+	logs := map[string]map[int64]wal.Entry{"A": log}
+
+	// A read-only snapshot below the handoff sees the frozen value; if the
+	// checker applied w2's write, it would flag this correct read as A2.
+	commits := []Commit{
+		{ID: "w1", ReadPos: 0, Pos: 1, Writes: map[string]string{mk: "frozen"}},
+		{ID: "ro", ReadPos: 3, Pos: 3, Reads: map[string]string{mk: "frozen"}},
+	}
+	if vs := Check(logs, commits); len(vs) != 0 {
+		t.Fatalf("voided write leaked into the serial history: %v", vs)
+	}
+
+	// A client claiming w2 committed contradicts the fence: M1 violation.
+	commits = append(commits, Commit{ID: "w2", ReadPos: 1, Pos: 3, Writes: map[string]string{mk: "late"}})
+	vs := Check(logs, commits)
+	if !hasViolation(vs, "M1", "w2") {
+		t.Fatalf("commit of a migration-voided transaction not flagged: %v", vs)
+	}
+}
+
+// TestM2PrepareFenceInCheckerMirrorsReplog: in the destination group's log, a
+// non-backfill write into a prepared-but-unopened range is void; backfill
+// writes land; after HandoffIn ordinary writes land again.
+func TestM2PrepareFenceInCheckerMirrorsReplog(t *testing.T) {
+	mk := movingKeyHist(t)
+	backfill := wal.Txn{ID: "bf1", Origin: "migrator", Backfill: true,
+		Writes: map[string]string{mk: "copied"}}
+	log := logOf(
+		wal.NewHandoff(wal.HandoffPrepare, "g0", "g2", destGroups), // pos 1
+		wal.NewEntry(backfill), // pos 2: lands
+		wal.NewEntry(txn("early", 1, nil, map[string]string{mk: "bad"})),  // pos 3: void (M2)
+		wal.NewHandoff(wal.HandoffIn, "g0", "g2", destGroups),             // pos 4
+		wal.NewEntry(txn("after", 4, nil, map[string]string{mk: "live"})), // pos 5: lands
+	)
+	logs := map[string]map[int64]wal.Entry{"A": log}
+	commits := []Commit{
+		{ID: "after", ReadPos: 4, Pos: 5, Writes: map[string]string{mk: "live"}},
+		// Snapshot between backfill and cutover sees the copied value...
+		{ID: "ro1", ReadPos: 3, Pos: 3, Reads: map[string]string{mk: "copied"}},
+		// ...and after the range opens, the live write.
+		{ID: "ro2", ReadPos: 5, Pos: 5, Reads: map[string]string{mk: "live"}},
+	}
+	if vs := Check(logs, commits); len(vs) != 0 {
+		t.Fatalf("M2 fence not mirrored: %v", vs)
+	}
+}

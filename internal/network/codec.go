@@ -50,6 +50,7 @@ var kindTable = []Kind{
 	KindClaimLeader, KindFetchLog, KindSubmit, KindSnapshot,
 	KindStats, KindCompact,
 	KindLastVote, KindStatus, KindValue,
+	KindRangeSnapshot, KindMigrate,
 }
 
 // kindOther marks a Kind outside kindTable, encoded as a string.

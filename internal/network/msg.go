@@ -46,6 +46,18 @@ const (
 	KindStats   Kind = "stats"
 	KindCompact Kind = "compact"
 
+	// Live migration (DESIGN.md §15). KindRangeSnapshot streams the rows of
+	// a moving key range from the old owner at a pinned read position: the
+	// request names the source Group, the destination group (Value), the
+	// destination placement's group list (Keys), a resume cursor (Key =
+	// start-after key) and a delta floor (Pos = only rows whose version
+	// exceeds it); the reply pages rows in Keys/Vals, its TS pinning the
+	// watermark served at and Found flagging more pages.
+	// KindMigrate submits one handoff phase entry (payload: encoded
+	// wal.Entry with Handoff set) to the group's master pipeline.
+	KindRangeSnapshot Kind = "rangesnap"
+	KindMigrate       Kind = "migrate"
+
 	// Responses.
 	KindLastVote Kind = "lastvote" // prepare reply: Ballot=lastVote ballot, Payload=vote
 	KindStatus   Kind = "status"   // generic success/failure reply

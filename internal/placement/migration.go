@@ -1,0 +1,109 @@
+package placement
+
+// This file is the placement side of live shard migration (DESIGN.md §15):
+// versioned placements, the step plan a grow decomposes into, and the
+// MoveSet predicate every layer uses to decide whether a key belongs to a
+// moving range. All of it is pure computation over the rendezvous hash, so
+// the migration coordinator, every replica's apply loop, and the offline
+// history checker derive identical range membership from the same inputs.
+
+// Version identifies a placement's position in the growth sequence: the
+// group count, which is monotone under Grow. Two processes holding
+// placements of equal version over the same group list route identically.
+func (p *Placement) Version() int64 { return int64(len(p.groups)) }
+
+// Pair names one range migration: the keys that leave From for To when To's
+// growth step applies. Rendezvous hashing moves keys only INTO the added
+// group, so within one step every pair's To is the step's new group.
+type Pair struct {
+	From, To string
+}
+
+// Step is one single-group growth increment of a migration plan.
+type Step struct {
+	// Added is the group this step introduces.
+	Added string
+	// To is the placement after the step (version = previous version + 1).
+	To *Placement
+	// Pairs lists one migration per pre-existing group, in placement order.
+	// Every pre-existing group gets a pair even if it currently stores no
+	// moving rows: the range is defined by the hash, not by extant rows, and
+	// the cutover entries must fence future writes of never-written keys too.
+	Pairs []Pair
+}
+
+// Plan decomposes growing p by the named extra groups into single-group
+// steps. Each step's pairs migrate independently; steps run in order, so a
+// key can chain through intermediate owners (g3→g9 in step one, g9→g11 in
+// step three) and every hop is fenced by its own handoff entries.
+func (p *Placement) Plan(extras ...string) []Step {
+	steps := make([]Step, 0, len(extras))
+	cur := p
+	for _, extra := range extras {
+		next := cur.Grow(extra)
+		pairs := make([]Pair, 0, len(cur.groups))
+		for _, from := range cur.groups {
+			pairs = append(pairs, Pair{From: from, To: extra})
+		}
+		steps = append(steps, Step{Added: extra, To: next, Pairs: pairs})
+		cur = next
+	}
+	return steps
+}
+
+// MoveSet decides membership of the key range migrating From→To in one
+// growth step. It is built from the destination placement's full group list
+// (what a wal.Handoff entry carries), so every replica reconstructs the
+// exact range from log contents alone: a key moves iff the destination
+// placement routes it to To AND the source placement — the same list minus
+// To — routed it to From.
+type MoveSet struct {
+	from, to string
+	old, new *Placement
+}
+
+// NewMoveSet builds the predicate for the range migrating from→to under the
+// destination group list. Malformed inputs (empty list, to or from absent)
+// yield a MoveSet that matches nothing rather than panicking — handoff
+// entries arrive over the wire and a corrupt one must not take down the
+// apply loop.
+func NewMoveSet(groups []string, from, to string) *MoveSet {
+	m := &MoveSet{from: from, to: to}
+	old := make([]string, 0, len(groups))
+	foundTo, foundFrom := false, false
+	seen := make(map[string]bool, len(groups))
+	for _, g := range groups {
+		if g == "" || seen[g] {
+			return m // malformed: matches nothing
+		}
+		seen[g] = true
+		if g == to {
+			foundTo = true
+			continue
+		}
+		if g == from {
+			foundFrom = true
+		}
+		old = append(old, g)
+	}
+	if !foundTo || !foundFrom || len(old) == 0 {
+		return m
+	}
+	m.new = New(groups)
+	m.old = New(old)
+	return m
+}
+
+// Moves reports whether key belongs to the migrating range.
+func (m *MoveSet) Moves(key string) bool {
+	if m.new == nil {
+		return false
+	}
+	return m.new.GroupFor(key) == m.to && m.old.GroupFor(key) == m.from
+}
+
+// From returns the source group of the range.
+func (m *MoveSet) From() string { return m.from }
+
+// To returns the destination group of the range.
+func (m *MoveSet) To() string { return m.to }

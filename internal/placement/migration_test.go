@@ -1,0 +1,110 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestGoldenVectorMultiStepGrowth pins the exact key→group map after every
+// step of growing 8→9→…→12 by repeated Grow. Migration plans are computed
+// independently by the coordinator, every replica's apply loop, and the
+// offline checker; this vector is the determinism-across-processes proof for
+// the whole chain — any drift in the hash, the tie-break, or Grow's group
+// ordering fails here before it silently splits a live migration.
+func TestGoldenVectorMultiStepGrowth(t *testing.T) {
+	keys := []string{
+		"", "a", "b", "counter", "attr0", "attr1", "attr42", "attr99",
+		"user:1001", "user:1002", "order/2024/07/27", "profiles/counter",
+		"the quick brown fox", "\x00\x01\x02", "日本語キー",
+	}
+	golden := map[int][]string{
+		9:  {"g1", "g5", "g7", "g8", "g4", "g0", "g6", "g0", "g7", "g4", "g3", "g4", "g7", "g0", "g6"},
+		10: {"g1", "g9", "g7", "g8", "g4", "g0", "g6", "g0", "g7", "g4", "g9", "g4", "g7", "g0", "g6"},
+		11: {"g1", "g9", "g7", "g8", "g4", "g0", "g6", "g0", "g7", "g4", "g9", "g10", "g7", "g10", "g6"},
+		12: {"g1", "g9", "g7", "g8", "g11", "g0", "g6", "g0", "g7", "g4", "g9", "g10", "g7", "g10", "g6"},
+	}
+	p := NewN(8)
+	for n := 9; n <= 12; n++ {
+		p = p.Grow(fmt.Sprintf("g%d", n-1))
+		if got := p.Version(); got != int64(n) {
+			t.Fatalf("after growing to %d groups, Version() = %d", n, got)
+		}
+		want := golden[n]
+		for i, key := range keys {
+			if got := p.GroupFor(key); got != want[i] {
+				t.Errorf("step %d: GroupFor(%q) = %s, committed golden vector says %s",
+					n, key, got, want[i])
+			}
+		}
+	}
+}
+
+// TestPlanCoversEveryMove: over the full 8→12 plan, a key changes owner in a
+// step iff exactly one of that step's pair MoveSets claims it — the range
+// decomposition is a partition of the moved keyspace, with no key moved by
+// zero pairs (a leak: nobody would migrate it) or by two (a duplicate: two
+// coordinators would race on it).
+func TestPlanCoversEveryMove(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	keys := make([]string, 5000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d-%d", i, rng.Int63())
+	}
+	cur := NewN(8)
+	steps := cur.Plan("g8", "g9", "g10", "g11")
+	if len(steps) != 4 {
+		t.Fatalf("Plan produced %d steps, want 4", len(steps))
+	}
+	for _, step := range steps {
+		movers := make(map[string]*MoveSet, len(step.Pairs))
+		for _, pair := range step.Pairs {
+			if pair.To != step.Added {
+				t.Fatalf("step %s: pair %v targets a group other than the added one", step.Added, pair)
+			}
+			movers[pair.From] = NewMoveSet(step.To.Groups(), pair.From, pair.To)
+		}
+		for _, key := range keys {
+			was, now := cur.GroupFor(key), step.To.GroupFor(key)
+			claimed := 0
+			for _, m := range movers {
+				if m.Moves(key) {
+					claimed++
+				}
+			}
+			switch {
+			case was == now && claimed != 0:
+				t.Fatalf("step %s: unmoved key %q claimed by %d pairs", step.Added, key, claimed)
+			case was != now && claimed != 1:
+				t.Fatalf("step %s: moved key %q (%s→%s) claimed by %d pairs, want exactly 1",
+					step.Added, key, was, now, claimed)
+			case was != now && !movers[was].Moves(key):
+				t.Fatalf("step %s: key %q moved from %s but that pair's MoveSet disowns it",
+					step.Added, key, was)
+			}
+		}
+		cur = step.To
+	}
+}
+
+// TestMoveSetMalformedInputs: corrupt handoff group lists (the inputs arrive
+// over the wire) yield a predicate that matches nothing — never a panic.
+func TestMoveSetMalformedInputs(t *testing.T) {
+	cases := map[string]*MoveSet{
+		"empty list":     NewMoveSet(nil, "g0", "g1"),
+		"to absent":      NewMoveSet([]string{"g0", "g1"}, "g0", "g9"),
+		"from absent":    NewMoveSet([]string{"g0", "g1"}, "g9", "g1"),
+		"duplicate":      NewMoveSet([]string{"g0", "g0", "g1"}, "g0", "g1"),
+		"empty name":     NewMoveSet([]string{"g0", ""}, "g0", "g1"),
+		"only to":        NewMoveSet([]string{"g1"}, "g0", "g1"),
+		"from equals to": NewMoveSet([]string{"g0", "g1"}, "g1", "g1"),
+	}
+	for name, m := range cases {
+		for i := 0; i < 100; i++ {
+			if m.Moves(fmt.Sprintf("key-%d", i)) {
+				t.Errorf("%s: malformed MoveSet matched a key", name)
+				break
+			}
+		}
+	}
+}

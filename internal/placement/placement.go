@@ -164,10 +164,18 @@ func (p *Placement) Grow(extra string) *Placement {
 }
 
 // weight is the rendezvous weight of (group, key): a 64-bit FNV-1a hash over
-// the pair with a separator byte neither side can contain meaningfully.
-// FNV-1a is stable across Go versions, architectures, and processes — no
-// seed, no map iteration, nothing process-local — which is what makes the
-// golden-vector test meaningful.
+// the pair with a separator byte neither side can contain meaningfully, then
+// a finalizer that avalanches the result. Both stages are stable across Go
+// versions, architectures, and processes — no seed, no map iteration, nothing
+// process-local — which is what makes the golden-vector test meaningful.
+//
+// The finalizer is load-bearing, not cosmetic: raw FNV-1a mixes its last few
+// input bytes through too few multiplications, so keys that differ only in a
+// short suffix ("user-001" .. "user-999") get weights whose high bits are
+// dominated by the group prefix — the whole family then ranks the groups
+// identically, which skews balance and can leave a growth step with nothing
+// to move. The fmix64 avalanche (MurmurHash3's finalizer) spreads every input
+// bit over the full word, restoring per-key independence of the ranking.
 func weight(group, key string) uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -184,5 +192,11 @@ func weight(group, key string) uint64 {
 		h ^= uint64(key[i])
 		h *= prime64
 	}
+	// fmix64 finalizer.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
 	return h
 }

@@ -23,12 +23,12 @@ func TestGoldenVector(t *testing.T) {
 		8: nil,
 	}
 	golden[2] = []string{
-		"g1", "g1", "g1", "g0", "g1", "g1", "g1", "g1",
-		"g1", "g1", "g0", "g1", "g0", "g1", "g0",
+		"g1", "g1", "g0", "g1", "g1", "g0", "g0", "g0",
+		"g1", "g0", "g0", "g0", "g0", "g0", "g1",
 	}
 	golden[8] = []string{
-		"g1", "g1", "g1", "g0", "g4", "g4", "g1", "g1",
-		"g4", "g4", "g7", "g7", "g5", "g3", "g0",
+		"g1", "g5", "g7", "g4", "g4", "g0", "g6", "g0",
+		"g7", "g4", "g3", "g4", "g7", "g0", "g6",
 	}
 	for n, want := range golden {
 		p := NewN(n)

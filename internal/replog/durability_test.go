@@ -50,7 +50,7 @@ func TestSnapshotInstallThenCrashReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	epoch := EpochState{Epoch: 3, Master: "B", Pos: 6}
-	if err := l.InstallSnapshot(7, epoch); err != nil {
+	if err := l.InstallSnapshot(7, epoch, MigrationState{}); err != nil {
 		t.Fatal(err)
 	}
 	// Normal traffic continues above the horizon.
@@ -117,7 +117,7 @@ func TestInterruptedInstallRecoversBehindData(t *testing.T) {
 		t.Fatalf("data row from the interrupted install = %v (err %v), want v=7", v, err)
 	}
 	// The retried install is idempotent over the surviving data rows.
-	if err := l2.InstallSnapshot(7, EpochState{Epoch: 2, Master: "B", Pos: 6}); err != nil {
+	if err := l2.InstallSnapshot(7, EpochState{Epoch: 2, Master: "B", Pos: 6}, MigrationState{}); err != nil {
 		t.Fatalf("retried install: %v", err)
 	}
 	if got := l2.Applied(); got != 7 {

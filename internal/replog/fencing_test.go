@@ -132,7 +132,7 @@ func TestInstallSnapshotCarriesEpoch(t *testing.T) {
 	l := Open(store, "g")
 	defer l.Close()
 
-	if err := l.InstallSnapshot(10, EpochState{Epoch: 4, Master: "B", Pos: 7}); err != nil {
+	if err := l.InstallSnapshot(10, EpochState{Epoch: 4, Master: "B", Pos: 7}, MigrationState{}); err != nil {
 		t.Fatal(err)
 	}
 	if st := l.Epoch(); st.Epoch != 4 || st.Master != "B" {

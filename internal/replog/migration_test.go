@@ -1,0 +1,272 @@
+package replog
+
+import (
+	"fmt"
+	"testing"
+
+	"paxoscp/internal/kvstore"
+	"paxoscp/internal/placement"
+	"paxoscp/internal/wal"
+)
+
+// movingKey finds a key that the 2→3 growth moves from `from` into the added
+// group g2. The placements are the same rendezvous hash every replica and the
+// coordinator use, so the key is moving by definition, not by construction.
+func movingKey(t *testing.T, from string) (key string, groups []string) {
+	t.Helper()
+	old := placement.NewN(2)
+	neu := old.Grow("g2")
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("mig-key-%d", i)
+		if old.GroupFor(k) == from && neu.GroupFor(k) == "g2" {
+			return k, neu.Groups()
+		}
+	}
+	t.Fatalf("no key moving %s->g2 in 10000 candidates", from)
+	return "", nil
+}
+
+// stayingKey finds a key that stays in `from` across the 2→3 growth.
+func stayingKey(t *testing.T, from string) string {
+	t.Helper()
+	old := placement.NewN(2)
+	neu := old.Grow("g2")
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("stay-key-%d", i)
+		if old.GroupFor(k) == from && neu.GroupFor(k) == from {
+			return k
+		}
+	}
+	t.Fatalf("no key staying in %s in 10000 candidates", from)
+	return ""
+}
+
+func appendApplied(t *testing.T, l *Log, pos int64, b []byte) {
+	t.Helper()
+	if _, err := l.Append(pos, b); err != nil {
+		t.Fatalf("append %d: %v", pos, err)
+	}
+	if err := l.WaitApplied(waitCtx(t), pos); err != nil {
+		t.Fatalf("wait %d: %v", pos, err)
+	}
+}
+
+func readData(t *testing.T, store *kvstore.Store, group, key string, pos int64) (string, bool) {
+	t.Helper()
+	v, _, err := store.Read(DataKey(group, key), pos)
+	if err != nil {
+		return "", false
+	}
+	return v["v"], true
+}
+
+// TestHandoffOutFencesLaterWrites: M1 — once a HandoffOut applies, a later
+// transaction writing a key of the departed range is void at apply time, with
+// the destination recorded per transaction, while writes to keys that stayed
+// keep applying normally.
+func TestHandoffOutFencesLaterWrites(t *testing.T) {
+	store := kvstore.New()
+	l := Open(store, "g0")
+	t.Cleanup(l.Close)
+
+	moved, groups := movingKey(t, "g0")
+	stayed := stayingKey(t, "g0")
+
+	appendApplied(t, l, 1, testEntry("t1", 0, map[string]string{moved: "before"}))
+	appendApplied(t, l, 2, wal.Encode(wal.NewHandoff(wal.HandoffOut, "g0", "g2", groups)))
+	appendApplied(t, l, 3, testEntry("t3", 2, map[string]string{moved: "after"}))
+	appendApplied(t, l, 4, testEntry("t4", 2, map[string]string{stayed: "ok"}))
+
+	if to, pos, ok := l.MovedTo(moved); !ok || to != "g2" || pos != 2 {
+		t.Fatalf("MovedTo(%q) = (%s, %d, %v), want (g2, 2, true)", moved, to, pos, ok)
+	}
+	if _, _, ok := l.MovedTo(stayed); ok {
+		t.Fatalf("MovedTo claims the staying key %q departed", stayed)
+	}
+	if to, ok := l.MovedTxn(3, "t3"); !ok || to != "g2" {
+		t.Fatalf("MovedTxn(3, t3) = (%s, %v), want (g2, true)", to, ok)
+	}
+	if _, ok := l.MovedTxn(4, "t4"); ok {
+		t.Fatal("MovedTxn flags the staying-key transaction at pos 4")
+	}
+	// The voided write never landed: the frozen pre-handoff version survives.
+	if v, ok := readData(t, store, "g0", moved, 10); !ok || v != "before" {
+		t.Fatalf("departed key = (%q, %v) after fenced write, want frozen \"before\"", v, ok)
+	}
+	if v, ok := readData(t, store, "g0", stayed, 10); !ok || v != "ok" {
+		t.Fatalf("staying key = (%q, %v), want \"ok\"", v, ok)
+	}
+}
+
+// TestHandoffPrepareFencesUntilIn: M2 — between HandoffPrepare and HandoffIn
+// the destination group voids ordinary transactions touching the inbound
+// range (verdict "migrating", no destination hint) but admits backfill
+// transactions; HandoffIn opens the range for normal traffic.
+func TestHandoffPrepareFencesUntilIn(t *testing.T) {
+	store := kvstore.New()
+	l := Open(store, "g2")
+	t.Cleanup(l.Close)
+
+	moved, groups := movingKey(t, "g0")
+
+	appendApplied(t, l, 1, wal.Encode(wal.NewHandoff(wal.HandoffPrepare, "g0", "g2", groups)))
+	if !l.InboundPending(moved) {
+		t.Fatalf("InboundPending(%q) = false after prepare", moved)
+	}
+	appendApplied(t, l, 2, testEntry("early", 1, map[string]string{moved: "sneak"}))
+	if to, ok := l.MovedTxn(2, "early"); !ok || to != "" {
+		t.Fatalf("MovedTxn(2, early) = (%q, %v), want (\"\", true): migrating verdict", to, ok)
+	}
+	bf := wal.NewEntry(wal.Txn{ID: "bf", Origin: "mig", ReadPos: 1, Backfill: true,
+		Writes: map[string]string{moved: "copied"}})
+	appendApplied(t, l, 3, wal.Encode(bf))
+	if _, ok := l.MovedTxn(3, "bf"); ok {
+		t.Fatal("backfill transaction was fenced by M2")
+	}
+	if v, ok := readData(t, store, "g2", moved, 10); !ok || v != "copied" {
+		t.Fatalf("backfill write = (%q, %v), want \"copied\"", v, ok)
+	}
+	appendApplied(t, l, 4, wal.Encode(wal.NewHandoff(wal.HandoffIn, "g0", "g2", groups)))
+	if l.InboundPending(moved) {
+		t.Fatalf("InboundPending(%q) still true after HandoffIn", moved)
+	}
+	appendApplied(t, l, 5, testEntry("late", 4, map[string]string{moved: "served"}))
+	if _, ok := l.MovedTxn(5, "late"); ok {
+		t.Fatal("post-HandoffIn transaction was fenced")
+	}
+	if v, ok := readData(t, store, "g2", moved, 10); !ok || v != "served" {
+		t.Fatalf("post-open write = (%q, %v), want \"served\"", v, ok)
+	}
+}
+
+// TestTombstoneMarksRangeForGC: HandoffTombstone on the source marks the
+// departed range scavengeable without changing the M1 fence.
+func TestTombstoneMarksRangeForGC(t *testing.T) {
+	store := kvstore.New()
+	l := Open(store, "g0")
+	t.Cleanup(l.Close)
+
+	moved, groups := movingKey(t, "g0")
+	stayed := stayingKey(t, "g0")
+
+	appendApplied(t, l, 1, wal.Encode(wal.NewHandoff(wal.HandoffOut, "g0", "g2", groups)))
+	if l.Tombstoned(moved) {
+		t.Fatal("range tombstoned before HandoffTombstone")
+	}
+	appendApplied(t, l, 2, wal.Encode(wal.NewHandoff(wal.HandoffTombstone, "g0", "g2", groups)))
+	if !l.Tombstoned(moved) {
+		t.Fatal("range not tombstoned after HandoffTombstone")
+	}
+	if l.Tombstoned(stayed) {
+		t.Fatal("staying key tombstoned")
+	}
+	if _, _, ok := l.MovedTo(moved); !ok {
+		t.Fatal("M1 fence dropped by tombstone")
+	}
+}
+
+// TestMigrationStateSurvivesRestart: the fences rebuild from the meta row on
+// Open — a replica restarted after applying a HandoffOut (log rows possibly
+// compacted away) still voids writes into the departed range.
+func TestMigrationStateSurvivesRestart(t *testing.T) {
+	store := kvstore.New()
+	l := Open(store, "g0")
+
+	moved, groups := movingKey(t, "g0")
+	appendApplied(t, l, 1, wal.Encode(wal.NewHandoff(wal.HandoffOut, "g0", "g2", groups)))
+	l.Close()
+
+	l2 := Open(store, "g0")
+	t.Cleanup(l2.Close)
+	if to, pos, ok := l2.MovedTo(moved); !ok || to != "g2" || pos != 1 {
+		t.Fatalf("after restart MovedTo(%q) = (%s, %d, %v), want (g2, 1, true)", moved, to, pos, ok)
+	}
+	appendApplied(t, l2, 2, testEntry("t2", 1, map[string]string{moved: "late"}))
+	if to, ok := l2.MovedTxn(2, "t2"); !ok || to != "g2" {
+		t.Fatalf("restarted log did not fence: MovedTxn = (%s, %v)", to, ok)
+	}
+}
+
+// TestInstallSnapshotCarriesMigrations: a replica restored from a snapshot
+// whose horizon is past the handoff adopts the records; a shorter (stale)
+// record list never clobbers a longer local one.
+func TestInstallSnapshotCarriesMigrations(t *testing.T) {
+	store := kvstore.New()
+	l := Open(store, "g0")
+	t.Cleanup(l.Close)
+
+	moved, groups := movingKey(t, "g0")
+	recs := MigrationState{Records: []HandoffRecord{{
+		Phase: uint8(wal.HandoffOut), From: "g0", To: "g2", Groups: groups,
+		Version: int64(len(groups)), Pos: 3,
+	}}}
+	if err := l.InstallSnapshot(5, EpochState{}, recs); err != nil {
+		t.Fatal(err)
+	}
+	if to, _, ok := l.MovedTo(moved); !ok || to != "g2" {
+		t.Fatalf("MovedTo after snapshot install = (%s, %v), want (g2, true)", to, ok)
+	}
+	// A stale snapshot (empty record list) must not clear the fence.
+	if err := l.InstallSnapshot(6, EpochState{}, MigrationState{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := l.MovedTo(moved); !ok {
+		t.Fatal("stale snapshot cleared the migration fence")
+	}
+}
+
+// TestEpochFencedHandoffIsVoid: F2 applies to handoff entries too — a handoff
+// stamped with a superseded epoch voids without touching migration state, so
+// a deposed coordinator's cutover cannot land after a failover.
+func TestEpochFencedHandoffIsVoid(t *testing.T) {
+	store := kvstore.New()
+	l := Open(store, "g0")
+	t.Cleanup(l.Close)
+
+	moved, groups := movingKey(t, "g0")
+
+	appendApplied(t, l, 1, wal.Encode(wal.NewClaim(3, "B")))
+	stale := wal.NewHandoff(wal.HandoffOut, "g0", "g2", groups)
+	stale.Epoch = 2 // below the prevailing epoch: fenced
+	appendApplied(t, l, 2, wal.Encode(stale))
+
+	if !l.Voided(2) {
+		t.Fatal("stale-epoch handoff not voided")
+	}
+	if _, _, ok := l.MovedTo(moved); ok {
+		t.Fatal("fenced handoff mutated migration state")
+	}
+	if got := l.Migrations(); len(got.Records) != 0 {
+		t.Fatalf("fenced handoff recorded: %v", got.Records)
+	}
+
+	// The same handoff at the prevailing epoch applies.
+	fresh := wal.NewHandoff(wal.HandoffOut, "g0", "g2", groups)
+	fresh.Epoch = 3
+	appendApplied(t, l, 3, wal.Encode(fresh))
+	if to, _, ok := l.MovedTo(moved); !ok || to != "g2" {
+		t.Fatalf("current-epoch handoff did not apply: (%s, %v)", to, ok)
+	}
+}
+
+// TestMigrationsAtFiltersByHorizon: snapshot building must exclude records
+// above the horizon — the restored replica replays those positions itself.
+func TestMigrationsAtFiltersByHorizon(t *testing.T) {
+	store := kvstore.New()
+	l := Open(store, "g0")
+	t.Cleanup(l.Close)
+
+	_, groups := movingKey(t, "g0")
+	appendApplied(t, l, 1, wal.Encode(wal.NewHandoff(wal.HandoffOut, "g0", "g2", groups)))
+	appendApplied(t, l, 2, wal.Encode(wal.NewHandoff(wal.HandoffTombstone, "g0", "g2", groups)))
+
+	if got := l.MigrationsAt(1); len(got.Records) != 1 || got.Records[0].Pos != 1 {
+		t.Fatalf("MigrationsAt(1) = %v, want just the pos-1 record", got.Records)
+	}
+	if got := l.MigrationsAt(0); len(got.Records) != 0 {
+		t.Fatalf("MigrationsAt(0) = %v, want empty", got.Records)
+	}
+	if got := l.MigrationsAt(2); len(got.Records) != 2 {
+		t.Fatalf("MigrationsAt(2) = %v, want both records", got.Records)
+	}
+}

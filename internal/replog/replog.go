@@ -70,6 +70,15 @@ type Log struct {
 	epoch     EpochState
 	renewedAt time.Time
 	voided    map[int64]bool // positions fenced at apply (entries that committed nothing)
+
+	// Live-migration state (DESIGN.md §15), maintained by drain exactly like
+	// the epoch state: mig is the derived view of every applied handoff
+	// entry (durable in the meta row), and movedTxns records transactions
+	// voided by the migration rules M1/M2 — pos -> txn ID -> destination
+	// group ("" = inbound-unopened here) — so the pipeline can answer them
+	// with the retryable moved/migrating verdicts instead of commits.
+	mig       migState
+	movedTxns map[int64]map[string]string
 }
 
 // EpochState is a group's prevailing master epoch: the highest epoch any
@@ -101,6 +110,7 @@ func open(store *kvstore.Store, group string, pool *applyPool) *Log {
 		pending:   make(map[int64]wal.Entry),
 		cache:     make(map[int64]wal.Entry),
 		voided:    make(map[int64]bool),
+		movedTxns: make(map[int64]map[string]string),
 		waitCh:    make(chan struct{}),
 		notifyCh:  make(chan struct{}, 1),
 		stopCh:    make(chan struct{}),
@@ -112,6 +122,7 @@ func open(store *kvstore.Store, group string, pool *applyPool) *Log {
 		l.epoch.Epoch, _ = strconv.ParseInt(v["epoch"], 10, 64)
 		l.epoch.Pos, _ = strconv.ParseInt(v["epochpos"], 10, 64)
 		l.epoch.Master = v["master"]
+		l.mig.rebuild(group, decodeMigrations(v["migrations"]))
 	}
 	l.decidedMax = l.applied
 	// Recover decided entries above the watermark into the pending set.
@@ -438,10 +449,13 @@ func (l *Log) Compact(horizon int64, scavenge func(from, to int64)) (int64, erro
 // snapshot's, and adopts the snapshot's prevailing epoch state — without it
 // a replica restored from a snapshot whose establishing claim entry lies
 // below the horizon would never learn the epoch and would mis-apply fenced
-// entries above it. The caller must have landed the snapshot's data rows
-// first (kvstore.ApplyBatch); positions above the horizon continue through
-// normal catch-up. A snapshot at or below the current watermark is a no-op.
-func (l *Log) InstallSnapshot(horizon int64, epoch EpochState) error {
+// entries above it. The snapshot's migration state is adopted for the same
+// reason: a replica restored past the handoff positions must still fence
+// departed and inbound ranges (DESIGN.md §15). The caller must have landed
+// the snapshot's data rows first (kvstore.ApplyBatch); positions above the
+// horizon continue through normal catch-up. A snapshot at or below the
+// current watermark is a no-op.
+func (l *Log) InstallSnapshot(horizon int64, epoch EpochState, mig MigrationState) error {
 	l.ioMu.Lock()
 	defer l.ioMu.Unlock()
 	l.mu.Lock()
@@ -464,6 +478,9 @@ func (l *Log) InstallSnapshot(horizon int64, epoch EpochState) error {
 			cur["epochpos"] = strconv.FormatInt(epoch.Pos, 10)
 			cur["master"] = epoch.Master
 		}
+		if len(mig.Records) > 0 {
+			cur["migrations"] = encodeMigrations(mig.Records)
+		}
 		return cur, nil
 	})
 	if err != nil {
@@ -482,6 +499,11 @@ func (l *Log) InstallSnapshot(horizon int64, epoch EpochState) error {
 	if epoch.Epoch > l.epoch.Epoch {
 		l.epoch = epoch
 		l.renewedAt = time.Now()
+	}
+	if len(mig.Records) > len(l.mig.records) {
+		// The snapshot's record list extends ours (both are prefixes of the
+		// same log's handoff sequence); replay the longer one.
+		l.mig.rebuild(l.group, mig.Records)
 	}
 	for pos := range l.pending {
 		if pos <= l.applied {
@@ -591,13 +613,16 @@ func (l *Log) drain() {
 			entries = append(entries, e)
 		}
 		epoch := l.epoch
+		mig := l.mig // shallow view; deep-copied before any mutation
 		l.mu.Unlock()
 		if pos == start {
 			return
 		}
 
 		renewed := false
+		migDirty := false
 		var newVoid []int64
+		var newMoved map[int64]map[string]string
 		writes := l.batch[:0]
 		for i, e := range entries {
 			p := start + 1 + int64(i)
@@ -620,7 +645,44 @@ func (l *Log) drain() {
 			if e.Epoch != 0 && e.Epoch == epoch.Epoch {
 				renewed = true // the master's own traffic renews its lease
 			}
-			for k, v := range e.Writes() {
+			if e.IsHandoff() {
+				// A handoff entry that passed the epoch fence changes the
+				// group's migration state for every later position
+				// (DESIGN.md §15). Mutate a private copy: readers keep
+				// reading l.mig under mu until this batch commits.
+				if !migDirty {
+					mig = mig.deepCopy()
+					migDirty = true
+				}
+				h := e.Handoff
+				mig.apply(l.group, HandoffRecord{
+					Phase: uint8(h.Phase), From: h.From, To: h.To,
+					Groups:  append([]string(nil), h.Groups...),
+					Version: h.Version, Pos: p,
+				})
+				continue
+			}
+			// Transaction entry: apply per transaction so the migration
+			// rules M1/M2 can void individual transactions (a combined
+			// entry may mix moved and unmoved write sets). Later
+			// transactions still overwrite earlier ones within the entry.
+			entryWrites := make(map[string]string, 4)
+			for _, t := range e.Txns {
+				if to, voided := mig.voidsTxn(t); voided {
+					if newMoved == nil {
+						newMoved = make(map[int64]map[string]string)
+					}
+					if newMoved[p] == nil {
+						newMoved[p] = make(map[string]string)
+					}
+					newMoved[p][t.ID] = to
+					continue
+				}
+				for k, v := range t.Writes {
+					entryWrites[k] = v
+				}
+			}
+			for k, v := range entryWrites {
 				writes = append(writes, kvstore.BatchWrite{
 					Key: DataKey(l.group, k), Value: kvstore.Value{"v": v}, TS: p,
 				})
@@ -638,6 +700,9 @@ func (l *Log) drain() {
 					cur["epoch"] = strconv.FormatInt(epoch.Epoch, 10)
 					cur["epochpos"] = strconv.FormatInt(epoch.Pos, 10)
 					cur["master"] = epoch.Master
+				}
+				if migDirty {
+					cur["migrations"] = encodeMigrations(mig.records)
 				}
 				return cur, nil
 			})
@@ -665,6 +730,19 @@ func (l *Log) drain() {
 					delete(l.voided, p)
 				}
 			}
+		}
+		for p, m := range newMoved {
+			l.movedTxns[p] = m
+		}
+		if len(l.movedTxns) > cacheLimit {
+			for p := range l.movedTxns {
+				if p <= pos-cacheLimit {
+					delete(l.movedTxns, p)
+				}
+			}
+		}
+		if migDirty {
+			l.mig = mig
 		}
 		if epoch.Epoch > l.epoch.Epoch {
 			l.epoch = epoch

@@ -339,7 +339,7 @@ func TestLogInstallSnapshot(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.InstallSnapshot(7, EpochState{}); err != nil {
+	if err := l.InstallSnapshot(7, EpochState{}, MigrationState{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := l.Applied(); got != 7 {
@@ -353,7 +353,7 @@ func TestLogInstallSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	// An older snapshot is a no-op.
-	if err := l.InstallSnapshot(3, EpochState{}); err != nil {
+	if err := l.InstallSnapshot(3, EpochState{}, MigrationState{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := l.Applied(); got != 7 {

@@ -15,14 +15,22 @@ import (
 //
 //	v1: magic(2) version(1) ntxns(uvarint) txn*
 //	v2: magic(2) version(1) epoch(varint) master(str) ntxns(uvarint) txn*
+//	v3: magic(2) version(1) epoch(varint) master(str) handoff(0|1)
+//	    [phase(1) from(str) to(str) pversion(varint) ngroups(uvarint) group*]
+//	    ntxns(uvarint) txn3*
 //	txn: id readpos(varint) origin nreads(uvarint) read* nwrites(uvarint) (k v)*
+//	txn3: id readpos(varint) origin flags(1) nreads(uvarint) read*
+//	      nwrites(uvarint) (k v)*
 //	str: len(uvarint) bytes
 //
 // A nil/empty entry encodes to the no-op entry. Version 2 adds the epoch
 // fencing fields (DESIGN.md §11); an entry with no epoch and no claim still
 // encodes as version 1, so unfenced entries — everything Basic and CP clients
-// produce — are byte-identical with pre-fencing peers and persisted stores,
-// and both versions decode.
+// produce — are byte-identical with pre-fencing peers and persisted stores.
+// Version 3 adds the migration fields (Entry.Handoff, Txn.Backfill;
+// DESIGN.md §15) and is used only when one of them is set, so every entry a
+// non-migrating workload produces still round-trips at its old version byte
+// and all three versions decode.
 
 const (
 	codecMagic   = 0x5743 // "WC"
@@ -30,6 +38,12 @@ const (
 	// codecVersionEpoch is the layout carrying Entry.Epoch and Entry.Master,
 	// used only when either is set.
 	codecVersionEpoch = 2
+	// codecVersionMigrate is the layout carrying Entry.Handoff and the
+	// per-transaction Backfill flag, used only when one of them is set.
+	codecVersionMigrate = 3
+	// txnFlagBackfill marks a migration backfill transaction in the v3
+	// per-transaction flags byte.
+	txnFlagBackfill = 0x01
 	// maxStrLen caps decoded string lengths to defend against corrupt or
 	// hostile payloads arriving over the UDP transport.
 	maxStrLen = 1 << 20
@@ -57,15 +71,47 @@ func writeString(buf *bytes.Buffer, s string) {
 	buf.WriteString(s)
 }
 
+// needsMigrate reports whether e uses any v3-only field.
+func needsMigrate(e Entry) bool {
+	if e.Handoff != nil {
+		return true
+	}
+	for _, t := range e.Txns {
+		if t.Backfill {
+			return true
+		}
+	}
+	return false
+}
+
 // Encode serializes e to the compact binary format.
 func Encode(e Entry) []byte {
 	var buf bytes.Buffer
 	binary.Write(&buf, binary.BigEndian, uint16(codecMagic))
-	if e.Epoch != 0 || e.Master != "" {
+	migrate := needsMigrate(e)
+	switch {
+	case migrate:
+		buf.WriteByte(codecVersionMigrate)
+		writeVarint(&buf, e.Epoch)
+		writeString(&buf, e.Master)
+		if h := e.Handoff; h != nil {
+			buf.WriteByte(1)
+			buf.WriteByte(byte(h.Phase))
+			writeString(&buf, h.From)
+			writeString(&buf, h.To)
+			writeVarint(&buf, h.Version)
+			writeUvarint(&buf, uint64(len(h.Groups)))
+			for _, g := range h.Groups {
+				writeString(&buf, g)
+			}
+		} else {
+			buf.WriteByte(0)
+		}
+	case e.Epoch != 0 || e.Master != "":
 		buf.WriteByte(codecVersionEpoch)
 		writeVarint(&buf, e.Epoch)
 		writeString(&buf, e.Master)
-	} else {
+	default:
 		buf.WriteByte(codecVersion)
 	}
 	writeUvarint(&buf, uint64(len(e.Txns)))
@@ -73,6 +119,13 @@ func Encode(e Entry) []byte {
 		writeString(&buf, t.ID)
 		writeVarint(&buf, t.ReadPos)
 		writeString(&buf, t.Origin)
+		if migrate {
+			var flags byte
+			if t.Backfill {
+				flags |= txnFlagBackfill
+			}
+			buf.WriteByte(flags)
+		}
 		writeUvarint(&buf, uint64(len(t.ReadSet)))
 		for _, k := range t.ReadSet {
 			writeString(&buf, k)
@@ -148,16 +201,55 @@ func Decode(data []byte) (Entry, error) {
 		return Entry{}, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, magic)
 	}
 	ver, err := r.buf.ReadByte()
-	if err != nil || (ver != codecVersion && ver != codecVersionEpoch) {
+	if err != nil || ver < codecVersion || ver > codecVersionMigrate {
 		return Entry{}, fmt.Errorf("%w: bad version", ErrCorrupt)
 	}
 	var e Entry
-	if ver == codecVersionEpoch {
+	if ver >= codecVersionEpoch {
 		if e.Epoch, err = r.varint(); err != nil {
 			return Entry{}, err
 		}
 		if e.Master, err = r.str(); err != nil {
 			return Entry{}, err
+		}
+	}
+	if ver >= codecVersionMigrate {
+		hflag, err := r.buf.ReadByte()
+		if err != nil || hflag > 1 {
+			return Entry{}, fmt.Errorf("%w: bad handoff flag", ErrCorrupt)
+		}
+		if hflag == 1 {
+			h := &Handoff{}
+			phase, err := r.buf.ReadByte()
+			if err != nil {
+				return Entry{}, fmt.Errorf("%w: short handoff", ErrCorrupt)
+			}
+			h.Phase = HandoffPhase(phase)
+			if h.From, err = r.str(); err != nil {
+				return Entry{}, err
+			}
+			if h.To, err = r.str(); err != nil {
+				return Entry{}, err
+			}
+			if h.Version, err = r.varint(); err != nil {
+				return Entry{}, err
+			}
+			ng, err := r.uvarint()
+			if err != nil {
+				return Entry{}, err
+			}
+			if ng > maxCount {
+				return Entry{}, fmt.Errorf("%w: handoff group count %d", ErrCorrupt, ng)
+			}
+			h.Groups = make([]string, 0, ng)
+			for i := uint64(0); i < ng; i++ {
+				g, err := r.str()
+				if err != nil {
+					return Entry{}, err
+				}
+				h.Groups = append(h.Groups, g)
+			}
+			e.Handoff = h
 		}
 	}
 	ntxns, err := r.uvarint()
@@ -178,6 +270,13 @@ func Decode(data []byte) (Entry, error) {
 		}
 		if t.Origin, err = r.str(); err != nil {
 			return Entry{}, err
+		}
+		if ver >= codecVersionMigrate {
+			flags, err := r.buf.ReadByte()
+			if err != nil {
+				return Entry{}, fmt.Errorf("%w: short txn flags", ErrCorrupt)
+			}
+			t.Backfill = flags&txnFlagBackfill != 0
 		}
 		nr, err := r.uvarint()
 		if err != nil {

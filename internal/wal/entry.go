@@ -22,6 +22,12 @@ type Txn struct {
 	ReadSet []string
 	// Writes maps written keys to their new values.
 	Writes map[string]string
+	// Backfill marks a migration backfill write (DESIGN.md §15): the
+	// migration coordinator copying a moving range into its new group. A
+	// backfill transaction passes the receiving group's inbound "migrating"
+	// fence, which refuses every ordinary transaction touching the range
+	// until the HandoffIn entry opens it.
+	Backfill bool
 }
 
 // Clone returns a deep copy of t.
@@ -92,6 +98,11 @@ type Entry struct {
 	// claims mastership of the group at Epoch (or renews its lease when Epoch
 	// is already prevailing).
 	Master string
+	// Handoff, when non-nil, makes this a migration handoff entry: one phase
+	// of a live range migration between groups (DESIGN.md §15). Handoff
+	// entries carry no transactions and are epoch-stamped like any other
+	// master-proposed entry, so they are fenced normally.
+	Handoff *Handoff
 }
 
 // NewEntry returns an Entry holding the given transactions in order.
@@ -122,7 +133,8 @@ func (e Entry) IsNoOp() bool { return len(e.Txns) == 0 }
 
 // Clone returns a deep copy of e.
 func (e Entry) Clone() Entry {
-	out := Entry{Txns: make([]Txn, 0, len(e.Txns)), Epoch: e.Epoch, Master: e.Master}
+	out := Entry{Txns: make([]Txn, 0, len(e.Txns)), Epoch: e.Epoch, Master: e.Master,
+		Handoff: e.Handoff.Clone()}
 	for _, t := range e.Txns {
 		out.Txns = append(out.Txns, t.Clone())
 	}
@@ -192,6 +204,9 @@ func (e Entry) Conflicts(candidate Txn) bool {
 func (e Entry) String() string {
 	if e.IsClaim() {
 		return fmt.Sprintf("[claim e%d@%s]", e.Epoch, e.Master)
+	}
+	if e.IsHandoff() {
+		return e.handoffString()
 	}
 	prefix := ""
 	if e.Epoch != 0 {

@@ -1,0 +1,125 @@
+package wal
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Handoff entries drive live shard migration (DESIGN.md §15): when the
+// placement grows, every key range won by the new group is copied from its
+// old owner and then cut over with handoff entries committed through both
+// groups' replicated logs. Because the handoff rides the ordinary log, it is
+// totally ordered against every transaction in the group and inherits epoch
+// fencing (§11): a straggler master from a superseded epoch cannot commit
+// into a departed range, and even a same-epoch in-flight transaction that
+// lands after the handoff is void at apply time (invariant M1, enforced in
+// replog's drain and mirrored by the history checker).
+//
+// One migration of a range From→To commits four entries, in order:
+//
+//	HandoffPrepare   (To's log)   the range is inbound: To refuses ordinary
+//	                              reads/writes of moving keys with the
+//	                              retryable "migrating" verdict while the
+//	                              backfill streams in (backfill transactions
+//	                              carry Txn.Backfill and pass the fence).
+//	HandoffOut       (From's log) the range has departed: every later write
+//	                              of a moving key in From's log is void, and
+//	                              From answers reads/writes of moved keys
+//	                              with the retryable "moved" verdict naming
+//	                              To. The position of this entry is the
+//	                              range's final frontier in From.
+//	HandoffIn        (To's log)   the backfill is complete through From's
+//	                              HandoffOut position: To serves the range.
+//	HandoffTombstone (From's log) the cutover is durable in To; From's
+//	                              frozen rows for the range may be scavenged
+//	                              at the next compaction.
+type HandoffPhase uint8
+
+const (
+	// HandoffPrepare fences the moving range as inbound in the To group.
+	HandoffPrepare HandoffPhase = 1
+	// HandoffOut freezes the moving range in the From group.
+	HandoffOut HandoffPhase = 2
+	// HandoffIn opens the moved range for service in the To group.
+	HandoffIn HandoffPhase = 3
+	// HandoffTombstone releases the From group's frozen rows for scavenge.
+	HandoffTombstone HandoffPhase = 4
+)
+
+// String names the phase for status output and log rendering.
+func (p HandoffPhase) String() string {
+	switch p {
+	case HandoffPrepare:
+		return "prepare"
+	case HandoffOut:
+		return "out"
+	case HandoffIn:
+		return "in"
+	case HandoffTombstone:
+		return "tombstone"
+	default:
+		return fmt.Sprintf("phase(%d)", uint8(p))
+	}
+}
+
+// Handoff describes one range migration step between two groups. The entry
+// carries the full group list of the destination placement, so every replica
+// (and the offline history checker) can decide key membership of the moving
+// range purely from log contents — the set of keys moving From→To is exactly
+// {k : GroupFor(k) under Groups == To and GroupFor(k) under Groups\{To} ==
+// From}, computable with the same pure rendezvous hash every process runs.
+type Handoff struct {
+	Phase HandoffPhase
+	// From is the group the range departs; To is the group that wins it.
+	From string
+	To   string
+	// Groups is the complete, ordered group list of the placement being
+	// migrated to (it contains To; removing To yields the old placement).
+	Groups []string
+	// Version is the destination placement version (its group count) —
+	// surfaced in migration status so operators can tell steps apart.
+	Version int64
+}
+
+// NewHandoff returns a handoff entry for one phase of a From→To migration
+// under the destination group list.
+func NewHandoff(phase HandoffPhase, from, to string, groups []string) Entry {
+	return Entry{Handoff: &Handoff{
+		Phase:   phase,
+		From:    from,
+		To:      to,
+		Groups:  append([]string(nil), groups...),
+		Version: int64(len(groups)),
+	}}
+}
+
+// Clone returns a deep copy of h.
+func (h *Handoff) Clone() *Handoff {
+	if h == nil {
+		return nil
+	}
+	out := *h
+	out.Groups = append([]string(nil), h.Groups...)
+	return &out
+}
+
+// String renders e.g. "out g3->g9 v9".
+func (h *Handoff) String() string {
+	return fmt.Sprintf("%s %s->%s v%d", h.Phase, h.From, h.To, h.Version)
+}
+
+// IsHandoff reports whether e is a migration handoff entry.
+func (e Entry) IsHandoff() bool { return e.Handoff != nil }
+
+// handoffString renders the handoff form of Entry.String.
+func (e Entry) handoffString() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	if e.Epoch != 0 {
+		fmt.Fprintf(&b, "e%d:", e.Epoch)
+	}
+	b.WriteString("handoff ")
+	b.WriteString(e.Handoff.String())
+	b.WriteByte(']')
+	return b.String()
+}

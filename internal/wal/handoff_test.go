@@ -1,0 +1,89 @@
+package wal
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestHandoffCodecRoundTrip: every handoff phase, with and without epoch
+// stamping, survives Encode/Decode exactly.
+func TestHandoffCodecRoundTrip(t *testing.T) {
+	groups := []string{"g0", "g1", "g2", "g8"}
+	for _, phase := range []HandoffPhase{HandoffPrepare, HandoffOut, HandoffIn, HandoffTombstone} {
+		e := NewHandoff(phase, "g1", "g8", groups)
+		e.Epoch = 7
+		got, err := Decode(Encode(e))
+		if err != nil {
+			t.Fatalf("%v: decode: %v", phase, err)
+		}
+		if got.Epoch != e.Epoch || len(got.Txns) != 0 || !reflect.DeepEqual(got.Handoff, e.Handoff) {
+			t.Fatalf("%v: round trip: got %+v (%+v), want %+v (%+v)",
+				phase, got, got.Handoff, e, e.Handoff)
+		}
+		if !got.IsHandoff() || got.IsClaim() || !got.IsNoOp() {
+			t.Fatalf("%v: classification: IsHandoff=%v IsClaim=%v IsNoOp=%v",
+				phase, got.IsHandoff(), got.IsClaim(), got.IsNoOp())
+		}
+	}
+}
+
+// TestBackfillFlagRoundTrip: the per-transaction backfill flag survives the
+// codec, and only flagged transactions carry it back out.
+func TestBackfillFlagRoundTrip(t *testing.T) {
+	e := NewEntry(
+		Txn{ID: "b1", Origin: "V1", ReadPos: 3, Writes: map[string]string{"a": "1"}, Backfill: true},
+		Txn{ID: "t2", Origin: "V2", ReadPos: 3, Writes: map[string]string{"b": "2"}},
+	)
+	e.Epoch = 2
+	got, err := Decode(Encode(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Txns[0].Backfill || got.Txns[1].Backfill {
+		t.Fatalf("backfill flags: got %v/%v, want true/false",
+			got.Txns[0].Backfill, got.Txns[1].Backfill)
+	}
+}
+
+// TestNonMigrationEntriesStayOldVersion: entries that use no migration field
+// must keep their pre-migration encoding byte for byte — mixed-version
+// replicas and persisted stores depend on it.
+func TestNonMigrationEntriesStayOldVersion(t *testing.T) {
+	plain := NewEntry(Txn{ID: "t", Origin: "V1", Writes: map[string]string{"k": "v"}})
+	if b := Encode(plain); b[2] != codecVersion {
+		t.Fatalf("plain entry encoded as version %d, want %d", b[2], codecVersion)
+	}
+	fenced := plain.Clone()
+	fenced.Epoch = 5
+	if b := Encode(fenced); b[2] != codecVersionEpoch {
+		t.Fatalf("fenced entry encoded as version %d, want %d", b[2], codecVersionEpoch)
+	}
+}
+
+// TestHandoffClone: cloning a handoff entry deep-copies the group list.
+func TestHandoffClone(t *testing.T) {
+	e := NewHandoff(HandoffOut, "g0", "g3", []string{"g0", "g1", "g2", "g3"})
+	c := e.Clone()
+	c.Handoff.Groups[0] = "mutated"
+	if e.Handoff.Groups[0] != "g0" {
+		t.Fatal("Clone shares the handoff group slice")
+	}
+}
+
+// TestHandoffDecodeCorrupt: truncations anywhere inside the v3 extension
+// surface ErrCorrupt, never a panic or a silent partial entry.
+func TestHandoffDecodeCorrupt(t *testing.T) {
+	e := NewHandoff(HandoffIn, "g1", "g4", []string{"g0", "g1", "g4"})
+	e.Txns = []Txn{{ID: "b", Origin: "V1", Writes: map[string]string{"k": "v"}, Backfill: true}}
+	full := Encode(e)
+	for cut := 3; cut < len(full); cut++ {
+		if _, err := Decode(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+	// A trailing byte after a well-formed entry is corrupt too.
+	if _, err := Decode(append(bytes.Clone(full), 0x00)); err == nil {
+		t.Fatal("trailing byte decoded cleanly")
+	}
+}
