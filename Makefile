@@ -5,10 +5,10 @@
 SHELL := /bin/bash
 GO ?= go
 
-.PHONY: check build fmt vet mdcheck examples test race cover faults-smoke migration-smoke bench-smoke fig-smoke shards-smoke saturation-smoke durability-smoke migration-fig-smoke bench-json bench-compare bench-compare-strict clean
+.PHONY: check build fmt vet mdcheck examples test race cover faults-smoke migration-smoke scan-smoke bench-smoke fig-smoke shards-smoke saturation-smoke durability-smoke migration-fig-smoke bench-json bench-compare bench-compare-strict clean
 
 ## check: everything CI gates a PR on
-check: fmt vet mdcheck examples race faults-smoke migration-smoke bench-smoke fig-smoke shards-smoke saturation-smoke durability-smoke migration-fig-smoke bench-compare-strict
+check: fmt vet mdcheck examples race faults-smoke migration-smoke scan-smoke bench-smoke fig-smoke shards-smoke saturation-smoke durability-smoke migration-fig-smoke bench-compare-strict
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,15 @@ faults-smoke:
 migration-smoke:
 	$(GO) test -count=1 -run 'TestGrowUnderFireNemesis|TestGrowBasic|TestGoldenVectorMultiStepGrowth|TestMigrationQuick' \
 		./internal/cluster ./internal/placement ./internal/bench
+
+## scan-smoke: the ordered-scan battery on fixed seeds — the ordered-index
+## conformance battery (memory + disk engines, oracle under churn), the
+## snapshot-across-pages and pin-vs-compaction proofs, the routed merge, the
+## backfill linearity pin, and the scan-heavy workload-E figure (CI "test"
+## job; the same tests also run shuffled under -race via `race`)
+scan-smoke:
+	$(GO) test -count=1 -run 'TestMemoryEngineConformance|TestDiskEngineConformance|TestIndexFoldPurgesGhostsAndDuplicates|TestScanExaminedLinear|TestScanConcurrentCreateSorted|TestScanHandlerPagesSorted|TestTxScanSnapshotAcrossPages|TestTxScanOverlaysBufferedWrites|TestScanPinHoldsCompaction|TestKVScanMergesGroups|TestRangeSnapshotPagingLinear|TestScansQuick' \
+		./internal/kvstore ./internal/kvstore/disk ./internal/core ./internal/bench
 
 ## bench-smoke: one iteration of every benchmark + BENCH_ci.json (CI "bench" job)
 bench-smoke:

@@ -11,7 +11,7 @@
 //	paxosbench -compare BENCH_3.json -against BENCH_ci.json   # regression diff
 //
 // Figures: 4a, 4b, 5a, 5b, 6, 7, 8, ablation, promo, msgs, leader,
-// pipeline, reads, failover, avail, shards, saturation, durability,
+// pipeline, reads, scans, failover, avail, shards, saturation, durability,
 // migration, all. (4a/4b and 5a/5b run the same experiment; both tables
 // print.)
 //
@@ -38,7 +38,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 4a 4b 5a 5b 6 7 8 ablation promo msgs leader pipeline reads failover avail shards saturation durability migration all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 4a 4b 5a 5b 6 7 8 ablation promo msgs leader pipeline reads scans failover avail shards saturation durability migration all")
 		scale     = flag.Float64("scale", 1.0/15, "latency scale factor (1.0 = paper wall-clock)")
 		txns      = flag.Int("txns", 500, "transactions per experiment (paper: 500)")
 		threads   = flag.Int("threads", 4, "concurrent workload threads (paper: 4)")
@@ -101,6 +101,7 @@ func main() {
 		{[]string{"leader"}, bench.LeaderComparison},
 		{[]string{"pipeline"}, bench.SubmitPipeline},
 		{[]string{"reads"}, bench.Reads},
+		{[]string{"scans"}, bench.Scans},
 		{[]string{"failover"}, bench.Failover},
 		{[]string{"avail"}, bench.Availability},
 		{[]string{"shards"}, bench.Shards},

@@ -15,6 +15,11 @@
 //	set KEY VALUE      write one key (read/write transaction)
 //	txn OP...          run a multi-operation transaction; each OP is
 //	                   "get KEY" or "set KEY VALUE"
+//	scan PREFIX        ordered range scan: every key with the prefix, in key
+//	                   order, at one snapshot per group (DESIGN.md §16). With
+//	                   -groups it merges one scan per owning group and follows
+//	                   live-migration hints; without, it pages one group
+//	                   (-group) directly
 //	status             print every replica's view of the group (applied and
 //	                   compaction horizons, log/data sizes, computed leader,
 //	                   and the full group set the replica serves)
@@ -154,6 +159,15 @@ func main() {
 		runTxn(ctx, client, *group, []string{"set " + args[1] + " " + args[2]})
 	case "txn":
 		runTxn(ctx, client, *group, args[1:])
+	case "scan":
+		if len(args) != 2 {
+			log.Fatal("txkvctl: scan PREFIX")
+		}
+		if place != nil {
+			runRoutedScan(ctx, core.NewKV(client, place), args[1])
+			return
+		}
+		runScan(ctx, client, *group, args[1])
 	case "status":
 		// In routed mode, probe a real placement group: querying the
 		// single-group default would lazily materialize a phantom "default"
@@ -368,6 +382,49 @@ func runRoutedSet(ctx context.Context, kv *core.KV, key, value string) {
 			res.Status, group, float64(res.Latency)/float64(time.Millisecond))
 		os.Exit(1)
 	}
+}
+
+// runRoutedScan reads every key with the prefix across its owning groups:
+// one ordered scan per group merged into one ascending key order, following
+// migration hints so the scan stays complete during a live grow.
+func runRoutedScan(ctx context.Context, kv *core.KV, prefix string) {
+	res, err := kv.Scan(ctx, prefix)
+	if err != nil {
+		log.Fatalf("txkvctl: scan %q: %v", prefix, err)
+	}
+	for _, e := range res.Entries {
+		fmt.Printf("%s = %q\n", e.Key, e.Value)
+	}
+	groups := make([]string, 0, len(res.Positions))
+	for g := range res.Positions {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		fmt.Printf("group %s scan position %d\n", g, res.Positions[g])
+	}
+	fmt.Printf("%d keys\n", len(res.Entries))
+}
+
+// runScan pages one group's prefix region in a read-only transaction: every
+// page is served at the transaction's read position, so the whole scan is one
+// snapshot.
+func runScan(ctx context.Context, client *core.Client, group, prefix string) {
+	tx, err := client.Begin(ctx, group)
+	if err != nil {
+		log.Fatalf("txkvctl: begin: %v", err)
+	}
+	defer tx.Abort()
+	sc := tx.Scan(prefix)
+	n := 0
+	for sc.Next(ctx) {
+		fmt.Printf("%s = %q\n", sc.Key(), sc.Value())
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("txkvctl: scan %q: %v", prefix, err)
+	}
+	fmt.Printf("%d keys at read position %d\n", n, tx.ReadPos())
 }
 
 // runGet reads one or more keys in a single read-only transaction; multiple

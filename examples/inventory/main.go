@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -91,24 +92,49 @@ func run(proto core.Protocol) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	// Verify conservation: sold + remaining stock == initial stock.
+	// Verify conservation with one ordered range query: a snapshot scan over
+	// the "product-" prefix streams every stock and sold row in key order,
+	// all served at a single read position (DESIGN.md §16) — the audit sees
+	// one instant of the store instead of 2*products point reads.
 	audit := c.NewClient("O", core.Config{Protocol: proto})
 	tx, err = audit.Begin(ctx, group)
 	if err != nil {
 		log.Fatal(err)
 	}
-	consistent := true
-	for p := 0; p < products; p++ {
-		s, _, _ := tx.Read(ctx, stockKey(p))
-		sold, _, _ := tx.Read(ctx, soldKey(p))
-		sn, _ := strconv.Atoi(s)
-		soldN, _ := strconv.Atoi(sold)
-		if sn+soldN != stock {
-			consistent = false
-			fmt.Printf("  product %d: stock %d + sold %d != %d\n", p, sn, soldN, stock)
+	stockAt := make(map[int]int)
+	soldAt := make(map[int]int)
+	rows := 0
+	sc := tx.Scan("product-")
+	for sc.Next(ctx) {
+		id, field, ok := strings.Cut(sc.Key()[len("product-"):], "/")
+		if !ok {
+			log.Fatalf("unexpected inventory key %q", sc.Key())
 		}
+		p, _ := strconv.Atoi(id)
+		n, _ := strconv.Atoi(sc.Value())
+		switch field {
+		case "stock":
+			stockAt[p] = n
+		case "sold":
+			soldAt[p] = n
+		}
+		rows++
+	}
+	if sc.Err() != nil {
+		log.Fatalf("audit scan: %v", sc.Err())
 	}
 	tx.Abort()
+	consistent := true
+	if rows != 2*products {
+		consistent = false
+		fmt.Printf("  audit scan returned %d rows, want %d\n", rows, 2*products)
+	}
+	for p := 0; p < products; p++ {
+		if stockAt[p]+soldAt[p] != stock {
+			consistent = false
+			fmt.Printf("  product %d: stock %d + sold %d != %d\n", p, stockAt[p], soldAt[p], stock)
+		}
+	}
 	check := "consistent"
 	if !consistent {
 		check = "INCONSISTENT"

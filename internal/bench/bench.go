@@ -69,6 +69,15 @@ type runSpec struct {
 	// as one Tx.ReadMulti round trip.
 	readFraction float64
 	batchReads   bool
+	// scanFraction makes that fraction of operations ordered range scans of
+	// up to maxScanLen rows each (ycsb Workload E); zipfian switches the key
+	// distribution to the skewed draw scan workloads pair with. preload seeds
+	// that many attribute rows in one transaction before the threads start,
+	// so a scan-heavy run pages a populated keyspace from its first scan.
+	scanFraction float64
+	maxScanLen   int
+	zipfian      bool
+	preload      int
 	interval     time.Duration // unscaled per-thread pacing; 0 = paperInterval
 	// submitWindow / submitCombine tune the master submit pipeline
 	// (0 = core defaults; only meaningful for core.Master runs).
@@ -120,11 +129,46 @@ func run(o Options, rs runSpec) (runResult, error) {
 		Attributes:   rs.attributes,
 		OpsPerTxn:    rs.opsPerTxn,
 		ReadFraction: rs.readFraction,
+		ScanFraction: rs.scanFraction,
+		MaxScanLen:   rs.maxScanLen,
+	}
+	if rs.zipfian {
+		w.Distribution = ycsb.Zipfian
+	}
+
+	rec := &history.Recorder{}
+	if rs.preload > 0 {
+		cfg := core.Config{
+			Protocol: rs.protocol, Timeout: timeout,
+			BackoffBase: timeout / 40, Seed: o.Seed + 4242,
+		}
+		if rs.cfgEdit != nil {
+			rs.cfgEdit(&cfg)
+		}
+		cl := c.NewClient(topo.DCs()[0], cfg)
+		// Record the preload commit too, so the serializability battery sees
+		// every writer of the logs it checks.
+		cl.OnCommit = func(pos int64, txn core.CommittedTxn) {
+			rec.Record(history.Commit{
+				ID: txn.ID, Group: txn.Group, Origin: txn.Origin,
+				ReadPos: txn.ReadPos, Pos: pos,
+				Reads: txn.Reads, Writes: txn.Writes,
+			})
+		}
+		tx, err := cl.Begin(context.Background(), group)
+		if err != nil {
+			return runResult{}, fmt.Errorf("bench: preload begin: %w", err)
+		}
+		for i := 0; i < rs.preload; i++ {
+			tx.Write(ycsb.AttrName(i), fmt.Sprintf("seed-%d", i))
+		}
+		if cres, err := tx.Commit(context.Background()); err != nil || cres.Status != stats.Committed {
+			return runResult{}, fmt.Errorf("bench: preload commit: status %v err %v", cres.Status, err)
+		}
 	}
 
 	perThread := o.Txns / o.Threads
 	extra := o.Txns % o.Threads
-	rec := &history.Recorder{}
 	var threads []ycsb.Thread
 	for i := 0; i < o.Threads; i++ {
 		dc := topo.DCs()[0]

@@ -171,3 +171,17 @@ func TestCPOutperformsBasicUnderContention(t *testing.T) {
 			results["paxos-cp"], results["paxos"])
 	}
 }
+
+// TestScansQuick smoke-runs the workload-E scan figure: three scan-length
+// rows, each with a clean serializability check (scans do not join the OCC
+// read set, so the battery must stay green with scans interleaved).
+func TestScansQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tables, err := Scans(quickOpts())
+	checkTables(t, tables, err)
+	if len(tables[0].Rows) != 3 {
+		t.Fatalf("scans rows = %d", len(tables[0].Rows))
+	}
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"paxoscp/internal/core"
+)
+
+// Scans measures the ordered-scan read path (DESIGN.md §16): YCSB Workload E
+// — scan-heavy (95% scans), zipfian start keys, uniform scan lengths — over
+// Tx.Scan on VVV under Paxos-CP, sweeping the maximum scan length. Each scan
+// pages through the attribute keyspace in key order at its transaction's
+// pinned read position, so longer sweeps stress paging and the read pin while
+// the workload's writes keep the range churning underneath. The preloaded
+// keyspace guarantees every scan has rows to serve from its first page.
+func Scans(o Options) ([]Table, error) {
+	o = o.withDefaults()
+	t := Table{
+		Title: "Scans: YCSB workload E over Tx.Scan (VVV, paxos-cp, 95% scans, zipfian starts, uniform lengths, unpaced)",
+		Note:  "scan lengths are drawn uniform 1..max-scan-len; scans/sec counts scan operations served (commit + OCC-abort attempts ran their full op list)",
+		Columns: []string{"max-scan-len", "commits", "scans/sec", "txn/sec",
+			"mean-latency-ms", "check"},
+	}
+	const opsPerTxn = 6
+	const scanFraction = 0.95
+	for _, maxLen := range []int{10, 50, 100} {
+		res, err := run(o, runSpec{
+			name:         fmt.Sprintf("scans maxlen=%d", maxLen),
+			topology:     "VVV",
+			protocol:     core.CP,
+			attributes:   200,
+			opsPerTxn:    opsPerTxn,
+			readFraction: 0.05,
+			scanFraction: scanFraction,
+			maxScanLen:   maxLen,
+			zipfian:      true,
+			preload:      200,
+			interval:     time.Nanosecond, // unpaced
+			threadDCs:    []string{"V1", "V2", "V3"},
+		})
+		if err != nil {
+			return nil, err
+		}
+		sum := res.summary
+		scansPerSec, txnPerSec := "-", "-"
+		if res.wall > 0 {
+			scans := float64(sum.Commits+sum.Aborts) * opsPerTxn * scanFraction
+			scansPerSec = fmt.Sprintf("%.0f", scans/res.wall.Seconds())
+			txnPerSec = fmt.Sprintf("%.0f", float64(sum.Total)/res.wall.Seconds())
+		}
+		t.AddRow(fmt.Sprint(maxLen), fmt.Sprint(sum.Commits),
+			scansPerSec, txnPerSec,
+			fmtMS(sum.AllCommit.Mean, o.Scale), violationsCell(res.violations))
+	}
+	return []Table{t}, nil
+}

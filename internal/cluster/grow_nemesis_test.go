@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -27,7 +28,12 @@ import (
 //     exactly one group's log — its own — under the group-set timeline (a
 //     commit on a post-grow group is legitimate, not foreign);
 //   - no key reads as empty from its new group after cutover: every seeded
-//     key is found through the grown placement.
+//     key is found through the grown placement;
+//   - ordered scans stay exactly-once throughout: a scan worker pages the
+//     whole key set through KV.Scan during the storm, and every scan that
+//     completes must contain each seeded key exactly once, in order — no
+//     torn pages, no key lost to a cutover window, no key doubled across a
+//     source/destination pin split.
 func TestGrowUnderFireNemesis(t *testing.T) {
 	if testing.Short() {
 		t.Skip("rescale storm skipped in short mode")
@@ -154,6 +160,48 @@ func TestGrowUnderFireNemesis(t *testing.T) {
 			}
 		}(i, kv)
 	}
+
+	// The scan leg: one worker continuously pages the whole key set through
+	// the routed scan while groups move underneath it. Scans may fail under
+	// the storm (legs time out); scans that complete must be exactly-once
+	// and ordered. Writers never delete, so every seeded key must appear.
+	var scanOK atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		kv := newKV(100)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			res, err := kv.Scan(sctx, "gk")
+			cancel()
+			if err != nil {
+				continue // storm casualty; the post-grow scan must succeed
+			}
+			scanOK.Add(1)
+			seen := make(map[string]bool, len(res.Entries))
+			prev := ""
+			for _, e := range res.Entries {
+				if e.Key <= prev {
+					t.Errorf("scan out of order or duplicated: %q after %q", e.Key, prev)
+				}
+				prev = e.Key
+				seen[e.Key] = true
+			}
+			for _, k := range keys {
+				if !seen[k] {
+					t.Errorf("scan lost key %s mid-grow (%d entries)", k, len(res.Entries))
+				}
+			}
+			if len(res.Entries) != nKeys {
+				t.Errorf("scan returned %d entries, want %d", len(res.Entries), nKeys)
+			}
+		}
+	}()
 
 	// The grow runs concurrently with the storm and the workload.
 	growErr := make(chan error, 1)
@@ -302,6 +350,27 @@ func TestGrowUnderFireNemesis(t *testing.T) {
 				keys[i], c.Placement().GroupFor(keys[i]))
 		}
 	}
-	t.Logf("grow-under-fire: %d commits (%d on post-grow groups) across %d groups",
-		total, onNew, len(byGroup))
+
+	// The quiesced post-grow scan must succeed and carry every key exactly
+	// once — and the mid-storm leg must have completed at least once for the
+	// exactly-once assertions above to have had teeth.
+	sctx, scancel := context.WithTimeout(ctx, 30*time.Second)
+	sr, err := checkKV.Scan(sctx, "gk")
+	scancel()
+	if err != nil {
+		t.Fatalf("post-grow scan: %v", err)
+	}
+	if len(sr.Entries) != nKeys {
+		t.Errorf("post-grow scan returned %d entries, want %d", len(sr.Entries), nKeys)
+	}
+	for i, e := range sr.Entries {
+		if i < nKeys && e.Key != keys[i] {
+			t.Errorf("post-grow scan entry %d = %s, want %s", i, e.Key, keys[i])
+		}
+	}
+	if scanOK.Load() == 0 {
+		t.Error("no mid-storm scan ever completed; the scan leg never exercised migration")
+	}
+	t.Logf("grow-under-fire: %d commits (%d on post-grow groups) across %d groups; %d mid-storm scans",
+		total, onNew, len(byGroup), scanOK.Load())
 }

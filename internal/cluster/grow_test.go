@@ -106,6 +106,28 @@ func TestGrowBasic(t *testing.T) {
 		}
 	}
 
+	// An ordered scan through the grown placement returns every key exactly
+	// once, in order, with current values — the frozen pre-cutover rows still
+	// present at the sources (no compaction ran) must lose the merge to the
+	// destinations' moved-in copies, and no key may be dropped or doubled.
+	sr, err := kv.Scan(ctx, "grow-k")
+	if err != nil {
+		t.Fatalf("scan after grow: %v", err)
+	}
+	if len(sr.Entries) != nKeys {
+		t.Fatalf("post-grow scan returned %d entries, want %d: %+v", len(sr.Entries), nKeys, sr.Entries)
+	}
+	for i, e := range sr.Entries {
+		wantKey := fmt.Sprintf("grow-k%02d", i)
+		wantVal := fmt.Sprintf("v%d", i)
+		if i%5 == 0 {
+			wantVal = "post"
+		}
+		if e.Key != wantKey || e.Value != wantVal {
+			t.Errorf("scan entry %d = (%s, %q), want (%s, %q)", i, e.Key, e.Value, wantKey, wantVal)
+		}
+	}
+
 	// Operator status: the pre-existing groups report outbound handoffs, the
 	// added groups report prepare/in records.
 	for _, g := range []string{"g0", "g2"} {

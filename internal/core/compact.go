@@ -33,13 +33,16 @@ import (
 // compacted log position.
 const errCompacted = "compacted"
 
+// compactScanPage sizes the ordered-index pages the compaction scavenge and
+// snapshot builder walk the data region with.
+const compactScanPage = 512
+
 // Compact scavenges everything strictly below the given horizon: old data
 // item versions, decided log entries, Paxos acceptor state, and leader
 // claims. The horizon is clamped to the locally applied position. It
 // returns the effective horizon.
 func (s *Service) Compact(group string, horizon int64) (int64, error) {
 	lg := s.log(group)
-	tombGC := lg.HasMigrations()
 	prefix := replog.DataPrefix(group)
 	return lg.Compact(horizon, func(from, to int64) {
 		// Data rows: drop versions below the horizon (reads at >= horizon
@@ -47,12 +50,30 @@ func (s *Service) Compact(group string, horizon int64) (int64, error) {
 		// departed range whose cutover is durable at the destination
 		// (DESIGN.md §15) — are deleted wholesale: the frozen versions can
 		// never be read as current again, and new writes are fenced (M1).
-		for _, key := range s.store.KeysWithPrefix(prefix) {
-			if tombGC && lg.Tombstoned(key[len(prefix):]) {
-				s.store.Delete(key)
-				continue
+		// The tombstone check is evaluated at the effective horizon `to`, not
+		// at the watermark: a read pin below the tombstone position clamps
+		// `to` under it, and the pinned scan may still serve those frozen
+		// rows, so their wholesale delete waits for the pin to clear.
+		// Paged over the ordered index instead of sorting every key.
+		fence := lg.ScanFenceAt(to)
+		tombGC := fence.Active()
+		after := ""
+		for {
+			rows, more, err := s.store.ScanPrefix(prefix, after, compactScanPage, kvstore.Latest)
+			if err != nil {
+				return // store closed mid-compaction; nothing to scavenge
 			}
-			s.store.GC(key, to)
+			for _, row := range rows {
+				if tombGC && fence.Tombstoned(row.Key[len(prefix):]) {
+					s.store.Delete(row.Key)
+					continue
+				}
+				s.store.GC(row.Key, to)
+			}
+			if !more {
+				break
+			}
+			after = rows[len(rows)-1].Key
 		}
 		// Acceptor and claim rows strictly below the horizon disappear
 		// (replog drops the log rows themselves).
@@ -103,14 +124,23 @@ func (s *Service) buildSnapshot(group string) ([]byte, error) {
 	lg := s.log(group)
 	err := lg.ReadStable(func(horizon int64, epoch replog.EpochState) error {
 		snap = snapshot{Group: group, Horizon: horizon, Epoch: epoch, Migrations: lg.MigrationsAt(horizon)}
-		for _, key := range s.store.KeysWithPrefix(prefix) {
-			v, ts, err := s.store.Read(key, horizon)
+		// One pass over the ordered index at the horizon replaces the old
+		// sort-every-key-then-point-read loop; each page arrives already
+		// resolved at the horizon.
+		after := ""
+		for {
+			rows, more, err := s.store.ScanPrefix(prefix, after, compactScanPage, horizon)
 			if err != nil {
-				continue // no version at or below the horizon
+				return err
 			}
-			snap.Rows = append(snap.Rows, snapshotRow{Key: key[len(prefix):], TS: ts, Val: v["v"]})
+			for _, row := range rows {
+				snap.Rows = append(snap.Rows, snapshotRow{Key: row.Key[len(prefix):], TS: row.TS, Val: row.Val["v"]})
+			}
+			if !more {
+				return nil
+			}
+			after = rows[len(rows)-1].Key
 		}
-		return nil
 	})
 	if err != nil {
 		return nil, err

@@ -21,60 +21,107 @@ import (
 // submits enter the group pipeline asynchronously, holding no goroutine at
 // all while their position replicates.
 
+// ErrShutdown is the wire marker a closing service returns for requests that
+// were still queued (or arrive) after dispatcher shutdown began. Before the
+// drain existed, such requests were silently dropped and their peers burned
+// a full timeout each; the explicit refusal turns a close-window request
+// into an immediate retryable verdict.
+const ErrShutdown = "shutting down"
+
 // dispatchQueueLen bounds one shard worker's request backlog. Overflow does
 // not block the transport read loop: an over-full shard spills requests to
 // fresh goroutines, degrading to the pre-dispatch behavior instead of
 // stalling every group behind one.
 const dispatchQueueLen = 256
 
+// dispatchItem pairs a queued handler invocation with its refusal: close()
+// drains still-queued items through refuse so their peers get an ErrShutdown
+// verdict instead of a timeout.
+type dispatchItem struct {
+	run    func()
+	refuse func()
+}
+
 // dispatcher runs short request handlers on GOMAXPROCS shard workers.
 type dispatcher struct {
-	workers  []chan func()
+	workers  []chan dispatchItem
 	stopCh   chan struct{}
 	stopOnce sync.Once
+
+	// mu closes the enqueue/close race: dispatch holds it shared around the
+	// closed check and the (non-blocking) channel send, close holds it
+	// exclusively while flipping closed. After close() returns, no new item
+	// can land in a queue, so the workers' drain loops see every item that
+	// ever enqueued — nothing is dropped without a refusal.
+	mu     sync.RWMutex
+	closed bool
 }
 
 func newDispatcher(n int) *dispatcher {
 	if n < 1 {
 		n = 1
 	}
-	d := &dispatcher{workers: make([]chan func(), n), stopCh: make(chan struct{})}
+	d := &dispatcher{workers: make([]chan dispatchItem, n), stopCh: make(chan struct{})}
 	for i := range d.workers {
-		ch := make(chan func(), dispatchQueueLen)
+		ch := make(chan dispatchItem, dispatchQueueLen)
 		d.workers[i] = ch
 		go d.run(ch)
 	}
 	return d
 }
 
-func (d *dispatcher) run(ch chan func()) {
+func (d *dispatcher) run(ch chan dispatchItem) {
 	for {
 		select {
-		case fn := <-ch:
-			fn()
+		case it := <-ch:
+			it.run()
 		case <-d.stopCh:
-			return
+			// Shutdown: refuse everything still queued. dispatch stopped
+			// enqueuing before stopCh closed, so the drain is complete.
+			for {
+				select {
+				case it := <-ch:
+					it.refuse()
+				default:
+					return
+				}
+			}
 		}
 	}
 }
 
-// dispatch runs fn on group's shard worker, or on its own goroutine when
-// the shard's queue is full — the caller (the transport read loop) must
-// never block here.
-func (d *dispatcher) dispatch(group string, fn func()) {
+// dispatch runs fn on group's shard worker, or on its own goroutine when the
+// shard's queue is full — the caller (the transport read loop) must never
+// block here. After close, refuse is called instead (immediately, on the
+// caller's goroutine).
+func (d *dispatcher) dispatch(group string, fn, refuse func()) {
 	ch := d.workers[replog.GroupShard(group)%uint32(len(d.workers))]
+	d.mu.RLock()
+	if d.closed {
+		d.mu.RUnlock()
+		refuse()
+		return
+	}
 	select {
-	case ch <- fn:
+	case ch <- dispatchItem{run: fn, refuse: refuse}:
+		d.mu.RUnlock()
 	default:
+		d.mu.RUnlock()
 		go fn()
 	}
 }
 
-// close stops the workers. Requests still queued are dropped — their peers
-// time out, which is indistinguishable from the message loss the protocol
-// already tolerates. Only called on Service shutdown.
+// close stops the workers. Requests still queued are drained with their
+// refusal (ErrShutdown verdicts), not dropped: before the drain, a peer that
+// raced a request against Service.Close paid a full timeout to learn
+// nothing. Only called on Service shutdown.
 func (d *dispatcher) close() {
-	d.stopOnce.Do(func() { close(d.stopCh) })
+	d.stopOnce.Do(func() {
+		d.mu.Lock()
+		d.closed = true
+		d.mu.Unlock()
+		close(d.stopCh)
+	})
 }
 
 // AsyncHandler returns the non-blocking request entry point the transports'
@@ -85,21 +132,23 @@ func (d *dispatcher) close() {
 //     leader claims, log fetches, and reads already covered by the applied
 //     watermark — short store-bound work, pinned per group.
 //   - Own goroutine: applies (they block on the watermark), reads that need
-//     catch-up, snapshots, compaction, and stats (store scans).
+//     catch-up, snapshots, compaction, stats, and scans (store scans,
+//     possibly with catch-up to the pin).
 //   - Submits: asynchronous admission into the group's pipeline; the
 //     verdict callback fires when replication settles, so a submit holds no
 //     goroutine while its position replicates (DESIGN.md §13).
 func (s *Service) AsyncHandler() network.AsyncHandler {
 	h := s.Handler()
 	return func(from string, req network.Message, reply func(network.Message)) {
+		refuse := func() { reply(network.Status(false, ErrShutdown)) }
 		switch req.Kind {
 		case network.KindSubmit:
 			s.handleSubmitAsync(req, reply)
 		case network.KindApply, network.KindSnapshot, network.KindCompact, network.KindStats,
-			network.KindRangeSnapshot, network.KindMigrate:
-			// Range snapshots are store scans (possibly with catch-up to the
-			// pin) and migrate submissions block on replication: both stay
-			// off the shard workers.
+			network.KindRangeSnapshot, network.KindMigrate, network.KindScan:
+			// Range snapshots and scans are store scans (possibly with
+			// catch-up to the pin) and migrate submissions block on
+			// replication: all stay off the shard workers.
 			go func() { reply(h(from, req)) }()
 		case network.KindRead, network.KindReadMulti:
 			if req.TS >= 0 && req.TS > s.lastApplied(req.Group) {
@@ -108,9 +157,9 @@ func (s *Service) AsyncHandler() network.AsyncHandler {
 				go func() { reply(h(from, req)) }()
 				return
 			}
-			s.disp.dispatch(req.Group, func() { reply(h(from, req)) })
+			s.disp.dispatch(req.Group, func() { reply(h(from, req)) }, refuse)
 		default:
-			s.disp.dispatch(req.Group, func() { reply(h(from, req)) })
+			s.disp.dispatch(req.Group, func() { reply(h(from, req)) }, refuse)
 		}
 	}
 }

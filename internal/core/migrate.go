@@ -87,6 +87,15 @@ var ErrMigratingRange = errors.New("core: range is migrating; retry shortly")
 // carries, bounding reply size and the store scan a single request costs.
 const rangeSnapshotPageRows = 256
 
+// rangeSnapshotExamineBudget caps how many ordered-index rows one
+// KindRangeSnapshot request walks before replying with a progress cursor.
+// A moving range is hash-scattered through the key order, so a page of
+// moved rows can sit far apart in the index; without the budget a sparse
+// range would make single requests arbitrarily expensive. A budget-bounded
+// reply may carry fewer rows than the page cap — even zero — with the
+// cursor advanced to the last examined key; copyRange resumes from it.
+const rangeSnapshotExamineBudget = 2048
+
 // handleRangeSnapshot serves one page of a moving range's rows at a pinned
 // read position. Request fields: Group = source group, Value = destination
 // group, Keys = the destination placement's full group list (the range is
@@ -95,38 +104,53 @@ const rangeSnapshotPageRows = 256
 // watermark), Pos = version floor (only rows written after it), Key+Found =
 // resume cursor (start after Key when Found). The reply pages rows in
 // Keys/Vals, TS echoing the pin and Found flagging more pages.
+//
+// Pages walk the store's ordered index from the cursor — each request costs
+// O(page) index work, not a full-store key sort (the old per-page
+// KeysWithPrefix walk made an N-row backfill quadratic). The pin is
+// registered with the replog (PinReads) so a compaction between pages
+// cannot GC the versions later pages still read.
 func (s *Service) handleRangeSnapshot(req network.Message) network.Message {
 	ts, err := s.resolveReadTS(req.Group, req.TS)
 	if err != nil {
 		return network.Status(false, err.Error())
 	}
+	lg := s.log(req.Group)
+	lg.PinReads(ts, scanPinTTL(s.timeout))
+	if lg.CompactedTo() > ts {
+		return network.Status(false, errCompacted)
+	}
 	set := placement.NewMoveSet(req.Keys, req.Group, req.Value)
 	prefix := replog.DataPrefix(req.Group)
 	resp := network.Message{Kind: network.KindValue, OK: true, TS: ts}
-	for _, full := range s.store.KeysWithPrefix(prefix) {
-		bare := full[len(prefix):]
-		if req.Found && bare <= req.Key {
-			continue // before the resume cursor
-		}
-		if !set.Moves(bare) {
-			continue
-		}
-		v, vts, rerr := s.store.Read(full, ts)
-		if rerr != nil {
-			continue // no version at or below the pin
-		}
-		if vts <= req.Pos {
-			continue // already copied in an earlier round
-		}
-		resp.Keys = append(resp.Keys, bare)
-		resp.Vals = append(resp.Vals, v["v"])
-		if len(resp.Keys) >= rangeSnapshotPageRows {
-			resp.Key = bare
-			resp.Found = true // more pages may follow
-			break
-		}
+	after := ""
+	if req.Found {
+		after = prefix + req.Key // resume after the cursor
 	}
-	return resp
+	examined := 0
+	for {
+		rows, more, serr := s.store.ScanPrefix(prefix, after, rangeSnapshotPageRows, ts)
+		if serr != nil {
+			return network.Status(false, serr.Error())
+		}
+		for _, row := range rows {
+			bare := row.Key[len(prefix):]
+			examined++
+			if set.Moves(bare) && row.TS > req.Pos {
+				resp.Keys = append(resp.Keys, bare)
+				resp.Vals = append(resp.Vals, row.Val["v"])
+			}
+			if len(resp.Keys) >= rangeSnapshotPageRows || examined >= rangeSnapshotExamineBudget {
+				resp.Key = bare
+				resp.Found = true // more pages may follow
+				return resp
+			}
+		}
+		if !more {
+			return resp // range complete: Found stays false
+		}
+		after = rows[len(rows)-1].Key
+	}
 }
 
 // handleMigrate submits one handoff phase entry to the group's master

@@ -284,6 +284,8 @@ func (s *Service) Handler() network.Handler {
 			return s.handleRangeSnapshot(req)
 		case network.KindMigrate:
 			return s.handleMigrate(req)
+		case network.KindScan:
+			return s.handleScan(req)
 		default:
 			return network.Status(false, fmt.Sprintf("unknown kind %q", req.Kind))
 		}

@@ -192,6 +192,7 @@ func (s *Store) ApplyMutation(m Mutation) error {
 			r.gone = true
 			r.mu.Unlock()
 			delete(sh.rows, m.Key)
+			sh.noteDeleteLocked()
 		}
 		sh.mu.Unlock()
 		return nil

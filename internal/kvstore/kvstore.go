@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Common errors returned by Store operations.
@@ -98,6 +99,13 @@ const numShards = 32
 type shard struct {
 	mu   sync.RWMutex
 	rows map[string]*row
+
+	// Ordered key index (scan.go): base is sorted and may hold ghosts,
+	// delta buffers unsorted recent inserts, dead counts deletes since the
+	// last fold. All three are read and written under mu.
+	base  []string
+	delta []string
+	dead  int
 }
 
 // Store is a multi-version key-value store whose working image lives in
@@ -116,6 +124,10 @@ type Store struct {
 	mu        sync.Mutex
 	closed    bool
 	engineErr error // sticky engine failure: mutations fail-stop
+
+	// scanExamined counts index candidates ScanPrefix resolved; see
+	// ScanExamined.
+	scanExamined atomic.Int64
 }
 
 // PosKey builds the per-position row name "<prefix><group>/<pos>" shared by
@@ -162,6 +174,7 @@ func (s *Store) getRow(key string, create bool) *row {
 	if r = sh.rows[key]; r == nil {
 		r = &row{}
 		sh.rows[key] = r
+		sh.noteInsertLocked(key)
 	}
 	return r
 }
@@ -500,6 +513,7 @@ func (s *Store) ApplyBatch(writes []BatchWrite) error {
 			if r == nil {
 				r = &row{}
 				sh.rows[writes[i].Key] = r
+				sh.noteInsertLocked(writes[i].Key)
 			}
 			rows[i] = r
 		}
@@ -737,6 +751,7 @@ func (s *Store) Delete(key string) {
 	r.mu.Lock()
 	r.gone = true
 	delete(sh.rows, key)
+	sh.noteDeleteLocked()
 	var seq uint64
 	logged := false
 	if s.engine != nil {

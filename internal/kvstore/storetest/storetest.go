@@ -30,6 +30,7 @@ func Run(t *testing.T, factory Factory) {
 	t.Run("BatchConcurrentDisjointShards", func(t *testing.T) { batchConcurrentDisjoint(t, factory(t)) })
 	t.Run("WriteFamily", func(t *testing.T) { writeFamily(t, factory(t)) })
 	t.Run("ClosedStore", func(t *testing.T) { closedStore(t, factory(t)) })
+	runScan(t, factory)
 }
 
 func batchBasic(t *testing.T, s *kvstore.Store) {

@@ -51,6 +51,7 @@ var kindTable = []Kind{
 	KindStats, KindCompact,
 	KindLastVote, KindStatus, KindValue,
 	KindRangeSnapshot, KindMigrate,
+	KindScan,
 }
 
 // kindOther marks a Kind outside kindTable, encoded as a string.

@@ -58,6 +58,18 @@ const (
 	KindRangeSnapshot Kind = "rangesnap"
 	KindMigrate       Kind = "migrate"
 
+	// Ordered range scans (DESIGN.md §16). KindScan serves one page of an
+	// ordered prefix scan at a pinned read position: the request carries the
+	// user prefix (Value), the pin (TS, or ResolvePos to adopt the serving
+	// watermark), a resume cursor (Key = start-after key, Found = cursor
+	// present) and a page limit (Pos; 0 means the server default). The reply
+	// pages bare keys/values in Keys/Vals with Founds marking rows that
+	// migrated in below the pin, TS echoing the pin, Key/Found carrying the
+	// next cursor, Value listing departed-range destination groups
+	// (comma-joined routing hints) and Combined flagging an inbound range
+	// prepared but unopened at the pin (retry this group after its cutover).
+	KindScan Kind = "scan"
+
 	// Responses.
 	KindLastVote Kind = "lastvote" // prepare reply: Ballot=lastVote ballot, Payload=vote
 	KindStatus   Kind = "status"   // generic success/failure reply

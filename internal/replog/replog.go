@@ -48,6 +48,7 @@ type Log struct {
 	pending    map[int64]wal.Entry // decided but not yet applied (pos > applied)
 	cache      map[int64]wal.Entry // decoded entries (read-only, shared)
 	cacheTop   int64               // highest cached position (eviction anchor)
+	pins       map[int64]time.Time // read-pin position -> expiry (PinReads)
 	applyErr   error               // sticky apply failure; surfaced by waiters
 	waitCh     chan struct{}       // closed+replaced on every watermark advance
 	notifyCh   chan struct{}       // wakes the apply goroutine (capacity 1)
@@ -109,6 +110,7 @@ func open(store *kvstore.Store, group string, pool *applyPool) *Log {
 		shard:     GroupShard(group),
 		pending:   make(map[int64]wal.Entry),
 		cache:     make(map[int64]wal.Entry),
+		pins:      make(map[int64]time.Time),
 		voided:    make(map[int64]bool),
 		movedTxns: make(map[int64]map[string]string),
 		waitCh:    make(chan struct{}),
@@ -405,6 +407,19 @@ func (l *Log) Compact(horizon int64, scavenge func(from, to int64)) (int64, erro
 	l.mu.Lock()
 	if horizon > l.applied {
 		horizon = l.applied
+	}
+	// Unexpired read pins hold the horizon at or below their position: a GC
+	// at keepFrom == pin keeps the version visible at the pin, so clamping
+	// to the pin itself (not below it) is exactly tight (see PinReads).
+	now := time.Now()
+	for pos, exp := range l.pins {
+		if exp.Before(now) {
+			delete(l.pins, pos)
+			continue
+		}
+		if horizon > pos {
+			horizon = pos
+		}
 	}
 	prev := l.compacted
 	l.mu.Unlock()

@@ -213,6 +213,21 @@ func (r *Runner) attemptTxn(ctx context.Context, th Thread, group string, ops []
 			}
 		case Write:
 			tx.Write(op.Key, op.Value)
+		case Scan:
+			// Ordered range scan (Workload E): up to ScanLen rows of the
+			// attribute keyspace in key order, starting just past the drawn
+			// key. All pages are served at the transaction's read position.
+			sc := tx.Scan(AttrPrefix)
+			sc.StartAfter = op.Key
+			if op.ScanLen > 0 {
+				sc.PageSize = op.ScanLen
+			}
+			for got := 0; got < op.ScanLen && sc.Next(ctx); got++ {
+			}
+			if sc.Err() != nil {
+				fail()
+				return stats.Failed
+			}
 		}
 	}
 	// Commit records its own sample through the client's collector.

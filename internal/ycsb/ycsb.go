@@ -12,13 +12,17 @@ type OpKind int
 const (
 	Read OpKind = iota
 	Write
+	// Scan is an ordered range scan: ScanLen rows in key order starting
+	// just after Key (YCSB Workload E's scan operation).
+	Scan
 )
 
 // Op is one operation of a generated transaction.
 type Op struct {
-	Kind  OpKind
-	Key   string
-	Value string // writes only
+	Kind    OpKind
+	Key     string
+	Value   string // writes only
+	ScanLen int    // scans only: how many rows to retrieve
 }
 
 // Distribution selects how attribute keys are drawn.
@@ -54,8 +58,32 @@ type Workload struct {
 	OpsPerTxn int
 	// ReadFraction is the probability an operation is a read (paper: 0.5).
 	ReadFraction float64
-	// Distribution selects the key distribution (paper: Uniform).
+	// ScanFraction is the probability an operation is an ordered range scan
+	// (YCSB Workload E; 0 disables scans). Scans are drawn before the
+	// read/write split: the remaining 1-ScanFraction of operations divide
+	// per ReadFraction.
+	ScanFraction float64
+	// MaxScanLen bounds a scan's length: each scan retrieves a uniform
+	// 1..MaxScanLen rows starting at the drawn key (YCSB's uniform scan
+	// length). Defaults to 100 when scans are enabled.
+	MaxScanLen int
+	// Distribution selects the key distribution (paper: Uniform). Scans draw
+	// their start key from the same distribution (Workload E pairs zipfian
+	// start keys with uniform lengths).
 	Distribution Distribution
+}
+
+// WorkloadE returns the YCSB Workload E analogue: scan-heavy (95% scans),
+// zipfian scan start keys, uniform scan lengths up to maxLen (0 means the
+// 100-row default). The rest of the mix is write-dominated (E's inserts),
+// with a sliver of point reads.
+func WorkloadE(maxLen int) Workload {
+	return Workload{
+		ScanFraction: 0.95,
+		ReadFraction: 0.05,
+		MaxScanLen:   maxLen,
+		Distribution: Zipfian,
+	}
 }
 
 // withDefaults fills zero fields with the paper's §6 defaults.
@@ -71,6 +99,9 @@ func (w Workload) withDefaults() Workload {
 	}
 	if w.ReadFraction == 0 {
 		w.ReadFraction = 0.5
+	}
+	if w.ScanFraction > 0 && w.MaxScanLen <= 0 {
+		w.MaxScanLen = 100
 	}
 	return w
 }
@@ -99,8 +130,12 @@ func NewGenerator(w Workload, seed int64) *Generator {
 // Workload returns the generator's (defaulted) workload.
 func (g *Generator) Workload() Workload { return g.w }
 
+// AttrPrefix is the common prefix of all attribute keys — scans range over
+// it.
+const AttrPrefix = "attr"
+
 // AttrName returns the i-th attribute key.
-func AttrName(i int) string { return fmt.Sprintf("attr%d", i) }
+func AttrName(i int) string { return fmt.Sprintf("%s%d", AttrPrefix, i) }
 
 func (g *Generator) key() string {
 	if g.zipf != nil {
@@ -129,6 +164,14 @@ func (g *Generator) NextTxn() []Op {
 	g.seq++
 	ops := make([]Op, 0, g.w.OpsPerTxn)
 	for i := 0; i < g.w.OpsPerTxn; i++ {
+		if g.w.ScanFraction > 0 && g.rng.Float64() < g.w.ScanFraction {
+			ops = append(ops, Op{
+				Kind:    Scan,
+				Key:     g.key(),
+				ScanLen: 1 + g.rng.Intn(g.w.MaxScanLen),
+			})
+			continue
+		}
 		if g.rng.Float64() < g.w.ReadFraction {
 			ops = append(ops, Op{Kind: Read, Key: g.key()})
 			continue

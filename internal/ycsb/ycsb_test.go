@@ -98,6 +98,91 @@ func TestGeneratorZipfianSkewed(t *testing.T) {
 	}
 }
 
+func TestGeneratorWorkloadE(t *testing.T) {
+	w := WorkloadE(25)
+	w.Attributes = 200
+	g := NewGenerator(w, 9)
+	scans, others, total := 0, 0, 0
+	for i := 0; i < 300; i++ {
+		for _, op := range g.NextTxn() {
+			total++
+			switch op.Kind {
+			case Scan:
+				scans++
+				if op.ScanLen < 1 || op.ScanLen > 25 {
+					t.Fatalf("scan length %d outside [1,25]", op.ScanLen)
+				}
+				if !strings.HasPrefix(op.Key, AttrPrefix) {
+					t.Fatalf("scan start key %q outside attribute keyspace", op.Key)
+				}
+			default:
+				others++
+			}
+		}
+	}
+	if frac := float64(scans) / float64(total); frac < 0.9 || frac > 0.99 {
+		t.Fatalf("scan fraction = %.3f, want ~0.95", frac)
+	}
+	if others == 0 {
+		t.Fatal("workload E generated no non-scan operations")
+	}
+	// Scans default to 100-row lengths when no cap is given.
+	if dw := NewGenerator(WorkloadE(0), 1).Workload(); dw.MaxScanLen != 100 {
+		t.Fatalf("MaxScanLen default = %d, want 100", dw.MaxScanLen)
+	}
+}
+
+// TestRunnerWorkloadE drives the scan-heavy mix end to end: every scan pages
+// through Tx.Scan at the transaction's read position, interleaved with the
+// writes that keep the range churning, and the run must commit transactions
+// without scan errors (a scan failure fails its transaction).
+func TestRunnerWorkloadE(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Topology:  cluster.MustPaperTopology("VVV"),
+		NetConfig: network.SimConfig{Seed: 11, Scale: 0.002},
+		Timeout:   150 * time.Millisecond,
+	})
+	defer c.Close()
+
+	// Preload part of the attribute keyspace so scans have rows to return.
+	ctx := context.Background()
+	seed := c.NewClient(c.DCs()[0], core.Config{Protocol: core.CP, Seed: 99})
+	tx, err := seed.Begin(ctx, "g")
+	if err != nil {
+		t.Fatalf("seed begin: %v", err)
+	}
+	for i := 0; i < 40; i++ {
+		tx.Write(AttrName(i), "seeded")
+	}
+	if res, err := tx.Commit(ctx); err != nil || res.Status != stats.Committed {
+		t.Fatalf("seed commit: status %v err %v", res.Status, err)
+	}
+
+	w := WorkloadE(15)
+	w.Group = "g"
+	w.Attributes = 40
+	w.OpsPerTxn = 6
+	var threads []Thread
+	for i := 0; i < 3; i++ {
+		threads = append(threads, Thread{
+			Client: c.NewClient(c.DCs()[i%3], core.Config{Protocol: core.CP, Seed: int64(i + 1)}),
+			Gen:    NewGenerator(w, int64(i+1)),
+			Count:  6,
+		})
+	}
+	samples := (&Runner{Threads: threads}).Run(ctx)
+	sum := stats.Summarize(samples)
+	if sum.Total != 18 {
+		t.Fatalf("total = %d, want 18", sum.Total)
+	}
+	if sum.Commits == 0 {
+		t.Fatalf("no commits under workload E: %s", sum.String())
+	}
+	if sum.Failures > 0 {
+		t.Fatalf("%d transactions failed (scan errors fail their txn): %s", sum.Failures, sum.String())
+	}
+}
+
 func TestRunnerEndToEnd(t *testing.T) {
 	c := cluster.New(cluster.Config{
 		Topology:  cluster.MustPaperTopology("VVV"),
